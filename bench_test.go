@@ -1,0 +1,455 @@
+// Package repro_test is the benchmark harness of the reproduction: one
+// benchmark per table and figure of the paper's evaluation (regenerating
+// the corresponding experiment and reporting its headline metric), the
+// solver and substrate kernel benchmarks, and the ablation benchmarks
+// for the design choices called out in DESIGN.md §7.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// Figure benchmarks report simulated platform seconds via ReportMetric;
+// kernel benchmarks report real host throughput.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/decomp"
+	"repro/internal/field"
+	"repro/internal/flux"
+	"repro/internal/grid"
+	"repro/internal/jet"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/msg"
+	"repro/internal/par"
+	"repro/internal/shm"
+	"repro/internal/sim"
+	"repro/internal/solver"
+	"repro/internal/study"
+	"repro/internal/trace"
+)
+
+// ---------------------------------------------------------------------
+// Tables.
+
+// BenchmarkTable1 regenerates Table 1 (application characteristics) from
+// a real instrumented parallel run.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := study.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(rows[0].StartupsPerProc), "NS-startups/proc")
+			b.ReportMetric(rows[0].VolumePerProcMB, "NS-MB/proc")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2 (computation-communication ratios).
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := study.Table2Report()
+		if len(t.Rows) != 5 {
+			b.Fatal("table 2 shape")
+		}
+	}
+	ns := trace.PaperNS()
+	b.ReportMetric(ns.TotalFlops()/8/float64(ns.RankBytes()), "NS-FPs/byte@P8")
+}
+
+// ---------------------------------------------------------------------
+// Figures.
+
+// BenchmarkFig1 runs the excited-jet flow field (reduced grid).
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := study.Fig1(64, 32, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2 regenerates the single-processor version study.
+func BenchmarkFig2(b *testing.B) {
+	var last []float64
+	for i := 0; i < b.N; i++ {
+		ss := study.Fig2()
+		last = ss[0].Y
+	}
+	b.ReportMetric(last[0], "NS-V1-seconds")
+	b.ReportMetric(last[4], "NS-V5-seconds")
+}
+
+// figBench wraps a figure driver returning series.
+func figBench(b *testing.B, f func() error) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := f(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3LACENavierStokes(b *testing.B) {
+	figBench(b, func() error { _, err := study.FigLACE(true); return err })
+}
+
+func BenchmarkFig4LACEEuler(b *testing.B) {
+	figBench(b, func() error { _, err := study.FigLACE(false); return err })
+}
+
+func BenchmarkFig5ComponentsNavierStokes(b *testing.B) {
+	figBench(b, func() error { _, err := study.FigLACEComponents(true); return err })
+}
+
+func BenchmarkFig6ComponentsEuler(b *testing.B) {
+	figBench(b, func() error { _, err := study.FigLACEComponents(false); return err })
+}
+
+func BenchmarkFig7CommVersionsNavierStokes(b *testing.B) {
+	figBench(b, func() error { _, err := study.FigCommVersions(true); return err })
+}
+
+func BenchmarkFig8CommVersionsEuler(b *testing.B) {
+	figBench(b, func() error { _, err := study.FigCommVersions(false); return err })
+}
+
+func BenchmarkFig9PlatformsNavierStokes(b *testing.B) {
+	var ss []float64
+	for i := 0; i < b.N; i++ {
+		series, err := study.FigPlatforms(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if y, ok := series[0].YAt(8); ok {
+			ss = append(ss[:0], y)
+		}
+	}
+	if len(ss) > 0 {
+		b.ReportMetric(ss[0], "YMP@8-seconds")
+	}
+}
+
+func BenchmarkFig10PlatformsEuler(b *testing.B) {
+	figBench(b, func() error { _, err := study.FigPlatforms(false); return err })
+}
+
+func BenchmarkFig11LibrariesNavierStokes(b *testing.B) {
+	figBench(b, func() error { _, err := study.FigLibraries(true); return err })
+}
+
+func BenchmarkFig12LibrariesEuler(b *testing.B) {
+	figBench(b, func() error { _, err := study.FigLibraries(false); return err })
+}
+
+func BenchmarkFig13LoadBalance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := study.Fig13(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Solver kernels (real host performance).
+
+func benchGrid() *grid.Grid { return grid.MustNew(128, 64, 50, 5) }
+
+// BenchmarkSolverStepSerial measures one composite time step of the
+// Navier-Stokes solver; the per-op metric is grid points per step.
+func BenchmarkSolverStepSerial(b *testing.B) {
+	s, err := solver.NewSerial(jet.Paper(), benchGrid())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Advance()
+	}
+	b.ReportMetric(float64(128*64*b.N)/b.Elapsed().Seconds()/1e6, "Mpoints/s")
+}
+
+func BenchmarkSolverStepSerialEuler(b *testing.B) {
+	s, err := solver.NewSerial(jet.Euler(), benchGrid())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Advance()
+	}
+}
+
+// benchParallel measures parallel composite steps at a rank count.
+func benchParallel(b *testing.B, procs int, version par.Version) {
+	b.Helper()
+	r, err := par.NewRunner(jet.Paper(), benchGrid(), par.Options{Procs: procs, Version: version, Policy: solver.Lagged})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	r.Run(b.N)
+}
+
+func BenchmarkSolverStepParallel2(b *testing.B) { benchParallel(b, 2, par.V5) }
+func BenchmarkSolverStepParallel4(b *testing.B) { benchParallel(b, 4, par.V5) }
+func BenchmarkSolverStepParallel8(b *testing.B) { benchParallel(b, 8, par.V5) }
+
+func BenchmarkSolverStepSharedMemory4(b *testing.B) {
+	s, err := shm.NewSolver(jet.Paper(), benchGrid(), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ResetTimer()
+	s.Run(b.N)
+}
+
+// BenchmarkFluxKernel measures the axial flux evaluation alone.
+func BenchmarkFluxKernel(b *testing.B) {
+	gm := jet.Paper().Gas()
+	nx, nr := 128, 64
+	q := flux.NewState(nx, nr)
+	w := flux.NewState(nx, nr)
+	s := flux.NewStress(nx, nr)
+	f := flux.NewState(nx, nr)
+	for k := range q {
+		q[k].FillAll(1)
+	}
+	flux.Primitives(gm, q, w, 0, nx)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		flux.FluxX(gm, q, w, s, f, 0, nx, true)
+	}
+	b.SetBytes(int64(nx * nr * 8 * flux.NVar))
+}
+
+// BenchmarkStressKernel measures the viscous stress tensor evaluation.
+func BenchmarkStressKernel(b *testing.B) {
+	gm := jet.Paper().Gas()
+	g := benchGrid()
+	q := flux.NewState(g.Nx, g.Nr)
+	w := flux.NewState(g.Nx, g.Nr)
+	s := flux.NewStress(g.Nx, g.Nr)
+	for k := range q {
+		q[k].FillAll(1)
+	}
+	flux.Primitives(gm, q, w, 0, g.Nx)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		flux.ComputeStress(gm, g.Dx, g.Dr, g.R, w, s, 0, g.Nx)
+	}
+}
+
+// BenchmarkHaloExchange measures one grouped neighbour exchange through
+// the message layer (pack, send, receive, unpack on both sides).
+func BenchmarkHaloExchange(b *testing.B) {
+	w := msg.NewWorld(2)
+	a, c := w.Comm(0), w.Comm(1)
+	fa := field.New(32, 100)
+	fb := field.New(32, 100)
+	buf := make([]float64, 2*100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fa.PackCols(30, 2, buf)
+		a.Send(1, 0, buf)
+		c.Recv(0, 0, buf)
+		fb.UnpackCols(-2, 2, buf)
+	}
+	b.SetBytes(int64(len(buf) * 8))
+}
+
+// ---------------------------------------------------------------------
+// Substrate kernels.
+
+func BenchmarkCacheSimSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		kernels.V(5).SimulateSweep(cache.RS560, 250, 100)
+	}
+}
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c := cache.New(cache.RS560)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i*8) % (1 << 22))
+	}
+}
+
+func BenchmarkEventEngine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := sim.New()
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			if n < 1000 {
+				e.Schedule(1, tick)
+			}
+		}
+		e.Schedule(0, tick)
+		e.Run()
+	}
+	b.ReportMetric(1000, "events/op")
+}
+
+func BenchmarkPlatformCosim(b *testing.B) {
+	ch := trace.PaperNS()
+	for i := 0; i < b.N; i++ {
+		if _, err := machine.LACE560AllnodeS.Simulate(ch, 16, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablation benchmarks (DESIGN.md §7): each reports the simulated or
+// measured effect of one design choice.
+
+// BenchmarkAblationLaggedVsFresh compares the paper's message budget
+// (Lagged) against the exact-halo policy on the real parallel solver.
+func BenchmarkAblationLaggedVsFresh(b *testing.B) {
+	for _, pol := range []struct {
+		name string
+		p    solver.HaloPolicy
+	}{{"Lagged", solver.Lagged}, {"Fresh", solver.Fresh}} {
+		b.Run(pol.name, func(b *testing.B) {
+			r, err := par.NewRunner(jet.Paper(), benchGrid(), par.Options{Procs: 4, Policy: pol.p})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			res := r.Run(b.N)
+			b.ReportMetric(float64(res.Ranks[1].Comm.Startups)/float64(b.N), "startups/step")
+		})
+	}
+}
+
+// BenchmarkAblationGroupedVsSplit compares Version 5 (grouped) against
+// Version 7 (de-burst) on the shared Ethernet and the ALLNODE switch.
+func BenchmarkAblationGroupedVsSplit(b *testing.B) {
+	ch := trace.PaperNS()
+	cases := []struct {
+		name string
+		p    machine.Platform
+		v    int
+	}{
+		{"Ethernet/V5", machine.LACE560Ethernet, 5},
+		{"Ethernet/V7", machine.LACE560Ethernet, 7},
+		{"ALLNODE-S/V5", machine.LACE560AllnodeS, 5},
+		{"ALLNODE-S/V7", machine.LACE560AllnodeS, 7},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var sec float64
+			for i := 0; i < b.N; i++ {
+				o, err := c.p.Simulate(ch, 12, c.v)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sec = o.Seconds
+			}
+			b.ReportMetric(sec, "sim-seconds@P12")
+		})
+	}
+}
+
+// BenchmarkAblationOverlap compares Version 5 against Version 6 on the
+// real goroutine solver (the overlap restructuring is real code).
+func BenchmarkAblationOverlap(b *testing.B) {
+	for _, v := range []par.Version{par.V5, par.V6} {
+		b.Run(v.String(), func(b *testing.B) {
+			r, err := par.NewRunner(jet.Paper(), benchGrid(), par.Options{Procs: 4, Version: v, Policy: solver.Lagged})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			r.Run(b.N)
+		})
+	}
+}
+
+// BenchmarkAblationCacheGeometry sweeps the T3D node across cache
+// geometries — the paper's central "proper cache design" lesson.
+func BenchmarkAblationCacheGeometry(b *testing.B) {
+	f := trace.PaperFlopsPerPoint(true)
+	geoms := []cache.Config{
+		cache.T3D,
+		{Name: "64KB-4way", SizeBytes: 64 << 10, LineBytes: 64, Ways: 4},
+		{Name: "256KB-4way", SizeBytes: 256 << 10, LineBytes: 128, Ways: 4},
+	}
+	for _, g := range geoms {
+		b.Run(g.Name, func(b *testing.B) {
+			chip := cpu.AlphaT3D
+			chip.DCache = g
+			var mf float64
+			for i := 0; i < b.N; i++ {
+				mf = chip.Evaluate(kernels.V(5), f).EffMFLOPS
+			}
+			b.ReportMetric(mf, "MFLOPS")
+		})
+	}
+}
+
+// BenchmarkAblationEagerVsRendezvous compares the two library semantics
+// on the same switch hardware.
+func BenchmarkAblationEagerVsRendezvous(b *testing.B) {
+	ch := trace.PaperNS()
+	for _, p := range []machine.Platform{machine.SPMPL, machine.SPPVMe} {
+		b.Run(p.Lib.Name, func(b *testing.B) {
+			var sec float64
+			for i := 0; i < b.N; i++ {
+				o, err := p.Simulate(ch, 8, 5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sec = o.Seconds
+			}
+			b.ReportMetric(sec, "sim-seconds@P8")
+		})
+	}
+}
+
+// BenchmarkAblationDecomposition sweeps rank counts, reporting the real
+// measured speedup of the axial decomposition on the host.
+func BenchmarkAblationDecomposition(b *testing.B) {
+	for _, procs := range []int{1, 2, 4, 8} {
+		b.Run(decompName(procs), func(b *testing.B) {
+			r, err := par.NewRunner(jet.Paper(), benchGrid(), par.Options{Procs: procs, Policy: solver.Lagged})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			r.Run(b.N)
+		})
+	}
+}
+
+func decompName(p int) string {
+	d, _ := decomp.Axial(128, p)
+	w := d.Widths()
+	return fmt.Sprintf("%dranks-%dcols", p, w[0])
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: the public API.
+
+func BenchmarkCoreQuickstart(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run, err := core.NewRun(core.Config{Nx: 64, Nr: 24, Steps: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := run.Execute(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Command jetsim runs the excited axisymmetric jet of the paper on a
+// chosen solver configuration and prints diagnostics, optionally
+// writing the axial momentum field (Figure 1's quantity) as PGM or
+// ASCII contours.
+//
+// Examples:
+//
+//	jetsim -nx 125 -nr 50 -steps 500
+//	jetsim -mode mp -procs 8 -version 7 -steps 200
+//	jetsim -mode shm -procs 4 -euler
+//	jetsim -contour -pgm out/jet.pgm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/vis"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("jetsim: ")
+	var (
+		nx      = flag.Int("nx", 125, "axial grid nodes")
+		nr      = flag.Int("nr", 50, "radial grid nodes")
+		steps   = flag.Int("steps", 500, "composite time steps")
+		euler   = flag.Bool("euler", false, "solve the Euler equations instead of Navier-Stokes")
+		mode    = flag.String("mode", "serial", "solver mode: serial, mp (message passing), shm (shared memory)")
+		procs   = flag.Int("procs", 4, "ranks (mp) or workers (shm)")
+		version = flag.Int("version", 5, "communication strategy: 5, 6, or 7 (mp mode)")
+		fresh   = flag.Bool("fresh", false, "exact halo policy (bitwise serial equivalence)")
+		contour = flag.Bool("contour", false, "print an ASCII contour of axial momentum")
+		pgm     = flag.String("pgm", "", "write axial momentum as a PGM image to this path")
+	)
+	flag.Parse()
+
+	cfg := core.Config{
+		Euler: *euler, Nx: *nx, Nr: *nr, Steps: *steps,
+		Procs: *procs, Version: *version, FreshHalos: *fresh,
+	}
+	switch *mode {
+	case "serial":
+		cfg.Mode = core.Serial
+		cfg.Procs = 1
+	case "mp":
+		cfg.Mode = core.MessagePassing
+	case "shm":
+		cfg.Mode = core.SharedMemory
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+
+	run, err := core.NewRun(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer run.Close()
+	res, err := run.Execute()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("mode=%s procs=%d grid=%dx%d steps=%d dt=%.4g elapsed=%s\n",
+		res.Mode, res.Procs, *nx, *nr, res.Steps, res.Dt, res.Elapsed.Round(1e6))
+	d := res.Diag
+	fmt.Printf("mass=%.6f energy=%.6f max|v|=%.4g minRho=%.4g minP=%.4g\n",
+		d.Mass, d.Energy, d.MaxV, d.MinRho, d.MinP)
+	if res.Comm.Startups > 0 {
+		fmt.Printf("comm: %d startups, %.2f MB sent\n", res.Comm.Startups, float64(res.Comm.Bytes)/1e6)
+		for _, rs := range res.PerRank {
+			fmt.Printf("  rank %2d: busy=%-10s wait=%-10s %8d startups %8.2f MB %12.3g flops\n",
+				rs.Rank, rs.Busy.Round(1e6), rs.Wait.Round(1e6), rs.Comm.Startups, float64(rs.Comm.Bytes)/1e6, rs.Flops)
+		}
+	}
+	if *contour {
+		vis.ASCIIContour(os.Stdout, "axial momentum rho*u", res.Momentum, 100, 24)
+	}
+	if *pgm != "" {
+		f, err := os.Create(*pgm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := vis.WritePGM(f, res.Momentum); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *pgm)
+	}
+}

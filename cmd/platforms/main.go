@@ -1,0 +1,88 @@
+// Command platforms co-simulates the paper's platforms on the
+// application workload and prints execution-time curves.
+//
+// Examples:
+//
+//	platforms                      # all platforms, Navier-Stokes
+//	platforms -euler -version 7    # Euler with de-burst messages
+//	platforms -platform "Cray T3D" -procs 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/study"
+	"repro/internal/trace"
+)
+
+func allPlatforms() []machine.Platform {
+	return []machine.Platform{
+		machine.LACE560Ethernet, machine.LACE560FDDI, machine.LACE560AllnodeS,
+		machine.LACE590AllnodeF, machine.LACE590ATM,
+		machine.SPMPL, machine.SPPVMe, machine.T3D, machine.YMP,
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("platforms: ")
+	var (
+		euler   = flag.Bool("euler", false, "Euler workload instead of Navier-Stokes")
+		version = flag.Int("version", 5, "communication strategy: 5, 6, or 7")
+		name    = flag.String("platform", "", "run a single platform by name")
+		procs   = flag.Int("procs", 0, "run a single processor count (0 = sweep)")
+		chart   = flag.Bool("chart", true, "draw log-scale ASCII chart")
+	)
+	flag.Parse()
+
+	ch := trace.PaperNS()
+	if *euler {
+		ch = trace.PaperEuler()
+	}
+	plats := allPlatforms()
+	if *name != "" {
+		plats = nil
+		for _, p := range allPlatforms() {
+			if p.Name == *name {
+				plats = []machine.Platform{p}
+			}
+		}
+		if len(plats) == 0 {
+			log.Fatalf("unknown platform %q", *name)
+		}
+	}
+
+	var series []stats.Series
+	for _, p := range plats {
+		s := stats.Series{Name: p.Name}
+		counts := study.ProcCounts(p.MaxProcs)
+		if *procs > 0 {
+			counts = []int{*procs}
+		}
+		for _, np := range counts {
+			if np > p.MaxProcs {
+				continue
+			}
+			o, err := p.Simulate(ch, np, *version)
+			if err != nil {
+				log.Fatal(err)
+			}
+			s.Add(float64(np), o.Seconds)
+		}
+		series = append(series, s)
+	}
+
+	title := fmt.Sprintf("%s execution time (s), Version %d", ch.Name, *version)
+	t := report.SeriesTable(title, "Procs", series)
+	t.Render(os.Stdout)
+	if *chart {
+		fmt.Println()
+		report.LogChart(os.Stdout, title+" [log scale]", series, 14)
+	}
+}

@@ -1,0 +1,76 @@
+// Networkstudy reproduces the LACE network comparison (the paper's
+// Figures 3-8 scenario): the same application co-simulated over
+// Ethernet, FDDI, ATM, and both ALLNODE switches, with the three
+// communication strategies.
+//
+//	go run ./examples/networkstudy
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/study"
+	"repro/internal/trace"
+)
+
+func main() {
+	ch := trace.PaperNS()
+	nets := []machine.Platform{
+		machine.LACE560Ethernet, machine.LACE560FDDI, machine.LACE560AllnodeS,
+		machine.LACE590ATM, machine.LACE590AllnodeF,
+	}
+
+	var total, wait []stats.Series
+	for _, p := range nets {
+		ts := stats.Series{Name: p.Name}
+		ws := stats.Series{Name: p.Name}
+		for _, np := range study.ProcCounts(p.MaxProcs) {
+			o, err := p.Simulate(ch, np, 5)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ts.Add(float64(np), o.Seconds)
+			ws.Add(float64(np), o.WaitSeconds)
+		}
+		total = append(total, ts)
+		wait = append(wait, ws)
+	}
+
+	t := report.SeriesTable("Navier-Stokes on the LACE networks: execution time (s)", "Procs", total)
+	t.Render(os.Stdout)
+	fmt.Println()
+	report.LogChart(os.Stdout, "Execution time [log scale] (cf. paper Figure 3)", total, 14)
+
+	fmt.Println()
+	w := report.SeriesTable("Non-overlapped communication time (s) (cf. paper Figure 5)", "Procs", wait)
+	w.Render(os.Stdout)
+
+	// The Ethernet knee: the paper's back-of-envelope argument is that
+	// beyond ~8 processors the per-second communication demand exceeds
+	// the 10 Mb/s medium.
+	eth := total[0]
+	kneeX, kneeY := eth.MinY()
+	fmt.Printf("\nEthernet minimum at P=%.0f (%.0f s): beyond this the medium saturates,\n", kneeX, kneeY)
+	fmt.Println("matching the paper's Section 7.1 analysis.")
+
+	fmt.Println("\nCommunication strategies at P=12 (cf. paper Figures 7-8):")
+	vt := report.Table{Headers: []string{"Strategy", "Ethernet (s)", "ALLNODE-S (s)"}}
+	for _, v := range []int{5, 6, 7} {
+		e, err := machine.LACE560Ethernet.Simulate(ch, 12, v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a, err := machine.LACE560AllnodeS.Simulate(ch, 12, v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		vt.AddRow(fmt.Sprintf("Version %d", v), fmt.Sprintf("%.0f", e.Seconds), fmt.Sprintf("%.0f", a.Seconds))
+	}
+	vt.Render(os.Stdout)
+	fmt.Println("De-bursting (V7) helps the shared medium and hurts the switch.")
+}

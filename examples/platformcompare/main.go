@@ -1,0 +1,57 @@
+// Platformcompare reproduces the four-platform comparison (the paper's
+// Figures 9-10 scenario): Cray Y-MP, IBM SP, Cray T3D, and the LACE
+// cluster on both ALLNODE switches, for Navier-Stokes and Euler.
+//
+//	go run ./examples/platformcompare
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/study"
+)
+
+func main() {
+	for _, viscous := range []bool{true, false} {
+		name := "Navier-Stokes"
+		figure := "Figure 9"
+		if !viscous {
+			name = "Euler"
+			figure = "Figure 10"
+		}
+		ss, err := study.FigPlatforms(viscous)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t := report.SeriesTable(
+			fmt.Sprintf("%s execution time (s) across platforms (cf. paper %s)", name, figure),
+			"Procs", ss)
+		t.Render(os.Stdout)
+		fmt.Println()
+		report.LogChart(os.Stdout, name+" [log scale]", ss, 14)
+		fmt.Println()
+	}
+
+	ss, err := study.FigPlatforms(true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var t3d, allnodeS stats.Series
+	for _, s := range ss {
+		switch s.Name {
+		case "Cray T3D":
+			t3d = s
+		case "LACE/560 ALLNODE-S":
+			allnodeS = s
+		}
+	}
+	cross := stats.Crossover(t3d, allnodeS)
+	fmt.Printf("The T3D's fast torus overtakes the ALLNODE-S cluster at P=%.0f\n", cross)
+	fmt.Println("(the paper places this crossover beyond 8 processors), while its")
+	fmt.Println("8 KB direct-mapped cache keeps it behind ALLNODE-F throughout —")
+	fmt.Println("the paper's central single-processor-performance lesson.")
+}

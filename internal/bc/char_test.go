@@ -1,0 +1,35 @@
+package bc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gas"
+)
+
+func TestCharRatesSupersonicPassthrough(t *testing.T) {
+	gm := gas.Air(0)
+	d := [4]float64{0.1, -0.2, 0.05, 0.3}
+	// u = 2 > c = 1: supersonic outflow, no filtering.
+	got := charRates(gm, 1, 2, 0, 1, d, 0, 0, false)
+	if got != d {
+		t.Fatalf("supersonic outflow should pass rates through: %v vs %v", got, d)
+	}
+}
+
+func TestCharRatesSubsonicKillsIncoming(t *testing.T) {
+	gm := gas.Air(0)
+	rho, u, v, T := 1.0, 0.3, 0.0, 1.0
+	d := [4]float64{0.2, 0.1, 0.0, 0.4}
+	got := charRates(gm, rho, u, v, T, d, 0, 0, false)
+	// Reconstruct p_t and u_t from the filtered conservative rates and
+	// verify the incoming characteristic p_t - rho*c*u_t is exactly 0.
+	gm1 := gm.Gamma - 1
+	rhot, mt, nt, et := got[0], got[1], got[2], got[3]
+	pt := gm1 * (et - u*mt - v*nt + 0.5*(u*u+v*v)*rhot)
+	ut := (mt - u*rhot) / rho
+	c := math.Sqrt(T)
+	if in := pt - rho*c*ut; math.Abs(in) > 1e-12 {
+		t.Fatalf("incoming characteristic not killed: %g", in)
+	}
+}

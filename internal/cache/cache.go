@@ -1,0 +1,119 @@
+// Package cache is a trace-driven cache simulator supporting the
+// geometries of the paper's processors: the RS6000/560 (64 KB, 4-way),
+// RS6000/590 (256 KB, 4-way), RS6K/370 (32 KB, 4-way), and the Cray
+// T3D's Alpha 21064 (8 KB, direct-mapped). Replacement is LRU within a
+// set. The paper attributes most single-processor performance
+// differences to exactly these parameters.
+package cache
+
+import "fmt"
+
+// Config describes a cache geometry.
+type Config struct {
+	Name      string
+	SizeBytes int
+	LineBytes int
+	Ways      int // 1 = direct-mapped
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache: nonpositive geometry %+v", c)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache: line size %d not a power of two", c.LineBytes)
+	}
+	if c.SizeBytes%(c.LineBytes*c.Ways) != 0 {
+		return fmt.Errorf("cache: size %d not divisible by line*ways", c.SizeBytes)
+	}
+	sets := c.Sets()
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+// Sets returns the number of sets.
+func (c Config) Sets() int { return c.SizeBytes / (c.LineBytes * c.Ways) }
+
+// Cache is a simulated cache. Not safe for concurrent use.
+type Cache struct {
+	cfg      Config
+	sets     [][]uint64 // tag per way, LRU order: index 0 = most recent
+	lineBits uint
+	setMask  uint64
+	hits     uint64
+	misses   uint64
+}
+
+// New builds a cache; panics on invalid geometry (configurations are
+// compile-time constants in this codebase).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nsets := cfg.Sets()
+	c := &Cache{cfg: cfg, sets: make([][]uint64, nsets), setMask: uint64(nsets - 1)}
+	for i := range c.sets {
+		c.sets[i] = make([]uint64, 0, cfg.Ways)
+	}
+	for b := cfg.LineBytes; b > 1; b >>= 1 {
+		c.lineBits++
+	}
+	return c
+}
+
+// Config returns the geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Access simulates one load/store to addr and reports whether it hit.
+func (c *Cache) Access(addr uint64) bool {
+	tag := addr >> c.lineBits
+	set := c.sets[tag&c.setMask]
+	for i, t := range set {
+		if t == tag {
+			// Move to front (LRU update).
+			copy(set[1:i+1], set[:i])
+			set[0] = tag
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	if len(set) < c.cfg.Ways {
+		set = append(set, 0)
+	}
+	copy(set[1:], set)
+	set[0] = tag
+	c.sets[tag&c.setMask] = set
+	return false
+}
+
+// Stats returns accumulated hits and misses.
+func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// MissRatio returns misses/(hits+misses), or 0 before any access.
+func (c *Cache) MissRatio() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(total)
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		c.sets[i] = c.sets[i][:0]
+	}
+	c.hits, c.misses = 0, 0
+}
+
+// Paper processor data caches (geometry from the paper's Section 4).
+var (
+	RS560 = Config{Name: "RS6000/560", SizeBytes: 64 << 10, LineBytes: 64, Ways: 4}
+	RS590 = Config{Name: "RS6000/590", SizeBytes: 256 << 10, LineBytes: 128, Ways: 4}
+	RS370 = Config{Name: "RS6K/370", SizeBytes: 32 << 10, LineBytes: 64, Ways: 4}
+	T3D   = Config{Name: "T3D Alpha 21064", SizeBytes: 8 << 10, LineBytes: 32, Ways: 1}
+)

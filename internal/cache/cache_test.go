@@ -1,0 +1,143 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestColdMissThenHit(t *testing.T) {
+	c := New(Config{Name: "t", SizeBytes: 1024, LineBytes: 64, Ways: 2})
+	if c.Access(0) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0) {
+		t.Fatal("warm access missed")
+	}
+	if !c.Access(63) {
+		t.Fatal("same-line access missed")
+	}
+	if c.Access(64) {
+		t.Fatal("next line hit cold")
+	}
+	h, m := c.Stats()
+	if h != 2 || m != 2 {
+		t.Fatalf("stats %d/%d", h, m)
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	// 8 sets of 64 B, direct-mapped: addresses 0 and 512 share set 0.
+	c := New(Config{Name: "dm", SizeBytes: 512, LineBytes: 64, Ways: 1})
+	c.Access(0)
+	c.Access(512)
+	if c.Access(0) {
+		t.Fatal("conflicting line should have evicted address 0")
+	}
+	// A 2-way cache of the same size holds both.
+	c2 := New(Config{Name: "2w", SizeBytes: 512, LineBytes: 64, Ways: 2})
+	c2.Access(0)
+	c2.Access(256) // same set in 4-set 2-way
+	if !c2.Access(0) {
+		t.Fatal("2-way should retain both lines")
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// One set, 2 ways (fully associative with 2 lines).
+	c := New(Config{Name: "lru", SizeBytes: 128, LineBytes: 64, Ways: 2})
+	c.Access(0)   // miss: {0}
+	c.Access(64)  // miss: {64, 0}
+	c.Access(0)   // hit:  {0, 64}
+	c.Access(128) // miss, evicts LRU = 64: {128, 0}
+	if !c.Access(0) {
+		t.Fatal("LRU evicted the wrong line")
+	}
+	if c.Access(64) {
+		t.Fatal("64 should have been evicted")
+	}
+}
+
+func TestCapacitySweep(t *testing.T) {
+	// Working set fits: second sweep all hits.
+	c := New(Config{Name: "fit", SizeBytes: 4096, LineBytes: 64, Ways: 4})
+	for pass := 0; pass < 2; pass++ {
+		for a := uint64(0); a < 2048; a += 64 {
+			c.Access(a)
+		}
+	}
+	h, m := c.Stats()
+	if m != 32 || h != 32 {
+		t.Fatalf("fit sweep: %d hits %d misses", h, m)
+	}
+	// Working set 2x the cache with LRU round-robin: everything misses.
+	c2 := New(Config{Name: "thrash", SizeBytes: 1024, LineBytes: 64, Ways: 1})
+	for pass := 0; pass < 3; pass++ {
+		for a := uint64(0); a < 2048; a += 64 {
+			c2.Access(a)
+		}
+	}
+	if r := c2.MissRatio(); r != 1 {
+		t.Fatalf("thrash miss ratio %g", r)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(RS560)
+	c.Access(0)
+	c.Reset()
+	h, m := c.Stats()
+	if h != 0 || m != 0 {
+		t.Fatal("stats survived reset")
+	}
+	if c.Access(0) {
+		t.Fatal("contents survived reset")
+	}
+}
+
+func TestPaperGeometries(t *testing.T) {
+	for _, cfg := range []Config{RS560, RS590, RS370, T3D} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+	if RS560.Sets() != 64<<10/(64*4) {
+		t.Errorf("560 sets = %d", RS560.Sets())
+	}
+	if T3D.Ways != 1 {
+		t.Error("T3D must be direct-mapped")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 0, LineBytes: 64, Ways: 1},
+		{SizeBytes: 1024, LineBytes: 60, Ways: 1}, // not power of two
+		{SizeBytes: 1000, LineBytes: 64, Ways: 1}, // not divisible
+		{SizeBytes: 1024, LineBytes: 64, Ways: 0},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("want error for %+v", c)
+		}
+	}
+}
+
+// Property: hits + misses equals accesses, and the same trace replayed
+// on a fresh cache gives identical statistics (determinism).
+func TestDeterminismProperty(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		run := func() (uint64, uint64) {
+			c := New(Config{Name: "p", SizeBytes: 1024, LineBytes: 32, Ways: 2})
+			for _, a := range addrs {
+				c.Access(uint64(a))
+			}
+			return c.Stats()
+		}
+		h1, m1 := run()
+		h2, m2 := run()
+		return h1 == h2 && m1 == m2 && h1+m1 == uint64(len(addrs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

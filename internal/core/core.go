@@ -1,0 +1,215 @@
+// Package core is the public face of the reproduction: one entry point
+// to (a) the parallel Navier-Stokes/Euler jet solver — the paper's
+// application — in serial, message-passing, and shared-memory (DOALL)
+// configurations, and (b) the architectural study that replays the
+// paper's evaluation on simulated 1995 platforms.
+//
+// Quick start:
+//
+//	run, err := core.NewRun(core.Config{Nx: 125, Nr: 50, Steps: 200})
+//	res, err := run.Execute()
+//
+// See examples/ for complete programs and DESIGN.md for the system
+// inventory.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/jet"
+	"repro/internal/par"
+	"repro/internal/shm"
+	"repro/internal/solver"
+	"repro/internal/trace"
+)
+
+// Mode selects the execution configuration.
+type Mode int
+
+const (
+	// Serial runs the reference single-processor solver.
+	Serial Mode = iota
+	// MessagePassing runs one goroutine per rank with halo exchanges
+	// through the PVM-like message layer (the paper's distributed-memory
+	// parallelization).
+	MessagePassing
+	// SharedMemory runs DOALL loop parallelism (the paper's Cray Y-MP
+	// parallelization).
+	SharedMemory
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Serial:
+		return "serial"
+	case MessagePassing:
+		return "message-passing"
+	case SharedMemory:
+		return "shared-memory"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Config describes one solver run. Zero values select the paper's
+// defaults (Navier-Stokes, grid 250x100, Version 5, Lagged halos).
+type Config struct {
+	// Euler selects the inviscid equations (default: Navier-Stokes).
+	Euler bool
+	// Nx, Nr: grid size (default 250x100, the paper's grid).
+	Nx, Nr int
+	// Steps: composite time steps (default 5000, the paper's runs).
+	Steps int
+	// Mode: Serial, MessagePassing, or SharedMemory.
+	Mode Mode
+	// Procs: ranks (MessagePassing) or workers (SharedMemory).
+	Procs int
+	// Version: communication strategy 5, 6 or 7 (MessagePassing only).
+	Version int
+	// FreshHalos selects the exact-halo policy (bitwise serial
+	// equivalence) instead of the paper's lagged message budget.
+	FreshHalos bool
+	// Jet overrides the physical configuration (default jet.Paper()).
+	Jet *jet.Config
+}
+
+// withDefaults fills zero values.
+func (c Config) withDefaults() Config {
+	if c.Nx == 0 {
+		c.Nx = 250
+	}
+	if c.Nr == 0 {
+		c.Nr = 100
+	}
+	if c.Steps == 0 {
+		c.Steps = 5000
+	}
+	if c.Procs == 0 {
+		c.Procs = 1
+	}
+	if c.Version == 0 {
+		c.Version = 5
+	}
+	return c
+}
+
+// jetConfig resolves the physical problem.
+func (c Config) jetConfig() jet.Config {
+	if c.Jet != nil {
+		return *c.Jet
+	}
+	if c.Euler {
+		return jet.Euler()
+	}
+	return jet.Paper()
+}
+
+// Result reports a completed run.
+type Result struct {
+	Mode     Mode
+	Procs    int
+	Steps    int
+	Dt       float64
+	Elapsed  time.Duration
+	Diag     solver.Diagnostics
+	Comm     trace.Counters  // aggregate communication (MessagePassing)
+	PerRank  []par.RankStats // per-rank profile (MessagePassing)
+	Momentum [][]float64     // axial momentum field rho*u
+}
+
+// Run is a configured, reusable solver instance.
+type Run struct {
+	cfg    Config
+	grid   *grid.Grid
+	serial *solver.Serial
+	mp     *par.Runner
+	shmS   *shm.Solver
+}
+
+// NewRun validates the configuration and allocates the solver.
+func NewRun(c Config) (*Run, error) {
+	c = c.withDefaults()
+	g, err := grid.New(c.Nx, c.Nr, 50, 5)
+	if err != nil {
+		return nil, err
+	}
+	r := &Run{cfg: c, grid: g}
+	jc := c.jetConfig()
+	switch c.Mode {
+	case Serial:
+		r.serial, err = solver.NewSerial(jc, g)
+	case MessagePassing:
+		policy := solver.Lagged
+		if c.FreshHalos {
+			policy = solver.Fresh
+		}
+		r.mp, err = par.NewRunner(jc, g, par.Options{
+			Procs:   c.Procs,
+			Version: par.Version(c.Version),
+			Policy:  policy,
+		})
+	case SharedMemory:
+		r.shmS, err = shm.NewSolver(jc, g, c.Procs)
+	default:
+		err = fmt.Errorf("core: unknown mode %v", c.Mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Grid returns the computational grid.
+func (r *Run) Grid() *grid.Grid { return r.grid }
+
+// Execute advances the configured number of steps and reports.
+func (r *Run) Execute() (*Result, error) {
+	c := r.cfg
+	res := &Result{Mode: c.Mode, Procs: c.Procs, Steps: c.Steps}
+	start := time.Now()
+	switch c.Mode {
+	case Serial:
+		r.serial.Run(c.Steps)
+		res.Dt = r.serial.Dt
+		res.Diag = r.serial.Diagnose()
+		res.Momentum = r.serial.AxialMomentum()
+	case MessagePassing:
+		pr := r.mp.Run(c.Steps)
+		res.Dt = pr.Dt
+		res.Diag = pr.Diag
+		res.Comm = pr.TotalComm()
+		res.PerRank = pr.Ranks
+		res.Momentum = momentumFromState(r.mp)
+	case SharedMemory:
+		r.shmS.Run(c.Steps)
+		res.Dt = r.shmS.Dt
+		res.Diag = r.shmS.Diagnose()
+		res.Momentum = r.shmS.AxialMomentum()
+	}
+	res.Elapsed = time.Since(start)
+	if res.Diag.HasNaN {
+		return res, fmt.Errorf("core: run diverged (NaN after %d steps)", c.Steps)
+	}
+	return res, nil
+}
+
+// Close releases worker pools (SharedMemory mode).
+func (r *Run) Close() {
+	if r.shmS != nil {
+		r.shmS.Close()
+	}
+}
+
+// momentumFromState assembles rho*u from the distributed slabs.
+func momentumFromState(runner *par.Runner) [][]float64 {
+	full := runner.GatherState()
+	nx, nr := runner.Grid.Nx, runner.Grid.Nr
+	out := make([][]float64, nx)
+	for i := 0; i < nx; i++ {
+		col := make([]float64, nr)
+		copy(col, full[1].Col(i)) // component IMx = rho*u
+		out[i] = col
+	}
+	return out
+}

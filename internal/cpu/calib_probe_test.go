@@ -1,0 +1,25 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/trace"
+)
+
+func TestCalibrationProbe(t *testing.T) {
+	fNS := trace.PaperFlopsPerPoint(true)
+	for _, ch := range []Chip{RS560, RS590, RS370, AlphaT3D} {
+		for _, v := range kernels.Versions() {
+			p := ch.Evaluate(v, fNS)
+			t.Logf("%-18s V%d: %6.2f MFLOPS  (%.0f cyc/pt, %.1f miss/pt)", ch.Name, v.ID, p.EffMFLOPS, p.CyclesPerPoint, p.MissesPerPoint)
+		}
+	}
+	t.Logf("Y-MP vector eff: %.1f MFLOPS", YMP.EffMFLOPS())
+	W := trace.PaperNS().TotalFlops()
+	for _, ch := range []Chip{RS560, RS590, RS370, AlphaT3D} {
+		p := ch.Evaluate(kernels.V(5), fNS)
+		t.Logf("%-18s N-S 1-proc: %6.0f s", ch.Name, W/(p.EffMFLOPS*1e6))
+	}
+	t.Logf("%-18s N-S 1-proc: %6.0f s", "Y-MP", W/(YMP.EffMFLOPS()*1e6))
+}

@@ -1,0 +1,102 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/trace"
+)
+
+// TestFigure2Calibration pins the RS6000/560 to the paper's measured
+// endpoints: Version 1 ran at 9.3 MFLOPS and Version 5 at 16.0.
+func TestFigure2Calibration(t *testing.T) {
+	f := trace.PaperFlopsPerPoint(true)
+	v1 := RS560.Evaluate(kernels.V(1), f)
+	v5 := RS560.Evaluate(kernels.V(5), f)
+	if v1.EffMFLOPS < 8 || v1.EffMFLOPS > 11.5 {
+		t.Errorf("560 V1 = %.2f MFLOPS, paper 9.3", v1.EffMFLOPS)
+	}
+	if v5.EffMFLOPS < 14 || v5.EffMFLOPS > 18 {
+		t.Errorf("560 V5 = %.2f MFLOPS, paper 16.0", v5.EffMFLOPS)
+	}
+	if gain := v5.EffMFLOPS/v1.EffMFLOPS - 1; gain < 0.5 || gain > 1.2 {
+		t.Errorf("overall optimization gain %.0f%%, paper ~80%%", gain*100)
+	}
+}
+
+// TestVersionsMonotone: each successive optimization must not slow the
+// code down on any of the paper's processors.
+func TestVersionsMonotone(t *testing.T) {
+	f := trace.PaperFlopsPerPoint(true)
+	for _, ch := range []Chip{RS560, RS590, RS370, AlphaT3D} {
+		prev := 0.0
+		for _, v := range kernels.Versions() {
+			p := ch.Evaluate(v, f)
+			if p.EffMFLOPS < prev {
+				t.Errorf("%s: V%d (%.2f) slower than V%d (%.2f)", ch.Name, v.ID, p.EffMFLOPS, v.ID-1, prev)
+			}
+			prev = p.EffMFLOPS
+		}
+	}
+}
+
+// TestNodeOrdering pins the cross-platform single-node story of
+// Section 7.2: 590 fastest, then 560, then the SP's 370, with the T3D's
+// Alpha behind despite its 150 MHz clock.
+func TestNodeOrdering(t *testing.T) {
+	f := trace.PaperFlopsPerPoint(true)
+	v5 := kernels.V(5)
+	e590 := RS590.Evaluate(v5, f).EffMFLOPS
+	e560 := RS560.Evaluate(v5, f).EffMFLOPS
+	e370 := RS370.Evaluate(v5, f).EffMFLOPS
+	et3d := AlphaT3D.Evaluate(v5, f).EffMFLOPS
+	if !(e590 > e560 && e560 > e370 && e370 > et3d*0.8) {
+		t.Errorf("ordering broken: 590=%.1f 560=%.1f 370=%.1f T3D=%.1f", e590, e560, e370, et3d)
+	}
+	if et3d > e560 {
+		t.Errorf("T3D node (%.1f) should not beat the 560 (%.1f) on this code", et3d, e560)
+	}
+	// 590 vs 560: the paper attributes ~1.5x to the node.
+	if r := e590 / e560; r < 1.3 || r > 1.9 {
+		t.Errorf("590/560 = %.2f", r)
+	}
+}
+
+func TestVectorModel(t *testing.T) {
+	e := YMP.EffMFLOPS()
+	if e < 150 || e > 260 {
+		t.Errorf("Y-MP sustained %.0f MFLOPS, want O(200)", e)
+	}
+	// Longer vectors help (Hockney n_1/2).
+	long := YMP
+	long.VectorLen = 1000
+	if long.EffMFLOPS() <= e {
+		t.Error("longer vectors should raise the rate")
+	}
+	// A pure-scalar machine is bounded by the scalar rate.
+	scalar := YMP
+	scalar.ScalarFrac = 1
+	if s := scalar.EffMFLOPS(); math.Abs(s-YMP.ScalarMFLOPS) > 1e-9 {
+		t.Errorf("all-scalar rate %.1f", s)
+	}
+}
+
+func TestEvaluateScalesWithClock(t *testing.T) {
+	f := trace.PaperFlopsPerPoint(true)
+	fast := RS560
+	fast.ClockHz *= 2
+	a := RS560.Evaluate(kernels.V(5), f)
+	b := fast.Evaluate(kernels.V(5), f)
+	if math.Abs(b.EffMFLOPS-2*a.EffMFLOPS) > 1e-9 {
+		t.Errorf("clock scaling broken: %.2f vs %.2f", b.EffMFLOPS, a.EffMFLOPS)
+	}
+}
+
+func TestEulerWorkloadEvaluates(t *testing.T) {
+	f := trace.PaperFlopsPerPoint(false)
+	p := RS560.Evaluate(kernels.V(5), f)
+	if p.EffMFLOPS <= 0 || math.IsNaN(p.EffMFLOPS) {
+		t.Fatalf("Euler eval: %+v", p)
+	}
+}

@@ -1,0 +1,87 @@
+// Package decomp implements the paper's domain decomposition: blocks
+// along the axial direction only (Section 5), balanced to within one
+// column.
+package decomp
+
+import "fmt"
+
+// MinWidth is the narrowest legal slab: the 2-4 stencil plus cubic
+// boundary extrapolation need four columns.
+const MinWidth = 4
+
+// Decomposition maps global axial columns to ranks.
+type Decomposition struct {
+	Nx, P  int
+	starts []int // len P+1; rank r owns [starts[r], starts[r+1])
+}
+
+// Axial splits nx columns over p ranks in contiguous balanced blocks.
+func Axial(nx, p int) (*Decomposition, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("decomp: need at least one rank, got %d", p)
+	}
+	if nx/p < MinWidth {
+		return nil, fmt.Errorf("decomp: %d columns over %d ranks leaves slabs narrower than %d", nx, p, MinWidth)
+	}
+	d := &Decomposition{Nx: nx, P: p, starts: make([]int, p+1)}
+	base, rem := nx/p, nx%p
+	pos := 0
+	for r := 0; r < p; r++ {
+		d.starts[r] = pos
+		pos += base
+		if r < rem {
+			pos++
+		}
+	}
+	d.starts[p] = pos
+	return d, nil
+}
+
+// Range returns the owned column range [i0, i0+n) of rank r.
+func (d *Decomposition) Range(r int) (i0, n int) {
+	return d.starts[r], d.starts[r+1] - d.starts[r]
+}
+
+// Owner returns the rank owning global column i.
+func (d *Decomposition) Owner(i int) int {
+	if i < 0 || i >= d.Nx {
+		panic(fmt.Sprintf("decomp: column %d outside [0,%d)", i, d.Nx))
+	}
+	lo, hi := 0, d.P-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d.starts[mid+1] <= i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Widths returns the per-rank column counts.
+func (d *Decomposition) Widths() []int {
+	w := make([]int, d.P)
+	for r := range w {
+		_, w[r] = d.Range(r)
+	}
+	return w
+}
+
+// Imbalance returns (max-min)/mean of the per-rank widths; the paper's
+// Figure 13 shows this is essentially zero for the axial decomposition.
+func (d *Decomposition) Imbalance() float64 {
+	ws := d.Widths()
+	mn, mx, sum := ws[0], ws[0], 0
+	for _, w := range ws {
+		if w < mn {
+			mn = w
+		}
+		if w > mx {
+			mx = w
+		}
+		sum += w
+	}
+	mean := float64(sum) / float64(len(ws))
+	return float64(mx-mn) / mean
+}

@@ -1,0 +1,80 @@
+package decomp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperDecomposition(t *testing.T) {
+	d, err := Axial(250, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := d.Widths()
+	// 250 = 10*16 + 10: ten ranks of 16 columns, six of 15.
+	sum := 0
+	for _, w := range ws {
+		if w != 15 && w != 16 {
+			t.Fatalf("width %d", w)
+		}
+		sum += w
+	}
+	if sum != 250 {
+		t.Fatalf("widths sum to %d", sum)
+	}
+	if imb := d.Imbalance(); imb > 0.07 {
+		t.Fatalf("imbalance %g", imb)
+	}
+}
+
+// Property: every column is owned by exactly one rank, ranges are
+// contiguous and ordered, and Owner agrees with Range.
+func TestCoverageProperty(t *testing.T) {
+	f := func(nxRaw, pRaw uint16) bool {
+		nx := int(nxRaw%500) + 16
+		p := int(pRaw%8) + 1
+		if nx/p < MinWidth {
+			return true
+		}
+		d, err := Axial(nx, p)
+		if err != nil {
+			return false
+		}
+		pos := 0
+		for r := 0; r < p; r++ {
+			i0, n := d.Range(r)
+			if i0 != pos || n < MinWidth {
+				return false
+			}
+			for i := i0; i < i0+n; i++ {
+				if d.Owner(i) != r {
+					return false
+				}
+			}
+			pos += n
+		}
+		return pos == nx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Axial(100, 0); err == nil {
+		t.Error("want error for zero ranks")
+	}
+	if _, err := Axial(12, 4); err == nil {
+		t.Error("want error for sub-stencil slabs")
+	}
+}
+
+func TestOwnerPanicsOutOfRange(t *testing.T) {
+	d, _ := Axial(100, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	d.Owner(100)
+}

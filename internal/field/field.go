@@ -1,0 +1,196 @@
+// Package field provides dense scalar fields on the structured grid with
+// halo (ghost) columns in the axial direction and ghost rows in the
+// radial direction.
+//
+// Storage is x-major with the radial index contiguous (stride-1 in r),
+// which is the cache-friendly "stride-1" layout the paper's Version 3
+// optimization introduced. Halo width is fixed at 2 on every side: the
+// fourth-order MacCormack stencil reaches two points past each boundary.
+package field
+
+import "fmt"
+
+// Halo is the ghost-layer width required by the 2-4 MacCormack stencil.
+const Halo = 2
+
+// Field is a scalar field of size Nx x Nr plus Halo ghosts on all sides.
+// The interior point (i, j), 0 <= i < Nx, 0 <= j < Nr, is addressable
+// directly; ghost points use indices in [-Halo, Nx+Halo) x [-Halo, Nr+Halo).
+type Field struct {
+	Nx, Nr int
+	// rowLen is the allocated length of one x-column (Nr + 2*Halo).
+	rowLen int
+	data   []float64
+}
+
+// New allocates a zeroed field for an nx-by-nr interior.
+func New(nx, nr int) *Field {
+	if nx <= 0 || nr <= 0 {
+		panic(fmt.Sprintf("field: invalid size %dx%d", nx, nr))
+	}
+	rl := nr + 2*Halo
+	return &Field{Nx: nx, Nr: nr, rowLen: rl, data: make([]float64, (nx+2*Halo)*rl)}
+}
+
+// idx maps (possibly ghost) coordinates to the flat slice index.
+func (f *Field) idx(i, j int) int {
+	return (i+Halo)*f.rowLen + (j + Halo)
+}
+
+// At returns the value at (i, j). Ghost indices are legal within Halo.
+func (f *Field) At(i, j int) float64 { return f.data[f.idx(i, j)] }
+
+// Set stores v at (i, j). Ghost indices are legal within Halo.
+func (f *Field) Set(i, j int, v float64) { f.data[f.idx(i, j)] = v }
+
+// Add adds v to the value at (i, j).
+func (f *Field) Add(i, j int, v float64) { f.data[f.idx(i, j)] += v }
+
+// Col returns the mutable slice backing interior column i (j = 0..Nr-1).
+func (f *Field) Col(i int) []float64 {
+	base := f.idx(i, 0)
+	return f.data[base : base+f.Nr]
+}
+
+// Fill sets every interior point to v (ghosts untouched).
+func (f *Field) Fill(v float64) {
+	for i := 0; i < f.Nx; i++ {
+		col := f.Col(i)
+		for j := range col {
+			col[j] = v
+		}
+	}
+}
+
+// FillAll sets every point including ghosts to v.
+func (f *Field) FillAll(v float64) {
+	for k := range f.data {
+		f.data[k] = v
+	}
+}
+
+// CopyFrom copies the full contents (including ghosts) of src, which must
+// have identical dimensions.
+func (f *Field) CopyFrom(src *Field) {
+	if f.Nx != src.Nx || f.Nr != src.Nr {
+		panic("field: CopyFrom size mismatch")
+	}
+	copy(f.data, src.data)
+}
+
+// Clone returns a deep copy.
+func (f *Field) Clone() *Field {
+	g := New(f.Nx, f.Nr)
+	copy(g.data, f.data)
+	return g
+}
+
+// Equal reports whether the interiors of f and g match exactly.
+func (f *Field) Equal(g *Field) bool {
+	if f.Nx != g.Nx || f.Nr != g.Nr {
+		return false
+	}
+	for i := 0; i < f.Nx; i++ {
+		a, b := f.Col(i), g.Col(i)
+		for j := range a {
+			if a[j] != b[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the max interior |f-g|.
+func (f *Field) MaxAbsDiff(g *Field) float64 {
+	if f.Nx != g.Nx || f.Nr != g.Nr {
+		panic("field: MaxAbsDiff size mismatch")
+	}
+	m := 0.0
+	for i := 0; i < f.Nx; i++ {
+		a, b := f.Col(i), g.Col(i)
+		for j := range a {
+			d := a[j] - b[j]
+			if d < 0 {
+				d = -d
+			}
+			if d > m {
+				m = d
+			}
+		}
+	}
+	return m
+}
+
+// PackCols copies columns [i0, i0+n) (interior rows only) into dst,
+// column-major, returning the number of values written. dst must hold
+// n*Nr values. Used to assemble halo-exchange messages.
+func (f *Field) PackCols(i0, n int, dst []float64) int {
+	k := 0
+	for c := 0; c < n; c++ {
+		k += copy(dst[k:k+f.Nr], f.Col(i0+c))
+	}
+	return k
+}
+
+// UnpackCols copies src (as produced by PackCols) into columns
+// [i0, i0+n), interior rows only. Ghost columns are legal targets.
+func (f *Field) UnpackCols(i0, n int, src []float64) int {
+	k := 0
+	for c := 0; c < n; c++ {
+		base := f.idx(i0+c, 0)
+		k += copy(f.data[base:base+f.Nr], src[k:k+f.Nr])
+	}
+	return k
+}
+
+// MirrorAxis fills the two ghost rows below j=0 with the mirror image of
+// rows 0 and 1 (r_j = (j+1/2)Dr implies ghost j=-1 mirrors j=0, j=-2
+// mirrors j=1). sign is +1 for even symmetry (rho, u, p, T, E) and -1
+// for odd symmetry (radial velocity v).
+func (f *Field) MirrorAxis(sign float64) {
+	for i := -Halo; i < f.Nx+Halo; i++ {
+		f.Set(i, -1, sign*f.At(i, 0))
+		f.Set(i, -2, sign*f.At(i, 1))
+	}
+}
+
+// ExtrapolateTop fills the two ghost rows above j=Nr-1 by cubic
+// extrapolation through the four outermost interior rows, matching the
+// paper's "fluxes are extrapolated outside the domain to artificial
+// points using a cubic extrapolation".
+func (f *Field) ExtrapolateTop() {
+	n := f.Nr
+	for i := -Halo; i < f.Nx+Halo; i++ {
+		a, b, c, d := f.At(i, n-4), f.At(i, n-3), f.At(i, n-2), f.At(i, n-1)
+		g1 := 4*d - 6*c + 4*b - a
+		g2 := 4*g1 - 6*d + 4*c - b
+		f.Set(i, n, g1)
+		f.Set(i, n+1, g2)
+	}
+}
+
+// ExtrapolateLeft fills ghost columns i=-1,-2 by cubic extrapolation
+// through interior columns 0..3 (all rows including radial ghosts).
+func (f *Field) ExtrapolateLeft() {
+	for j := -Halo; j < f.Nr+Halo; j++ {
+		a, b, c, d := f.At(3, j), f.At(2, j), f.At(1, j), f.At(0, j)
+		g1 := 4*d - 6*c + 4*b - a
+		g2 := 4*g1 - 6*d + 4*c - b
+		f.Set(-1, j, g1)
+		f.Set(-2, j, g2)
+	}
+}
+
+// ExtrapolateRight fills ghost columns i=Nx, Nx+1 by cubic extrapolation
+// through the four rightmost interior columns.
+func (f *Field) ExtrapolateRight() {
+	n := f.Nx
+	for j := -Halo; j < f.Nr+Halo; j++ {
+		a, b, c, d := f.At(n-4, j), f.At(n-3, j), f.At(n-2, j), f.At(n-1, j)
+		g1 := 4*d - 6*c + 4*b - a
+		g2 := 4*g1 - 6*d + 4*c - b
+		f.Set(n, j, g1)
+		f.Set(n+1, j, g2)
+	}
+}

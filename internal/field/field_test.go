@@ -1,0 +1,190 @@
+package field
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAtSetGhosts(t *testing.T) {
+	f := New(6, 4)
+	f.Set(-2, -2, 1)
+	f.Set(7, 5, 2)
+	f.Set(3, 2, 3)
+	if f.At(-2, -2) != 1 || f.At(7, 5) != 2 || f.At(3, 2) != 3 {
+		t.Fatal("ghost/interior addressing broken")
+	}
+}
+
+func TestColIsInterior(t *testing.T) {
+	f := New(5, 7)
+	col := f.Col(2)
+	if len(col) != 7 {
+		t.Fatalf("Col length %d, want 7", len(col))
+	}
+	col[3] = 42
+	if f.At(2, 3) != 42 {
+		t.Fatal("Col is not a live view")
+	}
+}
+
+func TestFillAndEqual(t *testing.T) {
+	a, b := New(4, 4), New(4, 4)
+	a.Fill(2.5)
+	b.Fill(2.5)
+	if !a.Equal(b) {
+		t.Fatal("equal fields reported unequal")
+	}
+	b.Set(1, 1, 2.50001)
+	if a.Equal(b) {
+		t.Fatal("unequal fields reported equal")
+	}
+	if d := a.MaxAbsDiff(b); math.Abs(d-1e-5) > 1e-12 {
+		t.Fatalf("MaxAbsDiff = %g", d)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(4, 4)
+	a.Fill(1)
+	c := a.Clone()
+	a.Set(0, 0, 9)
+	if c.At(0, 0) == 9 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+// Property: PackCols followed by UnpackCols into a fresh field is the
+// identity on the packed columns.
+func TestPackUnpackRoundtrip(t *testing.T) {
+	f := func(vals []float64, seed uint8) bool {
+		nx, nr := 6, 5
+		a := New(nx, nr)
+		k := 0
+		for i := 0; i < nx; i++ {
+			for j := 0; j < nr; j++ {
+				v := float64(i*nr+j) + 0.5
+				if k < len(vals) {
+					v = vals[k]
+					k++
+				}
+				a.Set(i, j, v)
+			}
+		}
+		c0 := int(seed % 4)
+		n := int(seed%2) + 1
+		buf := make([]float64, n*nr)
+		if got := a.PackCols(c0, n, buf); got != n*nr {
+			return false
+		}
+		b := New(nx, nr)
+		if got := b.UnpackCols(c0, n, buf); got != n*nr {
+			return false
+		}
+		for c := 0; c < n; c++ {
+			for j := 0; j < nr; j++ {
+				av, bv := a.At(c0+c, j), b.At(c0+c, j)
+				if av != bv && !(math.IsNaN(av) && math.IsNaN(bv)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnpackIntoGhostColumns(t *testing.T) {
+	f := New(6, 3)
+	src := []float64{1, 2, 3, 4, 5, 6}
+	f.UnpackCols(-2, 2, src)
+	if f.At(-2, 0) != 1 || f.At(-2, 2) != 3 || f.At(-1, 1) != 5 {
+		t.Fatal("ghost unpack wrong")
+	}
+}
+
+func TestMirrorAxisParity(t *testing.T) {
+	f := New(4, 6)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 6; j++ {
+			f.Set(i, j, float64(10*i+j+1))
+		}
+	}
+	f.MirrorAxis(-1)
+	for i := 0; i < 4; i++ {
+		if f.At(i, -1) != -f.At(i, 0) {
+			t.Fatalf("odd mirror at (%d,-1): %g vs %g", i, f.At(i, -1), f.At(i, 0))
+		}
+		if f.At(i, -2) != -f.At(i, 1) {
+			t.Fatalf("odd mirror at (%d,-2)", i)
+		}
+	}
+	f.MirrorAxis(1)
+	if f.At(2, -1) != f.At(2, 0) {
+		t.Fatal("even mirror broken")
+	}
+}
+
+// Property: cubic extrapolation is exact for cubic polynomials — the
+// defining property of the paper's artificial-point treatment.
+func TestCubicExtrapolationExact(t *testing.T) {
+	f := func(a3, a2, a1, a0 float64) bool {
+		// Keep coefficients bounded to avoid float blow-up.
+		clamp := func(x float64) float64 {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return 0.3
+			}
+			return math.Mod(x, 3)
+		}
+		a3, a2, a1, a0 = clamp(a3), clamp(a2), clamp(a1), clamp(a0)
+		p := func(x float64) float64 { return a3*x*x*x + a2*x*x + a1*x + a0 }
+		g := New(8, 6)
+		for i := -Halo; i < 8+Halo; i++ {
+			for j := -Halo; j < 6+Halo; j++ {
+				g.Set(i, j, 0)
+			}
+		}
+		for i := 0; i < 8; i++ {
+			for j := 0; j < 6; j++ {
+				g.Set(i, j, p(float64(i)))
+			}
+		}
+		g.ExtrapolateLeft()
+		g.ExtrapolateRight()
+		tol := 1e-8 * (1 + math.Abs(a3) + math.Abs(a2))
+		return math.Abs(g.At(-1, 2)-p(-1)) < tol &&
+			math.Abs(g.At(-2, 2)-p(-2)) < tol &&
+			math.Abs(g.At(8, 2)-p(8)) < tol &&
+			math.Abs(g.At(9, 2)-p(9)) < tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExtrapolateTopExactForCubic(t *testing.T) {
+	g := New(5, 8)
+	p := func(y float64) float64 { return 2*y*y*y - y + 4 }
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 8; j++ {
+			g.Set(i, j, p(float64(j)))
+		}
+	}
+	g.ExtrapolateTop()
+	for i := 0; i < 5; i++ {
+		if math.Abs(g.At(i, 8)-p(8)) > 1e-9 || math.Abs(g.At(i, 9)-p(9)) > 1e-9 {
+			t.Fatalf("top extrapolation inexact at i=%d", i)
+		}
+	}
+}
+
+func TestCopyFromSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on size mismatch")
+		}
+	}()
+	New(4, 4).CopyFrom(New(5, 4))
+}

@@ -1,0 +1,191 @@
+package flux
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gas"
+)
+
+// uniformState builds a state with constant primitives.
+func uniformState(nx, nr int, gm gas.Model, w gas.Primitive) (*State, *State) {
+	q := NewState(nx, nr)
+	wb := NewState(nx, nr)
+	c := gm.ToConserved(w)
+	for i := -2; i < nx+2; i++ {
+		for j := -2; j < nr+2; j++ {
+			q[IRho].Set(i, j, c.Rho)
+			q[IMx].Set(i, j, c.Mx)
+			q[IMr].Set(i, j, c.Mr)
+			q[IE].Set(i, j, c.E)
+		}
+	}
+	return q, wb
+}
+
+func TestPrimitivesRecovery(t *testing.T) {
+	gm := gas.Air(1e-6)
+	w := gas.Primitive{Rho: 0.5, U: 2.12, V: 0.1, P: 1 / 1.4}
+	q, wb := uniformState(6, 4, gm, w)
+	Primitives(gm, q, wb, 0, 6)
+	if got := wb[IRho].At(3, 2); math.Abs(got-0.5) > 1e-14 {
+		t.Errorf("rho = %g", got)
+	}
+	if got := wb[IMx].At(3, 2); math.Abs(got-2.12) > 1e-14 {
+		t.Errorf("u = %g", got)
+	}
+	wantT := gm.Temperature(w.Rho, w.P)
+	if got := wb[IE].At(3, 2); math.Abs(got-wantT) > 1e-12 {
+		t.Errorf("T = %g, want %g", got, wantT)
+	}
+}
+
+func TestStressVanishesForUniformFlow(t *testing.T) {
+	gm := gas.Air(1e-3)
+	// Uniform axial flow has no strain except the v/r cylindrical terms,
+	// which vanish with v = 0.
+	w := gas.Primitive{Rho: 1, U: 1.5, V: 0, P: 1 / 1.4}
+	q, wb := uniformState(8, 6, gm, w)
+	Primitives(gm, q, wb, -2, 10)
+	AxisMirrorPrims(wb)
+	TopExtrapolatePrims(wb)
+	s := NewStress(8, 6)
+	r := []float64{0.25, 0.75, 1.25, 1.75, 2.25, 2.75}
+	ComputeStress(gm, 0.5, 0.5, r, wb, s, 0, 8)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 6; j++ {
+			for _, f := range []float64{s.Txx.At(i, j), s.Trr.At(i, j), s.Tqq.At(i, j), s.Txr.At(i, j), s.Qx.At(i, j), s.Qr.At(i, j)} {
+				if math.Abs(f) > 1e-13 {
+					t.Fatalf("nonzero stress %g at (%d,%d)", f, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestStressLinearShear(t *testing.T) {
+	gm := gas.Air(2e-3)
+	nx, nr := 6, 8
+	q := NewState(nx, nr)
+	w := NewState(nx, nr)
+	dr := 0.5
+	r := make([]float64, nr)
+	// u = a*r pure shear: txr = mu * du/dr = mu*a; other stresses from
+	// the cylindrical divergence only (v=0 -> div = 0).
+	a := 3.0
+	for i := -2; i < nx+2; i++ {
+		for j := -2; j < nr+2; j++ {
+			rr := (float64(j) + 0.5) * dr
+			w[IRho].Set(i, j, 1)
+			w[IMx].Set(i, j, a*rr)
+			w[IMr].Set(i, j, 0)
+			w[IE].Set(i, j, 1)
+			q[IRho].Set(i, j, 1)
+		}
+	}
+	for j := 0; j < nr; j++ {
+		r[j] = (float64(j) + 0.5) * dr
+	}
+	s := NewStress(nx, nr)
+	ComputeStress(gm, 0.5, dr, r, w, s, 0, nx)
+	want := gm.Mu * a
+	for j := 1; j < nr-1; j++ {
+		if got := s.Txr.At(3, j); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("txr = %g, want %g at j=%d", got, want, j)
+		}
+		if got := s.Txx.At(3, j); math.Abs(got) > 1e-12 {
+			t.Fatalf("txx = %g, want 0", got)
+		}
+	}
+}
+
+func TestFluxXUniformFlowInviscid(t *testing.T) {
+	gm := gas.Air(0)
+	w := gas.Primitive{Rho: 0.5, U: 2, V: 0.25, P: 0.6}
+	q, wb := uniformState(5, 4, gm, w)
+	Primitives(gm, q, wb, 0, 5)
+	f := NewState(5, 4)
+	FluxX(gm, q, wb, nil, f, 0, 5, false)
+	c := gm.ToConserved(w)
+	if got, want := f[IRho].At(2, 2), w.Rho*w.U; math.Abs(got-want) > 1e-13 {
+		t.Errorf("mass flux %g, want %g", got, want)
+	}
+	if got, want := f[IMx].At(2, 2), w.Rho*w.U*w.U+w.P; math.Abs(got-want) > 1e-13 {
+		t.Errorf("momentum flux %g, want %g", got, want)
+	}
+	if got, want := f[IE].At(2, 2), w.U*(c.E+w.P); math.Abs(got-want) > 1e-12 {
+		t.Errorf("energy flux %g, want %g", got, want)
+	}
+}
+
+func TestFluxRCarriesMetricFactor(t *testing.T) {
+	gm := gas.Air(0)
+	w := gas.Primitive{Rho: 1, U: 0, V: 1, P: 1 / 1.4}
+	q, wb := uniformState(4, 4, gm, w)
+	Primitives(gm, q, wb, 0, 4)
+	f := NewState(4, 4)
+	r := []float64{0.5, 1.5, 2.5, 3.5}
+	FluxR(gm, r, q, wb, nil, f, 0, 4, false)
+	for j := 0; j < 4; j++ {
+		want := r[j] * w.Rho * w.V
+		if got := f[IRho].At(1, j); math.Abs(got-want) > 1e-13 {
+			t.Fatalf("rg mass at j=%d: %g, want %g", j, got, want)
+		}
+	}
+}
+
+func TestMirrorFluxRParity(t *testing.T) {
+	f := NewState(4, 4)
+	for k := 0; k < NVar; k++ {
+		for i := -2; i < 6; i++ {
+			for j := 0; j < 4; j++ {
+				f[k].Set(i, j, float64(k+1)*(float64(j)+1))
+			}
+		}
+	}
+	MirrorFluxR(f)
+	// Components (rho v, rho u v, rho v^2 + p, energy): parities
+	// (+, +, -, +) after multiplication by r.
+	signs := []float64{1, 1, -1, 1}
+	for k := 0; k < NVar; k++ {
+		if got, want := f[k].At(1, -1), signs[k]*f[k].At(1, 0); got != want {
+			t.Fatalf("component %d ghost = %g, want %g", k, got, want)
+		}
+	}
+}
+
+func TestSourceTerm(t *testing.T) {
+	gm := gas.Air(0)
+	w := gas.Primitive{Rho: 1, U: 0, V: 0, P: 1 / 1.4}
+	q, wb := uniformState(4, 3, gm, w)
+	Primitives(gm, q, wb, 0, 4)
+	src := NewState(4, 3)[0]
+	r := []float64{0.5, 1.5, 2.5}
+	Source(gm, r, wb, nil, src, 0, 4, false)
+	for j, rr := range r {
+		want := w.P / rr
+		if got := src.At(2, j); math.Abs(got-want) > 1e-13 {
+			t.Fatalf("source at j=%d: %g, want %g", j, got, want)
+		}
+	}
+}
+
+func TestEulerViscousConsistency(t *testing.T) {
+	// With mu = 0 the viscous flux path must equal the inviscid one.
+	gm := gas.Air(0)
+	w := gas.Primitive{Rho: 0.7, U: 1.2, V: 0.4, P: 0.9}
+	q, wb := uniformState(6, 5, gm, w)
+	Primitives(gm, q, wb, -2, 8)
+	s := NewStress(6, 5)
+	r := []float64{0.5, 1.5, 2.5, 3.5, 4.5}
+	ComputeStress(gm, 1, 1, r, wb, s, 0, 6) // no-op for mu=0
+	fv := NewState(6, 5)
+	fi := NewState(6, 5)
+	FluxX(gm, q, wb, s, fv, 0, 6, true)
+	FluxX(gm, q, wb, s, fi, 0, 6, false)
+	for k := 0; k < NVar; k++ {
+		if !fv[k].Equal(fi[k]) {
+			t.Fatalf("component %d: viscous path differs from inviscid with mu=0", k)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Package gas implements the perfect-gas thermodynamics of the paper in
+// nondimensional form.
+//
+// Reference scales: ambient density rho_inf, ambient sound speed c_inf,
+// ambient temperature T_inf, jet radius r0. With these,
+//
+//	p = rho*T/gamma,   c^2 = T,   E = p/(gamma-1) + rho*(u^2+v^2)/2,
+//	H = (E+p)/rho,     q = -mu/((gamma-1) Pr) * grad(T).
+//
+// Ambient state: rho=1, T=1, p=1/gamma, c=1.
+package gas
+
+import "math"
+
+// Model collects the gas constants used by every kernel.
+type Model struct {
+	Gamma float64 // ratio of specific heats
+	Pr    float64 // Prandtl number
+	Mu    float64 // constant nondimensional dynamic viscosity (0 for Euler)
+}
+
+// Air returns the standard model used in the paper's computations
+// (gamma = 1.4, Pr = 0.72) with viscosity mu.
+func Air(mu float64) Model { return Model{Gamma: 1.4, Pr: 0.72, Mu: mu} }
+
+// Pressure returns p from density and temperature.
+func (m Model) Pressure(rho, T float64) float64 { return rho * T / m.Gamma }
+
+// Temperature returns T from density and pressure.
+func (m Model) Temperature(rho, p float64) float64 { return m.Gamma * p / rho }
+
+// SoundSpeed returns c from temperature.
+func (m Model) SoundSpeed(T float64) float64 { return math.Sqrt(T) }
+
+// TotalEnergy returns E from primitives.
+func (m Model) TotalEnergy(rho, u, v, p float64) float64 {
+	return p/(m.Gamma-1) + 0.5*rho*(u*u+v*v)
+}
+
+// PressureFromConserved returns p from conservative variables.
+func (m Model) PressureFromConserved(rho, mx, mr, E float64) float64 {
+	return (m.Gamma - 1) * (E - 0.5*(mx*mx+mr*mr)/rho)
+}
+
+// Enthalpy returns total specific enthalpy H = (E+p)/rho.
+func (m Model) Enthalpy(rho, E, p float64) float64 { return (E + p) / rho }
+
+// HeatConductivity returns the coefficient k such that q = -k grad(T).
+func (m Model) HeatConductivity() float64 { return m.Mu / ((m.Gamma - 1) * m.Pr) }
+
+// AmbientPressure returns the nondimensional ambient pressure 1/gamma.
+func (m Model) AmbientPressure() float64 { return 1 / m.Gamma }
+
+// Primitive holds a pointwise primitive state.
+type Primitive struct {
+	Rho, U, V, P float64
+}
+
+// Conserved holds a pointwise conservative state (without the metric
+// factor r; the solver multiplies by r where the paper's Q requires it).
+type Conserved struct {
+	Rho, Mx, Mr, E float64
+}
+
+// ToConserved converts primitives to conservative variables.
+func (m Model) ToConserved(w Primitive) Conserved {
+	return Conserved{
+		Rho: w.Rho,
+		Mx:  w.Rho * w.U,
+		Mr:  w.Rho * w.V,
+		E:   m.TotalEnergy(w.Rho, w.U, w.V, w.P),
+	}
+}
+
+// ToPrimitive converts conservative variables to primitives.
+func (m Model) ToPrimitive(q Conserved) Primitive {
+	u := q.Mx / q.Rho
+	v := q.Mr / q.Rho
+	return Primitive{
+		Rho: q.Rho,
+		U:   u,
+		V:   v,
+		P:   (m.Gamma - 1) * (q.E - 0.5*q.Rho*(u*u+v*v)),
+	}
+}

@@ -1,0 +1,92 @@
+package gas
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAmbientState(t *testing.T) {
+	m := Air(0)
+	if m.Gamma != 1.4 || m.Pr != 0.72 {
+		t.Fatalf("Air constants: %+v", m)
+	}
+	// Ambient: rho=1, T=1 -> p = 1/gamma, c = 1.
+	if p := m.Pressure(1, 1); math.Abs(p-1/1.4) > 1e-15 {
+		t.Errorf("ambient pressure %g", p)
+	}
+	if c := m.SoundSpeed(1); c != 1 {
+		t.Errorf("ambient sound speed %g", c)
+	}
+	if p := m.AmbientPressure(); math.Abs(p-1/1.4) > 1e-15 {
+		t.Errorf("AmbientPressure %g", p)
+	}
+}
+
+func TestPressureTemperatureInverse(t *testing.T) {
+	m := Air(0)
+	f := func(rhoRaw, tRaw float64) bool {
+		rho := 0.1 + math.Abs(math.Mod(rhoRaw, 10))
+		T := 0.1 + math.Abs(math.Mod(tRaw, 10))
+		p := m.Pressure(rho, T)
+		return math.Abs(m.Temperature(rho, p)-T) < 1e-12*T
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: primitive -> conserved -> primitive is the identity.
+func TestConversionRoundtrip(t *testing.T) {
+	m := Air(1e-6)
+	f := func(rhoRaw, uRaw, vRaw, pRaw float64) bool {
+		w := Primitive{
+			Rho: 0.1 + math.Abs(math.Mod(rhoRaw, 5)),
+			U:   math.Mod(uRaw, 4),
+			V:   math.Mod(vRaw, 4),
+			P:   0.1 + math.Abs(math.Mod(pRaw, 5)),
+		}
+		if math.IsNaN(w.Rho + w.U + w.V + w.P) {
+			return true
+		}
+		got := m.ToPrimitive(m.ToConserved(w))
+		tol := 1e-10
+		return math.Abs(got.Rho-w.Rho) < tol && math.Abs(got.U-w.U) < tol &&
+			math.Abs(got.V-w.V) < tol && math.Abs(got.P-w.P) < tol*(1+w.P)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTotalEnergyConsistent(t *testing.T) {
+	m := Air(0)
+	w := Primitive{Rho: 0.5, U: 2.1, V: 0.3, P: 0.714}
+	e := m.TotalEnergy(w.Rho, w.U, w.V, w.P)
+	q := m.ToConserved(w)
+	if math.Abs(q.E-e) > 1e-14 {
+		t.Fatalf("E mismatch: %g vs %g", q.E, e)
+	}
+	if p := m.PressureFromConserved(q.Rho, q.Mx, q.Mr, q.E); math.Abs(p-w.P) > 1e-12 {
+		t.Fatalf("pressure recovery: %g vs %g", p, w.P)
+	}
+}
+
+func TestEnthalpy(t *testing.T) {
+	m := Air(0)
+	// H = (E+p)/rho.
+	if h := m.Enthalpy(2, 10, 4); h != 7 {
+		t.Fatalf("H = %g", h)
+	}
+}
+
+func TestHeatConductivity(t *testing.T) {
+	m := Air(2e-6)
+	want := 2e-6 / ((1.4 - 1) * 0.72)
+	if k := m.HeatConductivity(); math.Abs(k-want) > 1e-20 {
+		t.Fatalf("k = %g, want %g", k, want)
+	}
+	if k := Air(0).HeatConductivity(); k != 0 {
+		t.Fatalf("inviscid k = %g", k)
+	}
+}

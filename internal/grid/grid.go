@@ -1,0 +1,67 @@
+// Package grid defines the structured two-dimensional axisymmetric grid
+// used by the jet solver.
+//
+// The axial coordinate x runs from 0 to Lx over Nx nodes (x_i = i*Dx).
+// The radial coordinate r is staggered half a cell off the axis
+// (r_j = (j+0.5)*Dr) so that no grid point sits on the r = 0 singularity
+// of the cylindrical-coordinate equations; axis symmetry is applied
+// through mirrored ghost values instead.
+package grid
+
+import "fmt"
+
+// Grid is an immutable description of the computational domain.
+type Grid struct {
+	Nx, Nr int     // number of nodes in the axial and radial directions
+	Lx, Lr float64 // domain extent in jet radii
+	Dx, Dr float64 // node spacings
+	X      []float64
+	R      []float64
+}
+
+// New builds a grid with nx axial nodes spanning [0, lx] and nr radial
+// half-cell nodes spanning (0, lr).
+func New(nx, nr int, lx, lr float64) (*Grid, error) {
+	if nx < 8 || nr < 4 {
+		return nil, fmt.Errorf("grid: need nx >= 8 and nr >= 4, got %dx%d", nx, nr)
+	}
+	if lx <= 0 || lr <= 0 {
+		return nil, fmt.Errorf("grid: domain extents must be positive, got %gx%g", lx, lr)
+	}
+	g := &Grid{
+		Nx: nx, Nr: nr,
+		Lx: lx, Lr: lr,
+		Dx: lx / float64(nx-1),
+		Dr: lr / float64(nr),
+		X:  make([]float64, nx),
+		R:  make([]float64, nr),
+	}
+	for i := range g.X {
+		g.X[i] = float64(i) * g.Dx
+	}
+	for j := range g.R {
+		g.R[j] = (float64(j) + 0.5) * g.Dr
+	}
+	return g, nil
+}
+
+// MustNew is New that panics on error; for tests and fixed configs.
+func MustNew(nx, nr int, lx, lr float64) *Grid {
+	g, err := New(nx, nr, lx, lr)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Paper returns the grid used throughout the paper's evaluation:
+// 250x100 nodes over 50x5 jet radii.
+func Paper() *Grid { return MustNew(250, 100, 50, 5) }
+
+// NPoints returns the total number of grid nodes.
+func (g *Grid) NPoints() int { return g.Nx * g.Nr }
+
+// String implements fmt.Stringer.
+func (g *Grid) String() string {
+	return fmt.Sprintf("grid %dx%d over %gx%g radii (dx=%.4g, dr=%.4g)", g.Nx, g.Nr, g.Lx, g.Lr, g.Dx, g.Dr)
+}

@@ -1,0 +1,89 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperGrid(t *testing.T) {
+	g := Paper()
+	if g.Nx != 250 || g.Nr != 100 {
+		t.Fatalf("paper grid is 250x100, got %dx%d", g.Nx, g.Nr)
+	}
+	if g.Lx != 50 || g.Lr != 5 {
+		t.Fatalf("paper domain is 50x5 radii, got %gx%g", g.Lx, g.Lr)
+	}
+	if g.NPoints() != 25000 {
+		t.Fatalf("NPoints = %d", g.NPoints())
+	}
+}
+
+func TestCoordinates(t *testing.T) {
+	g := MustNew(11, 10, 10, 5)
+	if g.X[0] != 0 {
+		t.Errorf("X[0] = %g, want 0", g.X[0])
+	}
+	if g.X[10] != 10 {
+		t.Errorf("X[last] = %g, want 10", g.X[10])
+	}
+	// Radial nodes are staggered half a cell off the axis.
+	if g.R[0] != 0.25 {
+		t.Errorf("R[0] = %g, want dr/2 = 0.25", g.R[0])
+	}
+	if got, want := g.R[9], 5.0-0.25; math.Abs(got-want) > 1e-14 {
+		t.Errorf("R[last] = %g, want %g", got, want)
+	}
+	for _, r := range g.R {
+		if r <= 0 {
+			t.Fatalf("radial node on or below the axis: %g", r)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cases := []struct {
+		nx, nr int
+		lx, lr float64
+	}{
+		{4, 10, 10, 5}, // nx too small
+		{10, 2, 10, 5}, // nr too small
+		{10, 10, 0, 5}, // zero extent
+		{10, 10, 10, -1},
+	}
+	for _, c := range cases {
+		if _, err := New(c.nx, c.nr, c.lx, c.lr); err == nil {
+			t.Errorf("New(%d,%d,%g,%g): want error", c.nx, c.nr, c.lx, c.lr)
+		}
+	}
+}
+
+// Property: node spacing is uniform and spans the domain for any valid
+// geometry.
+func TestSpacingProperty(t *testing.T) {
+	f := func(nxRaw, nrRaw uint8) bool {
+		nx := int(nxRaw%120) + 8
+		nr := int(nrRaw%120) + 4
+		g := MustNew(nx, nr, 50, 5)
+		for i := 1; i < nx; i++ {
+			if math.Abs((g.X[i]-g.X[i-1])-g.Dx) > 1e-12 {
+				return false
+			}
+		}
+		for j := 1; j < nr; j++ {
+			if math.Abs((g.R[j]-g.R[j-1])-g.Dr) > 1e-12 {
+				return false
+			}
+		}
+		return math.Abs(g.X[nx-1]-g.Lx) < 1e-9 && g.R[nr-1] < g.Lr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringer(t *testing.T) {
+	if s := Paper().String(); s == "" {
+		t.Error("empty String()")
+	}
+}

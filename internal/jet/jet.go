@@ -1,0 +1,180 @@
+// Package jet defines the excited axisymmetric supersonic jet problem of
+// the paper's Sections 2-3: the mean inflow profile (tanh shear layer
+// with a Crocco-Busemann temperature relation) and the time-periodic
+// eigenfunction excitation at a fixed Strouhal number.
+//
+// The paper takes its eigenfunctions from an external linear-stability
+// code (Scott et al., AIAA 93-4366), which is not available. We
+// substitute an analytic shear-layer eigenfunction model: disturbances
+// Gaussian-concentrated in the shear layer with the phase relations of a
+// locally parallel instability wave. At the excitation level eps = 1e-4
+// the forcing is linear and the substitution preserves the exercised
+// code path (time-dependent inflow driving an unsteady jet).
+package jet
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gas"
+)
+
+// Config collects the physical parameters of the jet case. The values in
+// Paper() restore the OCR-damaged symbols of the scanned text (see
+// DESIGN.md, "Interpreting OCR-damaged parameters").
+type Config struct {
+	MachCenter float64 // jet centerline Mach number (paper: 1.5)
+	TempRatio  float64 // T_inf / T_c (paper: 1/2)
+	Theta      float64 // momentum thickness of the shear layer (paper: 1/8)
+	Strouhal   float64 // excitation Strouhal number (paper: 1/8)
+	Eps        float64 // excitation level (paper: 1e-4)
+	UCoflow    float64 // ambient coflow velocity (robustness choice, see DESIGN.md)
+	Reynolds   float64 // Reynolds number based on jet diameter (paper: 1.2e6)
+	Viscous    bool    // Navier-Stokes when true, Euler when false
+}
+
+// Paper returns the configuration of the paper's production case.
+func Paper() Config {
+	return Config{
+		MachCenter: 1.5,
+		TempRatio:  0.5,
+		Theta:      0.125,
+		Strouhal:   0.125,
+		Eps:        1e-4,
+		UCoflow:    0.1,
+		Reynolds:   1.2e6,
+		Viscous:    true,
+	}
+}
+
+// Euler returns the paper's Euler variant of the same case.
+func Euler() Config {
+	c := Paper()
+	c.Viscous = false
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.MachCenter <= 0 {
+		return fmt.Errorf("jet: MachCenter must be positive, got %g", c.MachCenter)
+	}
+	if c.TempRatio <= 0 {
+		return fmt.Errorf("jet: TempRatio must be positive, got %g", c.TempRatio)
+	}
+	if c.Theta <= 0 {
+		return fmt.Errorf("jet: Theta must be positive, got %g", c.Theta)
+	}
+	if c.Viscous && c.Reynolds <= 0 {
+		return fmt.Errorf("jet: Reynolds must be positive for viscous flow, got %g", c.Reynolds)
+	}
+	return nil
+}
+
+// TempCenter returns the nondimensional centerline temperature Tc/T_inf.
+func (c Config) TempCenter() float64 { return 1 / c.TempRatio }
+
+// UCenter returns the nondimensional centerline velocity
+// Uc = Mc * c_c = Mc * sqrt(Tc).
+func (c Config) UCenter() float64 { return c.MachCenter * math.Sqrt(c.TempCenter()) }
+
+// Omega returns the excitation angular frequency
+// omega = 2*pi*St*Uc/D with jet diameter D = 2 (radii units).
+func (c Config) Omega() float64 { return math.Pi * c.Strouhal * c.UCenter() }
+
+// Mu returns the constant nondimensional viscosity
+// mu = rho_c * Uc * D / Re_D (zero for Euler).
+func (c Config) Mu(gm gas.Model) float64 {
+	if !c.Viscous {
+		return 0
+	}
+	rhoC := gm.Gamma * gm.AmbientPressure() / c.TempCenter() // p const at inflow
+	return rhoC * c.UCenter() * 2 / c.Reynolds
+}
+
+// Gas returns the gas model for this configuration.
+func (c Config) Gas() gas.Model { return gas.Air(c.Mu(gas.Air(0))) }
+
+// Shape returns the shear-layer shape function
+// g(r) = (1 + tanh((1-r)/(2*theta)))/2: g(0) ~ 1 in the core,
+// g -> 0 in the ambient stream.
+func (c Config) Shape(r float64) float64 {
+	return 0.5 * (1 + math.Tanh((1-r)/(2*c.Theta)))
+}
+
+// MeanU returns the mean axial velocity profile
+// U(r) = U_inf + (Uc - U_inf)*g(r).
+func (c Config) MeanU(r float64) float64 {
+	return c.UCoflow + (c.UCenter()-c.UCoflow)*c.Shape(r)
+}
+
+// MeanT returns the mean temperature profile (Crocco-Busemann):
+// T(r) = T_inf + (Tc - T_inf)*g + (gamma-1)/2 * Mc^2 * Tc/c? — the paper's
+// form, restored: T = 1 + (Tc-1)*g + (gamma-1)/2 * Uc^2 * (1-g)*g in
+// ambient sound-speed units.
+func (c Config) MeanT(gamma, r float64) float64 {
+	g := c.Shape(r)
+	uc := c.UCenter()
+	return 1 + (c.TempCenter()-1)*g + 0.5*(gamma-1)*uc*uc*(1-g)*g
+}
+
+// MeanRho returns the mean density from constant static pressure
+// p = p_inf = 1/gamma: rho = gamma*p/T = 1/T.
+func (c Config) MeanRho(gamma, r float64) float64 {
+	return 1 / c.MeanT(gamma, r)
+}
+
+// Eigenfunction is the analytic substitute for the linear-stability
+// eigenfunctions (U^, V^, rho^, P^ in the paper). Each component has a
+// radial amplitude profile and a phase; the excitation applied at the
+// inflow is eps*Re(A(r)*exp(i(phi(r) - omega*t))).
+type Eigenfunction struct {
+	cfg   Config
+	gamma float64
+}
+
+// NewEigenfunction builds the eigenfunction model for a configuration.
+func NewEigenfunction(cfg Config, gamma float64) *Eigenfunction {
+	return &Eigenfunction{cfg: cfg, gamma: gamma}
+}
+
+// envelope is the shear-layer-concentrated amplitude profile: a Gaussian
+// centered on the nominal lip line r = 1 with width set by the momentum
+// thickness (4*theta), the natural support of the instability wave.
+func (e *Eigenfunction) envelope(r float64) float64 {
+	s := (r - 1) / (4 * e.cfg.Theta)
+	return math.Exp(-s * s)
+}
+
+// Perturb returns the primitive perturbations (drho, du, dv, dp) at
+// radius r and time t for excitation level eps and frequency omega.
+// Phases: u and p in phase; v in quadrature (continuity of a traveling
+// wave); rho tied to p isentropically (drho = dp/c^2).
+func (e *Eigenfunction) Perturb(r, t float64) (drho, du, dv, dp float64) {
+	cfg := e.cfg
+	om := cfg.Omega()
+	a := e.envelope(r)
+	cosw := math.Cos(om * t)
+	sinw := math.Sin(om * t)
+	uc := cfg.UCenter()
+	du = cfg.Eps * uc * a * cosw
+	dv = cfg.Eps * uc * 0.5 * a * sinw
+	dp = cfg.Eps * a * cosw / e.gamma
+	c2 := cfg.MeanT(e.gamma, r) // c^2 = T
+	drho = dp / c2              // isentropic: drho = dp/c^2
+	return drho, du, dv, dp
+}
+
+// InflowState returns the full primitive inflow state at radius r, time t.
+func (e *Eigenfunction) InflowState(r, t float64) gas.Primitive {
+	cfg := e.cfg
+	drho, du, dv, dp := e.Perturb(r, t)
+	T := cfg.MeanT(e.gamma, r)
+	rho := 1/T + drho
+	return gas.Primitive{
+		Rho: rho,
+		U:   cfg.MeanU(r) + du,
+		V:   dv,
+		P:   1/e.gamma + dp,
+	}
+}

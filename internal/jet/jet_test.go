@@ -1,0 +1,171 @@
+package jet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gas"
+)
+
+func TestPaperParameters(t *testing.T) {
+	c := Paper()
+	if c.MachCenter != 1.5 {
+		t.Errorf("Mc = %g", c.MachCenter)
+	}
+	if c.TempRatio != 0.5 || c.Theta != 0.125 || c.Strouhal != 0.125 || c.Eps != 1e-4 {
+		t.Errorf("restored parameters: %+v", c)
+	}
+	if c.Reynolds != 1.2e6 {
+		t.Errorf("Re = %g", c.Reynolds)
+	}
+	if !c.Viscous || Euler().Viscous {
+		t.Error("viscous flags")
+	}
+	if err := c.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	for _, mutate := range []func(*Config){
+		func(c *Config) { c.MachCenter = 0 },
+		func(c *Config) { c.TempRatio = -1 },
+		func(c *Config) { c.Theta = 0 },
+		func(c *Config) { c.Reynolds = 0 },
+	} {
+		c := Paper()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("want validation error for %+v", c)
+		}
+	}
+}
+
+func TestDerivedQuantities(t *testing.T) {
+	c := Paper()
+	// Tc = 1/TempRatio = 2; Uc = Mc*sqrt(Tc) = 1.5*sqrt(2).
+	if got := c.TempCenter(); got != 2 {
+		t.Errorf("Tc = %g", got)
+	}
+	if got, want := c.UCenter(), 1.5*math.Sqrt2; math.Abs(got-want) > 1e-14 {
+		t.Errorf("Uc = %g, want %g", got, want)
+	}
+	// omega = pi*St*Uc.
+	if got, want := c.Omega(), math.Pi*0.125*1.5*math.Sqrt2; math.Abs(got-want) > 1e-14 {
+		t.Errorf("omega = %g, want %g", got, want)
+	}
+	gm := gas.Air(0)
+	if mu := Euler().Mu(gm); mu != 0 {
+		t.Errorf("Euler mu = %g", mu)
+	}
+	mu := c.Mu(gm)
+	// mu = rho_c*Uc*D/Re with rho_c = 1/Tc = 0.5, D = 2.
+	want := 0.5 * c.UCenter() * 2 / 1.2e6
+	if math.Abs(mu-want) > 1e-18 {
+		t.Errorf("mu = %g, want %g", mu, want)
+	}
+}
+
+func TestShapeFunction(t *testing.T) {
+	c := Paper()
+	if g := c.Shape(0); g < 0.95 {
+		t.Errorf("core shape %g, want ~1", g)
+	}
+	if g := c.Shape(5); g > 0.05 {
+		t.Errorf("ambient shape %g, want ~0", g)
+	}
+	if g := c.Shape(1); math.Abs(g-0.5) > 1e-12 {
+		t.Errorf("lip-line shape %g, want 0.5", g)
+	}
+	// Monotone decreasing in r.
+	prev := c.Shape(0)
+	for r := 0.1; r <= 5; r += 0.1 {
+		g := c.Shape(r)
+		if g > prev+1e-12 {
+			t.Fatalf("shape not monotone at r=%g", r)
+		}
+		prev = g
+	}
+}
+
+func TestMeanProfiles(t *testing.T) {
+	c := Paper()
+	gamma := 1.4
+	if u := c.MeanU(0); math.Abs(u-c.UCenter()) > 0.01 {
+		t.Errorf("centerline U = %g", u)
+	}
+	if u := c.MeanU(5); math.Abs(u-c.UCoflow) > 0.01 {
+		t.Errorf("ambient U = %g", u)
+	}
+	// Temperature: Tc at the axis, T_inf far out, and a Crocco-Busemann
+	// bump above the linear interpolation inside the shear layer.
+	if T := c.MeanT(gamma, 0); math.Abs(T-2) > 0.02 {
+		t.Errorf("centerline T = %g", T)
+	}
+	if T := c.MeanT(gamma, 5); math.Abs(T-1) > 0.01 {
+		t.Errorf("ambient T = %g", T)
+	}
+	lin := 1 + (2-1)*c.Shape(1)
+	if T := c.MeanT(gamma, 1); T <= lin {
+		t.Errorf("no Crocco-Busemann bump: T(1) = %g <= %g", T, lin)
+	}
+	// Density from constant pressure: rho = 1/T.
+	if rho := c.MeanRho(gamma, 0); math.Abs(rho-0.5) > 0.01 {
+		t.Errorf("centerline rho = %g", rho)
+	}
+}
+
+func TestEigenfunctionEnvelopeConcentratedAtLip(t *testing.T) {
+	c := Paper()
+	e := NewEigenfunction(c, 1.4)
+	_, duLip, _, _ := e.Perturb(1, 0)
+	_, duCore, _, _ := e.Perturb(0, 0)
+	_, duFar, _, _ := e.Perturb(4, 0)
+	if math.Abs(duLip) <= math.Abs(duCore) || math.Abs(duLip) <= math.Abs(duFar) {
+		t.Errorf("excitation not concentrated at the lip: %g vs %g, %g", duLip, duCore, duFar)
+	}
+}
+
+// Property: perturbations are bounded by eps times the velocity scale,
+// and are periodic with period 2*pi/omega.
+func TestEigenfunctionBoundedPeriodic(t *testing.T) {
+	c := Paper()
+	e := NewEigenfunction(c, 1.4)
+	period := 2 * math.Pi / c.Omega()
+	f := func(rRaw, tRaw float64) bool {
+		r := math.Abs(math.Mod(rRaw, 5))
+		tt := math.Mod(tRaw, 100)
+		if math.IsNaN(r) || math.IsNaN(tt) {
+			return true
+		}
+		drho, du, dv, dp := e.Perturb(r, tt)
+		bound := c.Eps * c.UCenter() * 1.01
+		if math.Abs(du) > bound || math.Abs(dv) > bound {
+			return false
+		}
+		if math.Abs(dp) > c.Eps || math.Abs(drho) > c.Eps {
+			return false
+		}
+		d2rho, d2u, d2v, d2p := e.Perturb(r, tt+period)
+		tol := 1e-9 * c.Eps
+		return math.Abs(drho-d2rho) < tol && math.Abs(du-d2u) < tol &&
+			math.Abs(dv-d2v) < tol && math.Abs(dp-d2p) < tol
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInflowStateIsPhysical(t *testing.T) {
+	c := Paper()
+	e := NewEigenfunction(c, 1.4)
+	for r := 0.05; r < 5; r += 0.23 {
+		for tt := 0.0; tt < 30; tt += 1.7 {
+			w := e.InflowState(r, tt)
+			if w.Rho <= 0 || w.P <= 0 {
+				t.Fatalf("nonphysical inflow at r=%g t=%g: %+v", r, tt, w)
+			}
+		}
+	}
+}

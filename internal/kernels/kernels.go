@@ -1,0 +1,126 @@
+// Package kernels models the paper's single-processor optimization
+// study (Section 6, Figure 2) as concrete code-version specifications:
+//
+//	Version 1: original port — non-unit-stride inner loops, repeated
+//	           exponentiations, division-heavy expressions.
+//	Version 2: strength reduction (exponentiation -> multiplication).
+//	Version 3: loop interchange — stride-1 array access (the paper's
+//	           dominant win, ~50% faster than Version 2).
+//	Version 4: division replaced by multiplication where feasible
+//	           (5.5e9 divisions reduced to 2.0e9 over the run).
+//	Version 5: COMMON blocks collapsed — better register usage, fewer
+//	           loads per point.
+//
+// Each version defines (a) an operation mix per grid point per time
+// step and (b) a memory access trace generator, which internal/cpu
+// combines with a cache simulation to produce the sustained MFLOPS the
+// platform simulator uses.
+package kernels
+
+import "repro/internal/cache"
+
+// Paper division counts: 5.5e9 (before V4) and 2.0e9 (after) across
+// 250x100x5000 point-steps.
+const (
+	divsPerPointOriginal = 5.5e9 / (250 * 100 * 5000) // = 44
+	divsPerPointReduced  = 2.0e9 / (250 * 100 * 5000) // = 16
+)
+
+// Spec describes one code version's per-point cost profile.
+type Spec struct {
+	ID   int
+	Name string
+	// Stride1 selects the loop-interchanged, cache-friendly traversal.
+	Stride1 bool
+	// PowsPerPoint counts exponentiation library calls per point-step.
+	PowsPerPoint float64
+	// DivsPerPoint counts floating divisions per point-step.
+	DivsPerPoint float64
+	// LoadFactor is memory loads issued per floating-point operation.
+	LoadFactor float64
+}
+
+// Versions returns the five optimization stages of Figure 2, in order.
+func Versions() []Spec {
+	return []Spec{
+		{ID: 1, Name: "Version 1 (original)", Stride1: false, PowsPerPoint: 4, DivsPerPoint: divsPerPointOriginal, LoadFactor: 0.40},
+		{ID: 2, Name: "Version 2 (+strength reduction)", Stride1: false, PowsPerPoint: 0, DivsPerPoint: divsPerPointOriginal, LoadFactor: 0.40},
+		{ID: 3, Name: "Version 3 (+stride-1 loops)", Stride1: true, PowsPerPoint: 0, DivsPerPoint: divsPerPointOriginal, LoadFactor: 0.40},
+		{ID: 4, Name: "Version 4 (+div->mul)", Stride1: true, PowsPerPoint: 0, DivsPerPoint: divsPerPointReduced, LoadFactor: 0.40},
+		{ID: 5, Name: "Version 5 (+COMMON collapse)", Stride1: true, PowsPerPoint: 0, DivsPerPoint: divsPerPointReduced, LoadFactor: 0.35},
+	}
+}
+
+// V returns version id (1-5).
+func V(id int) Spec {
+	vs := Versions()
+	if id < 1 || id > len(vs) {
+		panic("kernels: unknown version")
+	}
+	return vs[id-1]
+}
+
+// Trace parameters: the solver's working state is about two dozen
+// scalar fields; the stencil kernels also touch neighbouring columns of
+// several of them. These constants shape the trace, not its total
+// volume (which scales with LoadFactor).
+const (
+	traceArrays  = 24 // distinct field arrays touched per point
+	stencilComps = 6  // arrays also read at i-1, i+1 (axial stencil)
+)
+
+// TraceResult summarizes a cache simulation of one field sweep.
+type TraceResult struct {
+	Accesses  uint64
+	Misses    uint64
+	MissRatio float64
+}
+
+// SimulateSweep drives the version's access pattern over an nx-by-nr
+// field set through cache geometry cfg and returns the steady miss
+// ratio. Two passes are simulated; statistics come from the second
+// (warm) pass.
+func (s Spec) SimulateSweep(cfg cache.Config, nx, nr int) TraceResult {
+	c := cache.New(cfg)
+	arraySize := uint64(nx*nr) * 8
+	base := func(k int) uint64 { return uint64(k) * (arraySize + 4096) } // page-aligned spacing
+	idx := func(i, j int) uint64 { return uint64(i*nr+j) * 8 }
+
+	sweep := func() {
+		if s.Stride1 {
+			for i := 1; i < nx-1; i++ {
+				for j := 1; j < nr-1; j++ {
+					for k := 0; k < traceArrays; k++ {
+						c.Access(base(k) + idx(i, j))
+					}
+					for k := 0; k < stencilComps; k++ {
+						c.Access(base(k) + idx(i-1, j))
+						c.Access(base(k) + idx(i+1, j))
+						c.Access(base(k) + idx(i, j-1))
+						c.Access(base(k) + idx(i, j+1))
+					}
+				}
+			}
+			return
+		}
+		// Interchanged (original) order: inner loop strides by nr*8 bytes.
+		for j := 1; j < nr-1; j++ {
+			for i := 1; i < nx-1; i++ {
+				for k := 0; k < traceArrays; k++ {
+					c.Access(base(k) + idx(i, j))
+				}
+				for k := 0; k < stencilComps; k++ {
+					c.Access(base(k) + idx(i-1, j))
+					c.Access(base(k) + idx(i+1, j))
+					c.Access(base(k) + idx(i, j-1))
+					c.Access(base(k) + idx(i, j+1))
+				}
+			}
+		}
+	}
+	sweep() // warm
+	c.Reset()
+	sweep() // measure
+	h, m := c.Stats()
+	return TraceResult{Accesses: h + m, Misses: m, MissRatio: float64(m) / float64(h+m)}
+}

@@ -1,0 +1,74 @@
+package kernels
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+)
+
+func TestVersionProgression(t *testing.T) {
+	vs := Versions()
+	if len(vs) != 5 {
+		t.Fatalf("%d versions", len(vs))
+	}
+	// Paper facts: V2 removes exponentiations; V3 adds stride-1; V4
+	// reduces divisions 5.5e9 -> 2.0e9; V5 improves register use.
+	if vs[0].PowsPerPoint == 0 || vs[1].PowsPerPoint != 0 {
+		t.Error("strength reduction should remove exponentiations at V2")
+	}
+	if vs[1].Stride1 || !vs[2].Stride1 {
+		t.Error("loop interchange arrives at V3")
+	}
+	if vs[2].DivsPerPoint != 44 || vs[3].DivsPerPoint != 16 {
+		t.Errorf("division counts: V3 %g V4 %g", vs[2].DivsPerPoint, vs[3].DivsPerPoint)
+	}
+	if vs[4].LoadFactor >= vs[3].LoadFactor {
+		t.Error("COMMON collapse should reduce loads per flop")
+	}
+}
+
+func TestVAccessor(t *testing.T) {
+	if V(3).ID != 3 {
+		t.Error("V(3)")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for V(9)")
+		}
+	}()
+	V(9)
+}
+
+func TestStride1BeatsInterchangedOnCachedChip(t *testing.T) {
+	r1 := V(1).SimulateSweep(cache.RS560, 250, 100)
+	r3 := V(3).SimulateSweep(cache.RS560, 250, 100)
+	if r3.MissRatio >= r1.MissRatio {
+		t.Fatalf("stride-1 miss ratio %.3f not below strided %.3f", r3.MissRatio, r1.MissRatio)
+	}
+	if r1.MissRatio < 0.5 {
+		t.Errorf("strided traversal should thrash: %.3f", r1.MissRatio)
+	}
+	if r3.MissRatio > 0.15 {
+		t.Errorf("stride-1 traversal misses too much on 64KB: %.3f", r3.MissRatio)
+	}
+}
+
+func TestSmallCacheHurtsEvenStride1(t *testing.T) {
+	big := V(5).SimulateSweep(cache.RS560, 250, 100)
+	small := V(5).SimulateSweep(cache.T3D, 250, 100)
+	if small.MissRatio <= 1.5*big.MissRatio {
+		t.Fatalf("8KB direct-mapped should miss much more: %.3f vs %.3f", small.MissRatio, big.MissRatio)
+	}
+}
+
+func TestSweepAccountsAllAccesses(t *testing.T) {
+	r := V(5).SimulateSweep(cache.RS370, 100, 50)
+	perPoint := traceArrays + 4*stencilComps
+	want := uint64((100 - 2) * (50 - 2) * perPoint)
+	if r.Accesses != want {
+		t.Fatalf("accesses %d, want %d", r.Accesses, want)
+	}
+	if r.Misses > r.Accesses {
+		t.Fatal("misses exceed accesses")
+	}
+}

@@ -1,0 +1,290 @@
+package machine
+
+import (
+	"repro/internal/decomp"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// opKind enumerates the primitive operations of a rank's program.
+type opKind int
+
+const (
+	opCompute opKind = iota
+	opSend
+	opRecv
+)
+
+// op is one step-program entry.
+type op struct {
+	kind  opKind
+	peer  int
+	bytes int
+	dur   float64 // compute seconds
+}
+
+// rank is one simulated processor's state machine.
+type rank struct {
+	id   int
+	prog []op // one step's program, repeated
+	pc   int
+	step int
+	busy float64
+	wait float64
+}
+
+// pendingRecv is a posted receive waiting for data.
+type pendingRecv struct {
+	postedAt float64
+	dstRank  *rank
+}
+
+// inFlight is an eager message delivered (or in transit) to a mailbox.
+type inFlight struct {
+	arrival float64
+	bytes   int
+}
+
+// pair is a directed (from, to) channel key.
+type pair struct{ from, to int }
+
+// cosim is the discrete-event co-simulation of one run.
+type cosim struct {
+	p     Platform
+	ch    trace.Characterization
+	eng   *sim.Engine
+	net   netsim.Network
+	ranks []*rank
+	steps int
+	hostF float64
+	// daemons serializes each host's library forwarding work (the PVM
+	// daemon store-and-forward path): split messages do not pipeline in
+	// parallel, which is why Version 7 costs startups on fast switches.
+	daemons []sim.Resource
+	// Mailboxes of messages sent or in flight, FIFO per directed pair.
+	mail map[pair][]inFlight
+	// Posted receives blocked on empty mailboxes.
+	recvs map[pair][]pendingRecv
+}
+
+// v6BusyPenalty is the paper's observed Version 6 cost: split loops and
+// lost temporal locality offset the overlap gain.
+const v6BusyPenalty = 1.04
+
+// newCosim builds rank programs from the decomposition and the exchange
+// schedule of internal/par.
+func newCosim(p Platform, ch trace.Characterization, d *decomp.Decomposition, commVersion, steps int) *cosim {
+	hostF := p.LibHostFactor
+	if hostF == 0 {
+		hostF = 1
+	}
+	cs := &cosim{
+		p: p, ch: ch,
+		eng:     sim.New(),
+		net:     p.NewNetwork(d.P),
+		steps:   steps,
+		hostF:   hostF,
+		daemons: make([]sim.Resource, d.P),
+		mail:    make(map[pair][]inFlight),
+		recvs:   make(map[pair][]pendingRecv),
+	}
+	eff := p.EffMFLOPS(ch) * 1e6
+	msgBytes := ch.MessageBytes()
+	for r := 0; r < d.P; r++ {
+		_, ncols := d.Range(r)
+		flopsPerStep := ch.FlopsPerPoint * float64(ncols*ch.Nr)
+		computeSec := flopsPerStep / eff
+		if commVersion == 6 {
+			computeSec *= v6BusyPenalty
+		}
+		left, right := r-1, r+1
+		if right == d.P {
+			right = -1
+		}
+		var prog []op
+		chunk := computeSec / float64(ch.ExchangesPerStep)
+		for e := 0; e < ch.ExchangesPerStep; e++ {
+			// The non-initial exchanges carry flux columns; Version 7
+			// splits those into one-column messages (DESIGN.md §5).
+			parts := 1
+			if commVersion == 7 && e >= 1 {
+				parts = 2
+			}
+			if commVersion == 6 && e == 0 {
+				// Version 6 overlaps only the velocity/temperature
+				// exchange: "computing the stress and flux components of
+				// the interior part of each subdomain while the processor
+				// is waiting for the velocity and temperature vectors".
+				prog = appendSends(prog, left, right, msgBytes, parts)
+				prog = append(prog, op{kind: opCompute, dur: chunk})
+				prog = appendRecvs(prog, left, right, msgBytes, parts)
+			} else {
+				prog = append(prog, op{kind: opCompute, dur: chunk})
+				prog = appendSends(prog, left, right, msgBytes, parts)
+				prog = appendRecvs(prog, left, right, msgBytes, parts)
+			}
+		}
+		cs.ranks = append(cs.ranks, &rank{id: r, prog: prog})
+	}
+	return cs
+}
+
+func appendSends(prog []op, left, right, bytes, parts int) []op {
+	for p := 0; p < parts; p++ {
+		if left >= 0 {
+			prog = append(prog, op{kind: opSend, peer: left, bytes: bytes / parts})
+		}
+		if right >= 0 {
+			prog = append(prog, op{kind: opSend, peer: right, bytes: bytes / parts})
+		}
+	}
+	return prog
+}
+
+func appendRecvs(prog []op, left, right, bytes, parts int) []op {
+	for p := 0; p < parts; p++ {
+		if left >= 0 {
+			prog = append(prog, op{kind: opRecv, peer: left, bytes: bytes / parts})
+		}
+		if right >= 0 {
+			prog = append(prog, op{kind: opRecv, peer: right, bytes: bytes / parts})
+		}
+	}
+	return prog
+}
+
+// Library cost helpers, scaled by the host speed factor (daemon and
+// copy work executes on the node CPU).
+func (cs *cosim) sendCPU(bytes int) float64 { return cs.p.Lib.SendCPU(bytes) / cs.hostF }
+func (cs *cosim) recvCPU(bytes int) float64 { return cs.p.Lib.RecvCPU(bytes) / cs.hostF }
+
+// throughDaemon routes a message through the sender's serialized
+// library forwarding path starting at t, returning when it reaches the
+// network.
+func (cs *cosim) throughDaemon(t float64, from, bytes int) float64 {
+	fwd := float64(bytes) * cs.p.Lib.PerByteLatencyS / cs.hostF
+	if fwd == 0 {
+		return t
+	}
+	_, end := cs.daemons[from].Acquire(t, fwd)
+	return end
+}
+
+// run executes the co-simulation to completion.
+func (cs *cosim) run() {
+	for _, r := range cs.ranks {
+		r := r
+		cs.eng.At(0, func() { cs.advance(r) })
+	}
+	cs.eng.Run()
+}
+
+// advance interprets r's program until it blocks or finishes.
+func (cs *cosim) advance(r *rank) {
+	for {
+		if r.pc == len(r.prog) {
+			r.pc = 0
+			r.step++
+			if r.step == cs.steps {
+				return
+			}
+		}
+		o := r.prog[r.pc]
+		switch o.kind {
+		case opCompute:
+			r.pc++
+			r.busy += o.dur
+			cs.eng.Schedule(o.dur, func() { cs.advance(r) })
+			return
+		case opSend:
+			cs.send(r, o)
+			return
+		case opRecv:
+			cs.recv(r, o)
+			return
+		}
+	}
+}
+
+// send processes a send op. The rank always resumes via an event.
+// Eager libraries (PVM family) hand the message to the library and
+// continue after the CPU overhead; the blocking send of MPL stalls the
+// sender through the wire transfer (no communication/computation
+// overlap on the send side — the constraint the paper was forced into).
+func (cs *cosim) send(r *rank, o op) {
+	now := cs.eng.Now()
+	cpu := cs.sendCPU(o.bytes)
+	r.busy += cpu
+	ready := now + cpu
+	k := pair{from: r.id, to: o.peer}
+	r.pc++
+	cs.eng.At(ready, func() {
+		injected := cs.throughDaemon(cs.eng.Now(), k.from, o.bytes)
+		arrival := cs.net.Transfer(injected, k.from, k.to, o.bytes) + cs.p.Lib.LatencyS/cs.hostF
+		cs.deliver(k, inFlight{arrival: arrival, bytes: o.bytes})
+		if cs.p.Lib.Rendezvous {
+			// Blocking send: resume the sender only when the transfer
+			// has drained.
+			r.wait += arrival - ready
+			cs.eng.At(arrival, func() { cs.advance(r) })
+		}
+	})
+	if !cs.p.Lib.Rendezvous {
+		cs.eng.At(ready, func() { cs.advance(r) })
+	}
+}
+
+// deliver places an eager message in the mailbox and wakes a blocked
+// receiver if one is waiting.
+func (cs *cosim) deliver(k pair, m inFlight) {
+	cs.mail[k] = append(cs.mail[k], m)
+	if q := cs.recvs[k]; len(q) > 0 {
+		pr := q[0]
+		cs.recvs[k] = q[1:]
+		wake := m.arrival
+		if pr.postedAt > wake {
+			wake = pr.postedAt
+		}
+		dst := pr.dstRank
+		cs.eng.At(wake, func() { cs.completeRecv(dst, k, pr.postedAt) })
+	}
+}
+
+// recv processes a receive op. The rank resumes via an event.
+func (cs *cosim) recv(r *rank, o op) {
+	now := cs.eng.Now()
+	k := pair{from: o.peer, to: r.id}
+	// Consume from the mailbox, waiting if the message is still in
+	// flight (or not yet sent).
+	if q := cs.mail[k]; len(q) > 0 {
+		m := q[0]
+		cs.mail[k] = q[1:]
+		if m.arrival > now {
+			r.wait += m.arrival - now
+		}
+		rcpu := cs.recvCPU(m.bytes)
+		r.busy += rcpu
+		r.pc++
+		at := m.arrival
+		if now > at {
+			at = now
+		}
+		cs.eng.At(at+rcpu, func() { cs.advance(r) })
+		return
+	}
+	cs.recvs[k] = append(cs.recvs[k], pendingRecv{postedAt: now, dstRank: r})
+}
+
+// completeRecv finishes an eager receive that was blocked at postedAt.
+func (cs *cosim) completeRecv(r *rank, k pair, postedAt float64) {
+	now := cs.eng.Now()
+	q := cs.mail[k]
+	m := q[0]
+	cs.mail[k] = q[1:]
+	r.wait += now - postedAt
+	rcpu := cs.recvCPU(m.bytes)
+	r.busy += rcpu
+	r.pc++
+	cs.eng.Schedule(rcpu, func() { cs.advance(r) })
+}

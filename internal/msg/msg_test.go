@@ -1,0 +1,130 @@
+package msg
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSendRecvRoundtrip(t *testing.T) {
+	w := NewWorld(2)
+	a, b := w.Comm(0), w.Comm(1)
+	data := []float64{1, 2, 3}
+	a.Send(1, 7, data)
+	data[0] = 99 // the payload must have been copied
+	buf := make([]float64, 3)
+	b.Recv(0, 7, buf)
+	if buf[0] != 1 || buf[2] != 3 {
+		t.Fatalf("payload corrupted: %v", buf)
+	}
+}
+
+func TestCountersFollowPaperConvention(t *testing.T) {
+	w := NewWorld(2)
+	a, b := w.Comm(0), w.Comm(1)
+	a.Send(1, 0, make([]float64, 100))
+	buf := make([]float64, 100)
+	b.Recv(0, 0, buf)
+	// Startups: one per send AND one per receive; bytes on the sender.
+	if a.Counters.Startups != 1 || a.Counters.Bytes != 800 {
+		t.Errorf("sender counters: %+v", a.Counters)
+	}
+	if b.Counters.Startups != 1 || b.Counters.Bytes != 0 {
+		t.Errorf("receiver counters: %+v", b.Counters)
+	}
+}
+
+func TestFIFOOrderPerPair(t *testing.T) {
+	w := NewWorld(2)
+	a, b := w.Comm(0), w.Comm(1)
+	for i := 0; i < 5; i++ {
+		a.Send(1, Tag(i), []float64{float64(i)})
+	}
+	buf := make([]float64, 1)
+	for i := 0; i < 5; i++ {
+		b.Recv(0, Tag(i), buf)
+		if buf[0] != float64(i) {
+			t.Fatalf("out of order: got %g at %d", buf[0], i)
+		}
+	}
+}
+
+func TestTagMismatchPanics(t *testing.T) {
+	w := NewWorld(2)
+	w.Comm(0).Send(1, 1, []float64{0})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on tag mismatch")
+		}
+	}()
+	w.Comm(1).Recv(0, 2, make([]float64, 1))
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	w := NewWorld(2)
+	w.Comm(0).Send(1, 1, []float64{0, 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on length mismatch")
+		}
+	}()
+	w.Comm(1).Recv(0, 1, make([]float64, 3))
+}
+
+func TestSelfSendPanics(t *testing.T) {
+	w := NewWorld(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on self send")
+		}
+	}()
+	w.Comm(0).Send(0, 0, []float64{1})
+}
+
+func TestConcurrentNeighbourExchange(t *testing.T) {
+	const n = 8
+	const rounds = 200
+	w := NewWorld(n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := w.Comm(rank)
+			buf := make([]float64, 4)
+			for i := 0; i < rounds; i++ {
+				if rank > 0 {
+					c.Send(rank-1, Tag(i), []float64{float64(rank), 0, 0, 0})
+				}
+				if rank < n-1 {
+					c.Send(rank+1, Tag(i), []float64{float64(rank), 0, 0, 0})
+				}
+				if rank > 0 {
+					c.Recv(rank-1, Tag(i), buf)
+					if buf[0] != float64(rank-1) {
+						panic("wrong left payload")
+					}
+				}
+				if rank < n-1 {
+					c.Recv(rank+1, Tag(i), buf)
+					if buf[0] != float64(rank+1) {
+						panic("wrong right payload")
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	// Interior rank: 2 sends + 2 recvs per round.
+	if got := w.Comm(3).Counters.Startups; got != 4*rounds {
+		t.Fatalf("interior startups = %d, want %d", got, 4*rounds)
+	}
+}
+
+func TestWorldValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for empty world")
+		}
+	}()
+	NewWorld(0)
+}

@@ -1,0 +1,153 @@
+package par
+
+import (
+	"repro/internal/field"
+	"repro/internal/flux"
+	"repro/internal/msg"
+	"repro/internal/solver"
+)
+
+// rankHalo implements solver.Halo over the message layer. Boundary
+// columns are grouped into a single send per neighbour per exchange
+// (the paper's startup-reduction optimization); Version 7 splits the
+// flux exchanges into one-column messages to reduce burstiness.
+type rankHalo struct {
+	comm      *msg.Comm
+	left      int // neighbour ranks, -1 at domain edges
+	right     int
+	n         int // owned columns
+	version   Version
+	sendBuf   []float64
+	recvBuf   []float64
+	edgeLeft  solver.EdgeHalo
+	edgeRight solver.EdgeHalo
+}
+
+func newRankHalo(c *msg.Comm, rank, procs, n int, v Version) *rankHalo {
+	h := &rankHalo{comm: c, left: rank - 1, right: rank + 1, n: n, version: v}
+	if rank == 0 {
+		h.left = -1
+		h.edgeLeft = solver.EdgeHalo{Left: true}
+	}
+	if rank == procs-1 {
+		h.right = -1
+		h.edgeRight = solver.EdgeHalo{Right: true}
+	}
+	return h
+}
+
+// tag encodes the exchange kind and the message part (Version 7 splits
+// flux exchanges into two parts).
+func tag(k solver.Kind, part int) msg.Tag { return msg.Tag(int(k)*4 + part) }
+
+// fluxKind reports whether an exchange carries flux columns (the ones
+// Version 7 de-bursts).
+func fluxKind(k solver.Kind) bool { return k == solver.KFlux || k == solver.KPredFlux }
+
+// parts returns how many messages one exchange to one neighbour uses.
+func (h *rankHalo) parts(k solver.Kind) int {
+	if h.version == V7 && fluxKind(k) {
+		return 2
+	}
+	return 1
+}
+
+// pack copies ncols columns starting at c0 of every component into buf.
+func pack(b *flux.State, c0, ncols int, buf []float64) []float64 {
+	nr := b[0].Nr
+	need := flux.NVar * ncols * nr
+	if cap(buf) < need {
+		buf = make([]float64, need)
+	}
+	buf = buf[:need]
+	o := 0
+	for k := 0; k < flux.NVar; k++ {
+		o += b[k].PackCols(c0, ncols, buf[o:])
+	}
+	return buf
+}
+
+// unpack scatters buf into ncols columns starting at c0 (ghost columns
+// are legal targets).
+func unpack(b *flux.State, c0, ncols int, buf []float64) {
+	o := 0
+	for k := 0; k < flux.NVar; k++ {
+		o += b[k].UnpackCols(c0, ncols, buf[o:])
+	}
+}
+
+// sendTo groups the boundary columns [c0, c0+2) into parts(k) messages.
+func (h *rankHalo) sendTo(to int, k solver.Kind, b *flux.State, c0 int) {
+	if h.parts(k) == 1 {
+		h.sendBuf = pack(b, c0, field.Halo, h.sendBuf)
+		h.comm.Send(to, tag(k, 0), h.sendBuf)
+		return
+	}
+	for p := 0; p < field.Halo; p++ {
+		h.sendBuf = pack(b, c0+p, 1, h.sendBuf)
+		h.comm.Send(to, tag(k, p), h.sendBuf)
+	}
+}
+
+// recvFrom receives the neighbour's boundary columns into ghost columns
+// starting at c0.
+func (h *rankHalo) recvFrom(from int, k solver.Kind, b *flux.State, c0 int) {
+	nr := b[0].Nr
+	if h.parts(k) == 1 {
+		need := flux.NVar * field.Halo * nr
+		if cap(h.recvBuf) < need {
+			h.recvBuf = make([]float64, need)
+		}
+		h.comm.Recv(from, tag(k, 0), h.recvBuf[:need])
+		unpack(b, c0, field.Halo, h.recvBuf[:need])
+		return
+	}
+	need := flux.NVar * nr
+	if cap(h.recvBuf) < need {
+		h.recvBuf = make([]float64, need)
+	}
+	for p := 0; p < field.Halo; p++ {
+		h.comm.Recv(from, tag(k, p), h.recvBuf[:need])
+		unpack(b, c0+p, 1, h.recvBuf[:need])
+	}
+}
+
+// Start implements solver.Halo: initiate the sends of one exchange.
+// Rank r sends its first two owned columns to its left neighbour and
+// its last two to its right neighbour.
+func (h *rankHalo) Start(k solver.Kind, b *flux.State) {
+	if h.left >= 0 {
+		h.sendTo(h.left, k, b, 0)
+	}
+	if h.right >= 0 {
+		h.sendTo(h.right, k, b, h.n-field.Halo)
+	}
+}
+
+// Finish implements solver.Halo: complete the receives and apply the
+// domain-edge extrapolation where there is no neighbour.
+func (h *rankHalo) Finish(k solver.Kind, b *flux.State) {
+	if h.left >= 0 {
+		h.recvFrom(h.left, k, b, -field.Halo)
+	} else {
+		h.edgeLeft.FillEdges(b)
+	}
+	if h.right >= 0 {
+		h.recvFrom(h.right, k, b, h.n)
+	} else {
+		h.edgeRight.FillEdges(b)
+	}
+}
+
+// Fill implements solver.Halo.
+func (h *rankHalo) Fill(k solver.Kind, b *flux.State) {
+	h.Start(k, b)
+	h.Finish(k, b)
+}
+
+// FillEdges implements solver.Halo (edge extrapolation only; interior
+// halo ghosts keep their previous — lagged — contents).
+func (h *rankHalo) FillEdges(b *flux.State) {
+	h.edgeLeft.FillEdges(b)
+	h.edgeRight.FillEdges(b)
+}

@@ -1,0 +1,233 @@
+// Package par is the distributed-memory parallelization of the paper's
+// Section 5: the domain is decomposed in axial blocks, each rank runs
+// the slab engine of internal/solver in its own goroutine, and halo
+// exchanges travel through the PVM-like message layer of internal/msg.
+//
+// The three communication strategies the paper evaluates are all
+// implemented:
+//
+//	Version 5: grouped two-column messages, no overlap (the baseline
+//	           the paper settled on).
+//	Version 6: interior computation overlapped with halo messages.
+//	Version 7: flux columns sent one at a time to reduce burstiness,
+//	           at the cost of twice the startups.
+package par
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/decomp"
+	"repro/internal/flux"
+	"repro/internal/grid"
+	"repro/internal/jet"
+	"repro/internal/msg"
+	"repro/internal/solver"
+	"repro/internal/trace"
+)
+
+// Version selects the paper's communication strategy.
+type Version int
+
+const (
+	V5 Version = 5
+	V6 Version = 6
+	V7 Version = 7
+)
+
+func (v Version) String() string { return fmt.Sprintf("Version %d", int(v)) }
+
+// Options configures a parallel run.
+type Options struct {
+	Procs   int
+	Version Version
+	Policy  solver.HaloPolicy
+	CFL     float64 // 0 means solver.DefaultCFL
+}
+
+// RankStats reports one rank's measured execution profile.
+type RankStats struct {
+	Rank  int
+	Busy  time.Duration // wall time minus receive-wait time
+	Wait  time.Duration // time blocked in receives (non-overlapped comm)
+	Total time.Duration
+	Comm  trace.Counters
+	Flops float64
+}
+
+// Result summarizes a parallel run.
+type Result struct {
+	Steps   int
+	Procs   int
+	Dt      float64
+	Elapsed time.Duration
+	Ranks   []RankStats
+	Diag    solver.Diagnostics
+}
+
+// TotalComm aggregates the per-rank communication counters.
+func (r *Result) TotalComm() trace.Counters {
+	var t trace.Counters
+	for _, rs := range r.Ranks {
+		t.Merge(rs.Comm)
+	}
+	return t
+}
+
+// TotalFlops aggregates the per-rank FLOP counts.
+func (r *Result) TotalFlops() float64 {
+	f := 0.0
+	for _, rs := range r.Ranks {
+		f += rs.Flops
+	}
+	return f
+}
+
+// MaxBusy returns the longest per-rank busy time (the load-balance
+// metric of the paper's Figure 13).
+func (r *Result) MaxBusy() time.Duration {
+	m := time.Duration(0)
+	for _, rs := range r.Ranks {
+		if rs.Busy > m {
+			m = rs.Busy
+		}
+	}
+	return m
+}
+
+// Runner owns the slabs and the message world of one parallel solver.
+type Runner struct {
+	Cfg   jet.Config
+	Grid  *grid.Grid
+	Opt   Options
+	Dec   *decomp.Decomposition
+	World *msg.World
+	Slabs []*solver.Slab
+	comms []*msg.Comm
+}
+
+// NewRunner decomposes the grid, builds one slab per rank, and computes
+// the global CFL time step.
+func NewRunner(cfg jet.Config, g *grid.Grid, opt Options) (*Runner, error) {
+	if opt.Procs < 1 {
+		return nil, fmt.Errorf("par: need at least one rank, got %d", opt.Procs)
+	}
+	switch opt.Version {
+	case 0:
+		opt.Version = V5
+	case V5, V6, V7:
+	default:
+		return nil, fmt.Errorf("par: unknown communication version %d", int(opt.Version))
+	}
+	if opt.CFL == 0 {
+		opt.CFL = solver.DefaultCFL
+	}
+	d, err := decomp.Axial(g.Nx, opt.Procs)
+	if err != nil {
+		return nil, err
+	}
+	gm := cfg.Gas()
+	world := msg.NewWorld(opt.Procs)
+	r := &Runner{Cfg: cfg, Grid: g, Opt: opt, Dec: d, World: world}
+	dt := math.Inf(1)
+	for rank := 0; rank < opt.Procs; rank++ {
+		i0, n := d.Range(rank)
+		comm := world.Comm(rank)
+		h := newRankHalo(comm, rank, opt.Procs, n, opt.Version)
+		sl, err := solver.NewSlab(cfg, g, gm, i0, n, h, opt.Policy)
+		if err != nil {
+			return nil, err
+		}
+		sl.Overlap = opt.Version == V6
+		sl.InitParallelFlow()
+		if local := sl.StableDt(opt.CFL); local < dt {
+			dt = local
+		}
+		r.Slabs = append(r.Slabs, sl)
+		r.comms = append(r.comms, comm)
+	}
+	for _, sl := range r.Slabs {
+		sl.Dt = dt
+	}
+	return r, nil
+}
+
+// Run advances all ranks by n composite steps concurrently and returns
+// the measured profile.
+func (r *Runner) Run(n int) *Result {
+	var wg sync.WaitGroup
+	totals := make([]time.Duration, len(r.Slabs))
+	start := time.Now()
+	for i, sl := range r.Slabs {
+		wg.Add(1)
+		go func(i int, sl *solver.Slab) {
+			defer wg.Done()
+			t0 := time.Now()
+			for s := 0; s < n; s++ {
+				sl.Advance()
+			}
+			totals[i] = time.Since(t0)
+		}(i, sl)
+	}
+	wg.Wait()
+	res := &Result{
+		Steps:   n,
+		Procs:   r.Opt.Procs,
+		Dt:      r.Slabs[0].Dt,
+		Elapsed: time.Since(start),
+	}
+	res.Diag = r.Diagnose()
+	for i, sl := range r.Slabs {
+		c := r.comms[i]
+		res.Ranks = append(res.Ranks, RankStats{
+			Rank:  i,
+			Busy:  totals[i] - c.WaitTime,
+			Wait:  c.WaitTime,
+			Total: totals[i],
+			Comm:  c.Counters,
+			Flops: sl.T.Flops,
+		})
+	}
+	return res
+}
+
+// Diagnose aggregates the per-slab diagnostics.
+func (r *Runner) Diagnose() solver.Diagnostics {
+	var d solver.Diagnostics
+	d.MinRho, d.MinP = math.Inf(1), math.Inf(1)
+	for _, sl := range r.Slabs {
+		sd := sl.Diagnose()
+		d.Mass += sd.Mass
+		d.Energy += sd.Energy
+		d.OwnPoints += sd.OwnPoints
+		if sd.MaxV > d.MaxV {
+			d.MaxV = sd.MaxV
+		}
+		if sd.MinRho < d.MinRho {
+			d.MinRho = sd.MinRho
+		}
+		if sd.MinP < d.MinP {
+			d.MinP = sd.MinP
+		}
+		d.HasNaN = d.HasNaN || sd.HasNaN
+	}
+	return d
+}
+
+// GatherState assembles the full-domain conservative state from the
+// slabs (interior values only), for comparison against the serial
+// solver.
+func (r *Runner) GatherState() *flux.State {
+	full := flux.NewState(r.Grid.Nx, r.Grid.Nr)
+	for rank, sl := range r.Slabs {
+		i0, n := r.Dec.Range(rank)
+		for k := 0; k < flux.NVar; k++ {
+			for c := 0; c < n; c++ {
+				copy(full[k].Col(i0+c), sl.Q[k].Col(c))
+			}
+		}
+	}
+	return full
+}

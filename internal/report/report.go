@@ -1,0 +1,183 @@
+// Package report renders experiment results as aligned text tables,
+// CSV, and log-scale ASCII charts — the textual equivalents of the
+// paper's tables and log-log figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintln(w, t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+}
+
+// RenderCSV writes the table as CSV.
+func (t *Table) RenderCSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.Headers, ","))
+	for _, r := range t.Rows {
+		fmt.Fprintln(w, strings.Join(r, ","))
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// SeriesTable renders a family of series sharing X values (processor
+// counts) as one table: the textual form of the paper's figures.
+func SeriesTable(title, xlabel string, series []stats.Series) Table {
+	t := Table{Title: title, Headers: []string{xlabel}}
+	for _, s := range series {
+		t.Headers = append(t.Headers, s.Name)
+	}
+	// Collect the union of X values in order.
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	for _, x := range xs {
+		row := []string{trimFloat(x)}
+		for _, s := range series {
+			if y, ok := s.YAt(x); ok {
+				row = append(row, fmt.Sprintf("%.4g", y))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+func trimFloat(x float64) string {
+	if x == math.Trunc(x) {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}
+
+// LogChart draws a log-y ASCII chart of the series family (the visual
+// analogue of the paper's log-log execution-time plots).
+func LogChart(w io.Writer, title string, series []stats.Series, height int) {
+	if height < 4 {
+		height = 12
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	maxN := 0
+	for _, s := range series {
+		for _, y := range s.Y {
+			if y > 0 {
+				lo = math.Min(lo, y)
+				hi = math.Max(hi, y)
+			}
+		}
+		if s.Len() > maxN {
+			maxN = s.Len()
+		}
+	}
+	if maxN == 0 || math.IsInf(lo, 1) {
+		fmt.Fprintln(w, title+" (no data)")
+		return
+	}
+	if lo == hi {
+		hi = lo * 1.01
+	}
+	logLo, logHi := math.Log10(lo), math.Log10(hi)
+	colW := 7
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", maxN*colW+2))
+	}
+	marks := "*o+x#@%&"
+	for si, s := range series {
+		for i, y := range s.Y {
+			if y <= 0 {
+				continue
+			}
+			frac := (math.Log10(y) - logLo) / (logHi - logLo)
+			row := height - 1 - int(frac*float64(height-1)+0.5)
+			grid[row][i*colW+colW/2] = marks[si%len(marks)]
+		}
+	}
+	fmt.Fprintln(w, title)
+	for r, rowBytes := range grid {
+		label := "          "
+		if r == 0 {
+			label = fmt.Sprintf("%9.3g ", hi)
+		} else if r == height-1 {
+			label = fmt.Sprintf("%9.3g ", lo)
+		}
+		fmt.Fprintln(w, label+"|"+string(rowBytes))
+	}
+	// X axis labels.
+	axis := strings.Repeat("-", maxN*colW+2)
+	fmt.Fprintln(w, "          +"+axis)
+	xrow := make([]byte, maxN*colW+2)
+	for i := range xrow {
+		xrow[i] = ' '
+	}
+	if len(series) > 0 {
+		for i, x := range series[0].X {
+			lbl := trimFloat(x)
+			copy(xrow[i*colW+colW/2:], lbl)
+		}
+	}
+	fmt.Fprintln(w, "           "+string(xrow))
+	for si, s := range series {
+		fmt.Fprintf(w, "           %c = %s\n", marks[si%len(marks)], s.Name)
+	}
+}

@@ -1,0 +1,76 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := Table{Title: "T", Headers: []string{"a", "bb"}}
+	tb.AddRow("1", "2")
+	tb.AddRow("333", "4")
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"T", "a", "bb", "333", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := Table{Headers: []string{"x", "y"}}
+	tb.AddRow("1", "2")
+	var sb strings.Builder
+	tb.RenderCSV(&sb)
+	if sb.String() != "x,y\n1,2\n" {
+		t.Fatalf("csv %q", sb.String())
+	}
+}
+
+func TestSeriesTableUnionOfX(t *testing.T) {
+	a := stats.Series{Name: "a"}
+	a.Add(1, 10)
+	a.Add(2, 20)
+	b := stats.Series{Name: "b"}
+	b.Add(2, 5)
+	b.Add(8, 9)
+	tb := SeriesTable("title", "P", []stats.Series{a, b})
+	if len(tb.Rows) != 3 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	var sb strings.Builder
+	tb.Render(&sb)
+	if !strings.Contains(sb.String(), "-") {
+		t.Error("missing placeholder for absent point")
+	}
+}
+
+func TestLogChartRendersAllSeries(t *testing.T) {
+	a := stats.Series{Name: "alpha"}
+	a.Add(1, 100)
+	a.Add(2, 50)
+	b := stats.Series{Name: "beta"}
+	b.Add(1, 10)
+	b.Add(2, 5)
+	var sb strings.Builder
+	LogChart(&sb, "chart", []stats.Series{a, b}, 10)
+	out := sb.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "beta") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("marks missing:\n%s", out)
+	}
+}
+
+func TestLogChartEmpty(t *testing.T) {
+	var sb strings.Builder
+	LogChart(&sb, "empty", nil, 10)
+	if !strings.Contains(sb.String(), "no data") {
+		t.Fatal("empty chart should say so")
+	}
+}

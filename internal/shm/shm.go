@@ -1,0 +1,121 @@
+// Package shm is the shared-memory parallelization the paper used on
+// the Cray Y-MP: DOALL loop-level parallelism. A persistent worker pool
+// executes each of the solver's column loops as a fork-join parallel
+// region — the moral equivalent of the Cray compiler's DOALL directive,
+// with the goroutine wake-up playing the role of the Y-MP's loop
+// dispatch overhead.
+//
+// The paper partitioned "along the orthogonal direction of the sweep to
+// keep the vector lengths large": our radial sweeps are likewise
+// partitioned across axial columns, and the axial sweeps keep the inner
+// radial loop contiguous (stride-1) within each chunk.
+package shm
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/grid"
+	"repro/internal/jet"
+	"repro/internal/solver"
+)
+
+// Pool is a fixed set of workers executing fork-join range splits.
+type Pool struct {
+	workers int
+	tasks   chan task
+	closed  bool
+}
+
+type task struct {
+	lo, hi int
+	fn     func(lo, hi int)
+	wg     *sync.WaitGroup
+}
+
+// NewPool starts n persistent workers.
+func NewPool(n int) *Pool {
+	if n < 1 {
+		panic(fmt.Sprintf("shm: invalid pool size %d", n))
+	}
+	p := &Pool{workers: n, tasks: make(chan task)}
+	for i := 0; i < n; i++ {
+		go func() {
+			for t := range p.tasks {
+				t.fn(t.lo, t.hi)
+				t.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Split implements solver.ParallelFor: [lo, hi) is divided into one
+// contiguous chunk per worker and executed concurrently; Split returns
+// when all chunks complete (the DOALL join).
+func (p *Pool) Split(lo, hi int, fn func(lo, hi int)) {
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	chunks := p.workers
+	if chunks > n {
+		chunks = n
+	}
+	if chunks == 1 {
+		fn(lo, hi)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(chunks)
+	base, rem := n/chunks, n%chunks
+	pos := lo
+	for c := 0; c < chunks; c++ {
+		w := base
+		if c < rem {
+			w++
+		}
+		p.tasks <- task{lo: pos, hi: pos + w, fn: fn, wg: &wg}
+		pos += w
+	}
+	wg.Wait()
+}
+
+// Close stops the workers. The pool must not be used afterwards.
+func (p *Pool) Close() {
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+}
+
+// Solver is the serial reference solver with DOALL loop parallelism —
+// the paper's Y-MP configuration.
+type Solver struct {
+	*solver.Slab
+	pool *Pool
+}
+
+// NewSolver builds a shared-memory solver with n workers.
+func NewSolver(cfg jet.Config, g *grid.Grid, n int) (*Solver, error) {
+	ser, err := solver.NewSerial(cfg, g)
+	if err != nil {
+		return nil, err
+	}
+	p := NewPool(n)
+	ser.Pool = p
+	return &Solver{Slab: ser.Slab, pool: p}, nil
+}
+
+// Run advances n composite steps.
+func (s *Solver) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Advance()
+	}
+}
+
+// Close releases the worker pool.
+func (s *Solver) Close() { s.pool.Close() }

@@ -1,0 +1,86 @@
+package shm
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/flux"
+	"repro/internal/grid"
+	"repro/internal/jet"
+	"repro/internal/solver"
+)
+
+func TestPoolSplitCoversRange(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for _, n := range []int{1, 2, 3, 4, 5, 17, 100} {
+		hit := make([]int32, n)
+		var mu [64]struct{} // padding decoy unused
+		_ = mu
+		p.Split(0, n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				hit[i]++
+			}
+		})
+		for i, h := range hit {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d covered %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestPoolSplitEmptyRange(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	called := false
+	p.Split(3, 3, func(lo, hi int) { called = true })
+	if called {
+		t.Error("empty range should not invoke fn")
+	}
+}
+
+// The DOALL solver must reproduce the serial arithmetic bitwise: every
+// parallel region is a fork-join over independent columns.
+func TestSharedMemoryMatchesSerialBitwise(t *testing.T) {
+	g := grid.MustNew(64, 24, 50, 5)
+	for _, cfg := range []jet.Config{jet.Paper(), jet.Euler()} {
+		ref, err := solver.NewSerial(cfg, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref.Run(6)
+		for _, workers := range []int{1, 2, 4, 7} {
+			s, err := NewSolver(cfg, g, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Run(6)
+			for k := 0; k < flux.NVar; k++ {
+				if !s.Q[k].Equal(ref.Q[k]) {
+					t.Errorf("viscous=%v workers=%d: component %d differs (max %g)",
+						cfg.Viscous, workers, k, s.Q[k].MaxAbsDiff(ref.Q[k]))
+				}
+			}
+			s.Close()
+		}
+	}
+}
+
+func TestSharedMemorySpeedupSmoke(t *testing.T) {
+	if runtime.NumCPU() < 2 || testing.Short() {
+		t.Skip("needs >= 2 CPUs")
+	}
+	// Not a strict perf assertion (CI noise); just verify a larger run
+	// completes and stays stable with many workers.
+	g := grid.MustNew(128, 64, 50, 5)
+	s, err := NewSolver(jet.Paper(), g, runtime.NumCPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Run(20)
+	if d := s.Diagnose(); d.HasNaN {
+		t.Fatal("NaN in shared-memory run")
+	}
+}

@@ -1,0 +1,171 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/flux"
+	"repro/internal/grid"
+	"repro/internal/jet"
+)
+
+// TestAxisRegularity: the axisymmetric formulation must keep the radial
+// velocity small at the first node off the axis — the mirror-ghost axis
+// treatment must not generate spurious inflow/outflow at r ~ 0.
+func TestAxisRegularity(t *testing.T) {
+	s, err := NewSerial(jet.Paper(), grid.MustNew(64, 32, 50, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(100)
+	maxAxisV, maxV := 0.0, 0.0
+	for c := 0; c < s.NxLoc; c++ {
+		rho0 := s.Q[flux.IRho].At(c, 0)
+		if v := math.Abs(s.Q[flux.IMr].At(c, 0) / rho0); v > maxAxisV {
+			maxAxisV = v
+		}
+		for j := 0; j < s.Grid.Nr; j++ {
+			rho := s.Q[flux.IRho].At(c, j)
+			if v := math.Abs(s.Q[flux.IMr].At(c, j) / rho); v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV == 0 {
+		t.Fatal("no radial motion at all — excitation inactive?")
+	}
+	if maxAxisV > maxV {
+		t.Errorf("radial velocity peaks on the axis (%g vs field max %g)", maxAxisV, maxV)
+	}
+}
+
+// TestEnergyBounded: over a moderate run the total energy stays within
+// a few percent of its initial value (the excited jet is statistically
+// steady; unbounded growth would mean a boundary instability).
+func TestEnergyBounded(t *testing.T) {
+	s, err := NewSerial(jet.Paper(), grid.MustNew(64, 32, 50, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := s.Diagnose().Energy
+	for i := 0; i < 5; i++ {
+		s.Run(60)
+		e := s.Diagnose().Energy
+		if rel := math.Abs(e-e0) / e0; rel > 0.05 {
+			t.Fatalf("energy drifted %.2f%% after %d steps", rel*100, s.Step)
+		}
+	}
+}
+
+// TestOperatorAlternation: the composite step must alternate both the
+// L1/L2 variant and the sweep order, per the paper's arrangement
+// Q^{n+1} = L1x L1r Q^n, Q^{n+2} = L2r L2x Q^{n+1}.
+func TestOperatorAlternation(t *testing.T) {
+	v0, r0 := variantFor(0)
+	v1, r1 := variantFor(1)
+	v2, r2 := variantFor(2)
+	if v0 != v2 || v0 == v1 {
+		t.Error("variant must alternate with period 2")
+	}
+	if !r0 || r1 {
+		t.Error("sweep order: radial first on even steps, axial first on odd")
+	}
+	if !r2 {
+		t.Error("period 2 in sweep order")
+	}
+}
+
+// TestPressurePositivityUnderStrongExcitation: a 100x larger forcing
+// must still give a physical state over a short horizon (the scheme's
+// intrinsic dissipation handles the steeper waves).
+func TestPressurePositivityUnderStrongExcitation(t *testing.T) {
+	cfg := jet.Paper()
+	cfg.Eps = 1e-2
+	s, err := NewSerial(cfg, grid.MustNew(64, 32, 50, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(100)
+	d := s.Diagnose()
+	if d.HasNaN || d.MinP <= 0 || d.MinRho <= 0 {
+		t.Fatalf("strong excitation broke positivity: %+v", d)
+	}
+	if d.MaxV < 1e-3 {
+		t.Errorf("strong forcing produced weak response: %g", d.MaxV)
+	}
+}
+
+// TestViscousDiffusionSpreadsShearLayer: at a low Reynolds number the
+// shear layer must diffuse — the peak radial gradient of the axial
+// velocity at mid-domain decreases — while the Euler run keeps the
+// layer essentially sharp over the same horizon. This distinguishes the
+// real viscous terms from numerical dissipation.
+func TestViscousDiffusionSpreadsShearLayer(t *testing.T) {
+	g := grid.MustNew(64, 32, 50, 5)
+	peakGrad := func(s *Serial) float64 {
+		c := s.NxLoc / 2
+		m := 0.0
+		for j := 1; j < g.Nr-1; j++ {
+			u1 := s.Q[flux.IMx].At(c, j+1) / s.Q[flux.IRho].At(c, j+1)
+			u0 := s.Q[flux.IMx].At(c, j-1) / s.Q[flux.IRho].At(c, j-1)
+			if d := math.Abs(u1-u0) / (2 * g.Dr); d > m {
+				m = d
+			}
+		}
+		return m
+	}
+	thick := jet.Paper()
+	thick.Reynolds = 500 // very viscous
+	thick.Eps = 0
+	inv := jet.Euler()
+	inv.Eps = 0
+	sV, err := NewSerial(thick, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sI, err := NewSerial(inv, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g0V, g0I := peakGrad(sV), peakGrad(sI)
+	sV.Run(150)
+	sI.Run(150)
+	dropV := 1 - peakGrad(sV)/g0V
+	dropI := 1 - peakGrad(sI)/g0I
+	t.Logf("peak shear drop: viscous %.1f%%, Euler %.1f%%", dropV*100, dropI*100)
+	if dropV < 0.10 {
+		t.Errorf("Re=500 shear layer did not diffuse (drop %.1f%%)", dropV*100)
+	}
+	if dropV < 2*dropI {
+		t.Errorf("viscous spreading (%.1f%%) not clearly above inviscid numerical spreading (%.1f%%)", dropV*100, dropI*100)
+	}
+}
+
+// TestDtScalesWithGrid: halving the grid spacing must roughly halve the
+// stable time step (advective CFL).
+func TestDtScalesWithGrid(t *testing.T) {
+	s1, err := NewSerial(jet.Paper(), grid.MustNew(64, 32, 50, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewSerial(jet.Paper(), grid.MustNew(127, 64, 50, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s1.Dt / s2.Dt
+	if r < 1.8 || r > 2.3 {
+		t.Errorf("dt ratio %g for 2x refinement, want ~2", r)
+	}
+}
+
+// TestKindStrings covers the halo-kind labels used in diagnostics.
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); k < NKinds; k++ {
+		if k.String() == "" {
+			t.Errorf("empty name for kind %d", k)
+		}
+	}
+	if Lagged.String() != "lagged" || Fresh.String() != "fresh" {
+		t.Error("policy strings")
+	}
+}

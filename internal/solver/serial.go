@@ -1,0 +1,71 @@
+package solver
+
+import (
+	"repro/internal/flux"
+	"repro/internal/grid"
+	"repro/internal/jet"
+)
+
+// EdgeHalo implements Halo for a slab whose side(s) coincide with the
+// physical domain boundary: ghost columns are cubically extrapolated,
+// matching the paper's artificial-point treatment. Interior sides (when
+// a side is not an edge) must be handled by a wrapping exchanger; the
+// zero value extrapolates nothing.
+type EdgeHalo struct {
+	Left, Right bool
+}
+
+// Fill implements Halo.
+func (h EdgeHalo) Fill(_ Kind, b *flux.State) { h.FillEdges(b) }
+
+// Start implements Halo; there is nothing to send.
+func (h EdgeHalo) Start(_ Kind, _ *flux.State) {}
+
+// Finish implements Halo by extrapolating the edges.
+func (h EdgeHalo) Finish(_ Kind, b *flux.State) { h.FillEdges(b) }
+
+// FillEdges implements Halo.
+func (h EdgeHalo) FillEdges(b *flux.State) {
+	for k := range b {
+		if h.Left {
+			b[k].ExtrapolateLeft()
+		}
+		if h.Right {
+			b[k].ExtrapolateRight()
+		}
+	}
+}
+
+// Serial is the single-processor reference solver: one slab spanning the
+// whole grid, the configuration the paper measures in Figure 2.
+type Serial struct {
+	*Slab
+}
+
+// NewSerial builds the serial solver with the default CFL number.
+func NewSerial(cfg jet.Config, g *grid.Grid) (*Serial, error) {
+	return NewSerialCFL(cfg, g, DefaultCFL)
+}
+
+// DefaultCFL is the Courant number used throughout; the 2-4 MacCormack
+// scheme is stable to about 2/3 in one dimension.
+const DefaultCFL = 0.4
+
+// NewSerialCFL builds the serial solver with an explicit CFL number.
+func NewSerialCFL(cfg jet.Config, g *grid.Grid, cfl float64) (*Serial, error) {
+	gm := cfg.Gas()
+	s, err := NewSlab(cfg, g, gm, 0, g.Nx, EdgeHalo{Left: true, Right: true}, Fresh)
+	if err != nil {
+		return nil, err
+	}
+	s.InitParallelFlow()
+	s.Dt = s.StableDt(cfl)
+	return &Serial{Slab: s}, nil
+}
+
+// Run advances n composite time steps.
+func (s *Serial) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Advance()
+	}
+}

@@ -1,0 +1,444 @@
+// Package solver implements the time integration of the paper's
+// numerical model on a slab of axial columns. The same engine serves
+// the serial reference solver (one slab spanning the domain) and every
+// rank of the distributed-memory solver (internal/par), which guarantees
+// that the parallel code computes exactly the serial arithmetic.
+//
+// A composite time step alternates the split one-dimensional operators
+// exactly as the paper's Section 3:
+//
+//	Q^{n+1} = L1x L1r Q^n        (radial sweep first)
+//	Q^{n+2} = L2r L2x Q^{n+1}    (axial sweep first)
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bc"
+	"repro/internal/field"
+	"repro/internal/flux"
+	"repro/internal/gas"
+	"repro/internal/grid"
+	"repro/internal/jet"
+	"repro/internal/scheme"
+	"repro/internal/trace"
+)
+
+// Kind tags the purpose of a halo fill so the message layer can group
+// and account for each of the paper's exchanges.
+type Kind int
+
+const (
+	KPrims      Kind = iota // E1: rho,u,v,T of the current state
+	KFlux                   // E2: axial flux F
+	KPredPrims              // E3: rho,u,v,T of the predicted state
+	KPredFlux               // E4: axial flux Fbar
+	KPrimsR                 // Fresh policy only: prims before the radial sweep
+	KPredPrimsR             // Fresh policy only: predicted prims in the radial sweep
+	NKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KPrims:
+		return "prims"
+	case KFlux:
+		return "flux"
+	case KPredPrims:
+		return "pred-prims"
+	case KPredFlux:
+		return "pred-flux"
+	case KPrimsR:
+		return "prims-r"
+	case KPredPrimsR:
+		return "pred-prims-r"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Halo supplies ghost columns for a slab: neighbour exchange on interior
+// sides and cubic edge extrapolation on physical-domain sides.
+type Halo interface {
+	// Fill exchanges the two ghost columns on interior sides and
+	// extrapolates on domain-edge sides.
+	Fill(k Kind, b *flux.State)
+	// FillEdges performs only the domain-edge extrapolation (used by the
+	// Lagged halo policy, which skips the radial-sweep exchanges).
+	FillEdges(b *flux.State)
+	// Start initiates the sends of an exchange without waiting for the
+	// incoming halo; Finish completes it. Fill is equivalent to Start
+	// followed by Finish. Used by the paper's Version 6 overlap of
+	// communication and computation.
+	Start(k Kind, b *flux.State)
+	Finish(k Kind, b *flux.State)
+}
+
+// HaloPolicy selects the radial-sweep halo treatment (see DESIGN.md §5).
+type HaloPolicy int
+
+const (
+	// Lagged reuses the newest already-exchanged halo for viscous
+	// cross-derivatives in the radial sweep. This matches the paper's
+	// Table 1 message budget exactly (16 startups/step for N-S).
+	Lagged HaloPolicy = iota
+	// Fresh adds two radial-sweep prim exchanges so that every stencil
+	// sees current data; the parallel run then reproduces the serial
+	// arithmetic bitwise.
+	Fresh
+)
+
+func (p HaloPolicy) String() string {
+	if p == Fresh {
+		return "fresh"
+	}
+	return "lagged"
+}
+
+// Slab owns a contiguous range of axial columns and advances them in
+// time. All fields are sized to the local width plus ghost columns.
+type Slab struct {
+	Grid *grid.Grid
+	Gas  gas.Model
+	Cfg  jet.Config
+
+	I0    int // first owned global column
+	NxLoc int // number of owned columns
+	Left  bool
+	Right bool
+
+	Q, QP, QN *flux.State // state, predicted state, next state
+	W, WP     *flux.State // primitives of Q and QP
+	F, FP     *flux.State // flux scratch (axial f or radial r*g)
+	S         *flux.Stress
+	Src, SrcP *field.Field
+
+	In     *bc.Inflow
+	Halo   Halo
+	Policy HaloPolicy
+	// Overlap enables the paper's Version 6: interior stress/flux/update
+	// loops run while halo messages are in flight, at the cost of split
+	// loops (higher setup overhead, reduced temporal locality).
+	Overlap bool
+	// Pool, when non-nil, parallelizes each column loop across workers —
+	// the shared-memory DOALL model the paper used on the Cray Y-MP.
+	// Every kernel region is a fork-join loop over independent columns,
+	// so the result is bitwise identical to the serial execution.
+	Pool ParallelFor
+
+	Dt   float64
+	Time float64
+	Step int
+
+	RInv []float64
+	T    *trace.Counters
+}
+
+// NewSlab builds a slab owning global columns [i0, i0+nxloc) of g.
+func NewSlab(cfg jet.Config, g *grid.Grid, gm gas.Model, i0, nxloc int, halo Halo, policy HaloPolicy) (*Slab, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if nxloc < 4 {
+		return nil, fmt.Errorf("solver: slab needs >= 4 columns for the 2-4 stencil and cubic extrapolation, got %d", nxloc)
+	}
+	if i0 < 0 || i0+nxloc > g.Nx {
+		return nil, fmt.Errorf("solver: slab [%d,%d) outside grid of %d columns", i0, i0+nxloc, g.Nx)
+	}
+	s := &Slab{
+		Grid: g, Gas: gm, Cfg: cfg,
+		I0: i0, NxLoc: nxloc,
+		Left: i0 == 0, Right: i0+nxloc == g.Nx,
+		Q: flux.NewState(nxloc, g.Nr), QP: flux.NewState(nxloc, g.Nr), QN: flux.NewState(nxloc, g.Nr),
+		W: flux.NewState(nxloc, g.Nr), WP: flux.NewState(nxloc, g.Nr),
+		F: flux.NewState(nxloc, g.Nr), FP: flux.NewState(nxloc, g.Nr),
+		S:   flux.NewStress(nxloc, g.Nr),
+		Src: field.New(nxloc, g.Nr), SrcP: field.New(nxloc, g.Nr),
+		Halo: halo, Policy: policy,
+		RInv: make([]float64, g.Nr),
+		T:    &trace.Counters{},
+	}
+	for j, r := range g.R {
+		s.RInv[j] = 1 / r
+	}
+	s.In = bc.NewInflow(cfg, gm, g.R)
+	return s, nil
+}
+
+// InitParallelFlow sets the initial condition: the mean inflow profile
+// extended downstream (parallel flow), v = 0, constant static pressure.
+func (s *Slab) InitParallelFlow() {
+	gm := s.Gas
+	for c := 0; c < s.NxLoc; c++ {
+		for j, r := range s.Grid.R {
+			T := s.Cfg.MeanT(gm.Gamma, r)
+			w := gas.Primitive{Rho: 1 / T, U: s.Cfg.MeanU(r), V: 0, P: gm.AmbientPressure()}
+			q := gm.ToConserved(w)
+			s.Q[flux.IRho].Set(c, j, q.Rho)
+			s.Q[flux.IMx].Set(c, j, q.Mx)
+			s.Q[flux.IMr].Set(c, j, q.Mr)
+			s.Q[flux.IE].Set(c, j, q.E)
+		}
+	}
+}
+
+// StableDt returns the slab-local CFL-stable time step.
+func (s *Slab) StableDt(cfl float64) float64 {
+	gm := s.Gas
+	g := s.Grid
+	nuFac := gm.Mu * math.Max(4.0/3.0, gm.Gamma/gm.Pr)
+	invD2 := 1/(g.Dx*g.Dx) + 1/(g.Dr*g.Dr)
+	maxRate := 0.0
+	flux.Primitives(gm, s.Q, s.W, 0, s.NxLoc)
+	for c := 0; c < s.NxLoc; c++ {
+		rho, u, v, T := s.W[flux.IRho].Col(c), s.W[flux.IMx].Col(c), s.W[flux.IMr].Col(c), s.W[flux.IE].Col(c)
+		for j := range rho {
+			cs := math.Sqrt(T[j])
+			rate := (math.Abs(u[j])+cs)/g.Dx + (math.Abs(v[j])+cs)/g.Dr + 2*nuFac/rho[j]*invD2
+			if rate > maxRate {
+				maxRate = rate
+			}
+		}
+	}
+	return cfl / maxRate
+}
+
+// variantFor returns the operator variant for a composite step index
+// (L1 on even steps, L2 on odd) and whether the radial sweep runs first.
+func variantFor(step int) (scheme.Variant, bool) {
+	if step%2 == 0 {
+		return scheme.L1, true // Q^{n+1} = L1x L1r Q^n
+	}
+	return scheme.L2, false // Q^{n+2} = L2r L2x Q^{n+1}
+}
+
+// Advance performs one composite time step (one Lx and one Lr sweep).
+func (s *Slab) Advance() {
+	v, rFirst := variantFor(s.Step)
+	if rFirst {
+		s.opR(v)
+		s.opX(v)
+	} else {
+		s.opX(v)
+		s.opR(v)
+	}
+	s.Step++
+	s.Time += s.Dt
+}
+
+// ParallelFor runs fn over subranges of [lo, hi) on a worker pool; see
+// internal/shm for the implementation. A DOALL directive in the paper's
+// Cray terms.
+type ParallelFor interface {
+	Split(lo, hi int, fn func(lo, hi int))
+}
+
+// pfor dispatches a column loop to the pool, or runs it inline.
+func (s *Slab) pfor(lo, hi int, fn func(lo, hi int)) {
+	if s.Pool == nil {
+		fn(lo, hi)
+		return
+	}
+	s.Pool.Split(lo, hi, fn)
+}
+
+// radialGhosts applies axis mirror and far-field extrapolation to a
+// primitive bundle (all columns including axial ghosts).
+func radialGhosts(w *flux.State) {
+	flux.AxisMirrorPrims(w)
+	flux.TopExtrapolatePrims(w)
+}
+
+// opX applies the axial operator (predictor + corrector) with the given
+// variant. Communication pattern: E1 prims, E2 flux, E3 predicted
+// prims, E4 predicted flux — the paper's four grouped N-S exchanges.
+func (s *Slab) opX(v scheme.Variant) {
+	if s.Overlap {
+		s.opXOverlap(v)
+		return
+	}
+	gm, g := s.Gas, s.Grid
+	lam := s.Dt / (6 * g.Dx)
+	visc := s.Cfg.Viscous
+	n := s.NxLoc
+
+	// Stage A: predictor.
+	s.pfor(0, n, func(a, b int) { flux.Primitives(gm, s.Q, s.W, a, b) })
+	s.Halo.Fill(KPrims, s.W)
+	radialGhosts(s.W)
+	s.pfor(0, n, func(a, b int) {
+		flux.ComputeStress(gm, g.Dx, g.Dr, g.R, s.W, s.S, a, b)
+		flux.FluxX(gm, s.Q, s.W, s.S, s.F, a, b, visc)
+	})
+	s.Halo.Fill(KFlux, s.F)
+	s.pfor(0, n, func(a, b int) { scheme.PredictX(v, lam, s.Q, s.F, s.QP, a, b) })
+	if s.Left {
+		s.In.Apply(s.QP, 0, s.Time+s.Dt)
+	}
+
+	// Stage B: corrector. The predicted-prims exchange feeds the
+	// predicted stress tensor; Euler needs no stresses, which is why the
+	// paper's Euler budget is three exchanges per step, not four.
+	s.pfor(0, n, func(a, b int) { flux.Primitives(gm, s.QP, s.WP, a, b) })
+	if visc {
+		s.Halo.Fill(KPredPrims, s.WP)
+		radialGhosts(s.WP)
+	}
+	s.pfor(0, n, func(a, b int) {
+		flux.ComputeStress(gm, g.Dx, g.Dr, g.R, s.WP, s.S, a, b)
+		flux.FluxX(gm, s.QP, s.WP, s.S, s.FP, a, b, visc)
+	})
+	s.Halo.Fill(KPredFlux, s.FP)
+	s.pfor(0, n, func(a, b int) { scheme.CorrectX(v, lam, s.Q, s.QP, s.FP, s.QN, a, b) })
+
+	if s.Left {
+		s.In.Apply(s.QN, 0, s.Time+s.Dt)
+	}
+	if s.Right {
+		bc.OutflowX(gm, g.Dx, s.Dt, s.Q, s.W, s.F, s.QN, n-1)
+	}
+	s.Q, s.QN = s.QN, s.Q
+	s.accountX(visc, n)
+}
+
+// opR applies the radial operator. No flux communication is required
+// (the decomposition is axial); under the Fresh policy two extra prim
+// exchanges keep viscous cross-derivatives exact at slab boundaries.
+func (s *Slab) opR(v scheme.Variant) {
+	gm, g := s.Gas, s.Grid
+	lam := s.Dt / (6 * g.Dr)
+	visc := s.Cfg.Viscous
+	n := s.NxLoc
+
+	// Stage A: predictor.
+	s.pfor(0, n, func(a, b int) { flux.Primitives(gm, s.Q, s.W, a, b) })
+	if s.Policy == Fresh {
+		s.Halo.Fill(KPrimsR, s.W)
+	} else {
+		s.Halo.FillEdges(s.W)
+	}
+	radialGhosts(s.W)
+	s.pfor(0, n, func(a, b int) {
+		flux.ComputeStress(gm, g.Dx, g.Dr, g.R, s.W, s.S, a, b)
+		flux.FluxR(gm, g.R, s.Q, s.W, s.S, s.F, a, b, visc)
+		flux.Source(gm, g.R, s.W, s.S, s.Src, a, b, visc)
+	})
+	flux.MirrorFluxR(s.F)
+	for k := range s.F {
+		s.F[k].ExtrapolateTop()
+	}
+	s.pfor(0, n, func(a, b int) { scheme.PredictR(v, lam, s.Dt, s.RInv, s.Q, s.F, s.QP, s.Src, a, b) })
+	if s.Left {
+		s.In.Apply(s.QP, 0, s.Time+s.Dt)
+	}
+
+	// Stage B: corrector.
+	s.pfor(0, n, func(a, b int) { flux.Primitives(gm, s.QP, s.WP, a, b) })
+	if s.Policy == Fresh {
+		s.Halo.Fill(KPredPrimsR, s.WP)
+	} else {
+		s.Halo.FillEdges(s.WP)
+	}
+	radialGhosts(s.WP)
+	s.pfor(0, n, func(a, b int) {
+		flux.ComputeStress(gm, g.Dx, g.Dr, g.R, s.WP, s.S, a, b)
+		flux.FluxR(gm, g.R, s.QP, s.WP, s.S, s.FP, a, b, visc)
+		flux.Source(gm, g.R, s.WP, s.S, s.SrcP, a, b, visc)
+	})
+	flux.MirrorFluxR(s.FP)
+	for k := range s.FP {
+		s.FP[k].ExtrapolateTop()
+	}
+	s.pfor(0, n, func(a, b int) { scheme.CorrectR(v, lam, s.Dt, s.RInv, s.Q, s.QP, s.FP, s.QN, s.SrcP, a, b) })
+
+	bc.FarFieldR(gm, g.Dr, s.Dt, g.Lr, g.R, s.Q, s.W, s.F, s.Src, s.QN, 0, n)
+	if s.Left {
+		s.In.Apply(s.QN, 0, s.Time+s.Dt)
+	}
+	s.Q, s.QN = s.QN, s.Q
+	s.accountR(visc, n)
+}
+
+// accountX accumulates the analytic FLOP count of one axial operator.
+func (s *Slab) accountX(visc bool, n int) {
+	pts := float64(n * s.Grid.Nr)
+	fl := 2 * float64(flux.FlopsPrims)
+	if visc {
+		fl += 2 * float64(flux.FlopsStress+flux.FlopsFluxXVisc)
+	} else {
+		fl += 2 * float64(flux.FlopsFluxXInvisc)
+	}
+	fl += float64(scheme.FlopsPredictX + scheme.FlopsCorrectX)
+	s.T.AddFlops(fl * pts)
+	if s.Right {
+		s.T.AddFlops(float64(bc.FlopsCharPoint) * float64(s.Grid.Nr))
+	}
+}
+
+// accountR accumulates the analytic FLOP count of one radial operator.
+func (s *Slab) accountR(visc bool, n int) {
+	pts := float64(n * s.Grid.Nr)
+	fl := 2 * float64(flux.FlopsPrims+flux.FlopsSource)
+	if visc {
+		fl += 2 * float64(flux.FlopsStress+flux.FlopsFluxRVisc)
+	} else {
+		fl += 2 * float64(flux.FlopsFluxRInvisc)
+	}
+	fl += float64(scheme.FlopsPredictR + scheme.FlopsCorrectR)
+	s.T.AddFlops(fl * pts)
+	s.T.AddFlops(float64(bc.FlopsCharPoint) * float64(n)) // far-field row
+}
+
+// Diagnostics summarizes the slab state for validation and reporting.
+type Diagnostics struct {
+	Mass      float64 // integral of rho r dr dx over owned columns
+	Energy    float64 // integral of E r dr dx
+	MaxV      float64 // max |v| (excitation growth indicator)
+	MinRho    float64
+	MinP      float64
+	HasNaN    bool
+	OwnPoints int
+}
+
+// Diagnose computes conserved integrals and sanity indicators.
+func (s *Slab) Diagnose() Diagnostics {
+	g := s.Grid
+	gm := s.Gas
+	d := Diagnostics{MinRho: math.Inf(1), MinP: math.Inf(1), OwnPoints: s.NxLoc * g.Nr}
+	vol := g.Dx * g.Dr
+	for c := 0; c < s.NxLoc; c++ {
+		rho, mx, mr, e := s.Q[flux.IRho].Col(c), s.Q[flux.IMx].Col(c), s.Q[flux.IMr].Col(c), s.Q[flux.IE].Col(c)
+		for j := range rho {
+			r := g.R[j]
+			d.Mass += rho[j] * r * vol
+			d.Energy += e[j] * r * vol
+			v := mr[j] / rho[j]
+			if a := math.Abs(v); a > d.MaxV {
+				d.MaxV = a
+			}
+			p := gm.PressureFromConserved(rho[j], mx[j], mr[j], e[j])
+			if rho[j] < d.MinRho {
+				d.MinRho = rho[j]
+			}
+			if p < d.MinP {
+				d.MinP = p
+			}
+			if math.IsNaN(rho[j]) || math.IsNaN(e[j]) || math.IsNaN(mx[j]) || math.IsNaN(mr[j]) {
+				d.HasNaN = true
+			}
+		}
+	}
+	return d
+}
+
+// AxialMomentum extracts the rho*u field (the quantity contoured in the
+// paper's Figure 1) for the owned columns.
+func (s *Slab) AxialMomentum() [][]float64 {
+	out := make([][]float64, s.NxLoc)
+	for c := 0; c < s.NxLoc; c++ {
+		col := make([]float64, s.Grid.Nr)
+		copy(col, s.Q[flux.IMx].Col(c))
+		out[c] = col
+	}
+	return out
+}

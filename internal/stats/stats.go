@@ -1,0 +1,151 @@
+// Package stats provides the small series utilities used by the
+// experiment drivers: named (x, y) series, speedups, and summary
+// statistics.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Series is a named sequence of (X, Y) points.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// YAt returns the Y value for the first point with X == x.
+func (s *Series) YAt(x float64) (float64, bool) {
+	for i, xv := range s.X {
+		if xv == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+// MinY returns the minimum Y and its X, or NaNs for an empty series.
+func (s *Series) MinY() (x, y float64) {
+	if len(s.Y) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	x, y = s.X[0], s.Y[0]
+	for i := range s.Y {
+		if s.Y[i] < y {
+			x, y = s.X[i], s.Y[i]
+		}
+	}
+	return x, y
+}
+
+// Speedup returns the series s(1)/s(p) against p, using the first point
+// as the baseline.
+func (s *Series) Speedup() Series {
+	out := Series{Name: s.Name + " speedup"}
+	if len(s.Y) == 0 {
+		return out
+	}
+	base := s.Y[0]
+	for i := range s.X {
+		out.Add(s.X[i], base/s.Y[i])
+	}
+	return out
+}
+
+// Monotone reports whether Y is nonincreasing.
+func (s *Series) Monotone() bool {
+	for i := 1; i < len(s.Y); i++ {
+		if s.Y[i] > s.Y[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// Crossover returns the smallest X at which a.Y < b.Y given that a
+// starts above b, or 0 if they never cross. Both series must share X.
+func Crossover(a, b Series) float64 {
+	n := a.Len()
+	if b.Len() < n {
+		n = b.Len()
+	}
+	for i := 0; i < n; i++ {
+		if a.X[i] != b.X[i] {
+			panic(fmt.Sprintf("stats: mismatched X: %g vs %g", a.X[i], b.X[i]))
+		}
+		if a.Y[i] < b.Y[i] {
+			return a.X[i]
+		}
+	}
+	return 0
+}
+
+// Mean returns the arithmetic mean.
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// Max returns the maximum value.
+func Max(v []float64) float64 {
+	if len(v) == 0 {
+		return math.NaN()
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum value.
+func Min(v []float64) float64 {
+	if len(v) == 0 {
+		return math.NaN()
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the median value.
+func Median(v []float64) float64 {
+	if len(v) == 0 {
+		return math.NaN()
+	}
+	c := append([]float64(nil), v...)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return 0.5 * (c[n/2-1] + c[n/2])
+}
+
+// RelSpread returns (max-min)/mean, the load-balance metric of Fig 13.
+func RelSpread(v []float64) float64 {
+	return (Max(v) - Min(v)) / Mean(v)
+}

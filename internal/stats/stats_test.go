@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func seriesOf(name string, pts ...float64) Series {
+	s := Series{Name: name}
+	for i := 0; i+1 < len(pts); i += 2 {
+		s.Add(pts[i], pts[i+1])
+	}
+	return s
+}
+
+func TestSeriesBasics(t *testing.T) {
+	s := seriesOf("t", 1, 10, 2, 5, 4, 8)
+	if s.Len() != 3 {
+		t.Fatal("Len")
+	}
+	if y, ok := s.YAt(2); !ok || y != 5 {
+		t.Fatal("YAt")
+	}
+	if _, ok := s.YAt(3); ok {
+		t.Fatal("YAt missing x")
+	}
+	x, y := s.MinY()
+	if x != 2 || y != 5 {
+		t.Fatalf("MinY (%g,%g)", x, y)
+	}
+	if s.Monotone() {
+		t.Fatal("not monotone")
+	}
+	m := seriesOf("m", 1, 9, 2, 9, 3, 4)
+	if !m.Monotone() {
+		t.Fatal("monotone")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	s := seriesOf("t", 1, 100, 2, 50, 4, 25)
+	sp := s.Speedup()
+	if y, _ := sp.YAt(4); y != 4 {
+		t.Fatalf("speedup at 4 = %g", y)
+	}
+}
+
+func TestCrossover(t *testing.T) {
+	a := seriesOf("a", 1, 10, 2, 8, 4, 3)
+	b := seriesOf("b", 1, 5, 2, 5, 4, 5)
+	if x := Crossover(a, b); x != 4 {
+		t.Fatalf("crossover at %g", x)
+	}
+	if x := Crossover(b, a); x != 1 {
+		t.Fatalf("reverse crossover at %g", x)
+	}
+	c := seriesOf("c", 1, 100, 2, 100, 4, 100)
+	if x := Crossover(c, b); x != 0 {
+		t.Fatalf("no-cross should give 0, got %g", x)
+	}
+}
+
+func TestCrossoverPanicsOnMismatchedX(t *testing.T) {
+	a := seriesOf("a", 1, 10, 3, 8)
+	b := seriesOf("b", 1, 5, 2, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	Crossover(a, b)
+}
+
+func TestScalarStats(t *testing.T) {
+	v := []float64{4, 1, 7, 2}
+	if Mean(v) != 3.5 || Max(v) != 7 || Min(v) != 1 {
+		t.Fatal("mean/max/min")
+	}
+	if Median(v) != 3 {
+		t.Fatalf("median %g", Median(v))
+	}
+	if Median([]float64{5, 1, 9}) != 5 {
+		t.Fatal("odd median")
+	}
+	if got := RelSpread([]float64{9, 10, 11}); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("spread %g", got)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Median(nil)) {
+		t.Fatal("empty stats should be NaN")
+	}
+}

@@ -1,0 +1,340 @@
+// Package study drives every experiment of the paper's evaluation:
+// Tables 1-2 and Figures 1-13. Each driver returns structured series
+// or tables; cmd/figures renders them and the package's Claims list
+// checks the paper's qualitative findings mechanically.
+package study
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/grid"
+	"repro/internal/jet"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/par"
+	"repro/internal/report"
+	"repro/internal/solver"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// ProcCounts returns the processor counts swept in the paper's figures.
+func ProcCounts(maxP int) []int {
+	all := []int{1, 2, 4, 6, 8, 10, 12, 14, 16}
+	var out []int
+	for _, p := range all {
+		if p <= maxP {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Apps returns the two applications of the study.
+func Apps() []trace.Characterization {
+	return []trace.Characterization{trace.PaperNS(), trace.PaperEuler()}
+}
+
+// charFor returns the characterization for an application name.
+func charFor(viscous bool) trace.Characterization {
+	if viscous {
+		return trace.PaperNS()
+	}
+	return trace.PaperEuler()
+}
+
+// ---------------------------------------------------------------------
+// Table 1: application characteristics.
+
+// Table1 reproduces the paper's Table 1 from the analytic schedule and a
+// real instrumented parallel run (4 ranks, a few steps, scaled).
+type Table1Row struct {
+	App             string
+	TotalFlopsPaper float64 // paper characterization
+	TotalFlopsOurs  float64 // analytic kernel counts from a real run
+	StartupsPerProc int64   // interior rank, full run
+	VolumePerProcMB float64 // interior rank, one-neighbour convention (as the paper reports)
+}
+
+// Table1 measures both applications.
+func Table1() ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, cfg := range []jet.Config{jet.Paper(), jet.Euler()} {
+		ch := charFor(cfg.Viscous)
+		// Real instrumented run on a reduced grid (message counts per
+		// step are grid-size independent; bytes scale with Nr).
+		const steps = 4
+		g := grid.MustNew(64, 32, 50, 5)
+		r, err := par.NewRunner(cfg, g, par.Options{Procs: 4, Policy: solver.Lagged})
+		if err != nil {
+			return nil, err
+		}
+		res := r.Run(steps)
+		interior := res.Ranks[1]
+		startupsPerStep := interior.Comm.Startups / steps
+		// One-neighbour volume convention (paper Table 1 / Table 2):
+		// bytes sent across one boundary per step, scaled to Nr=100.
+		bytesPerStepOne := interior.Comm.Bytes / steps / 2
+		bytesFull := float64(bytesPerStepOne) * float64(ch.Nr) / float64(g.Nr) * float64(ch.Steps)
+		// Our analytic flops, scaled to the paper grid and step count.
+		flopsPerPointStep := res.TotalFlops() / float64(g.NPoints()*steps)
+		rows = append(rows, Table1Row{
+			App:             ch.Name,
+			TotalFlopsPaper: ch.TotalFlops(),
+			TotalFlopsOurs:  flopsPerPointStep * float64(ch.Nx*ch.Nr*ch.Steps),
+			StartupsPerProc: startupsPerStep * int64(ch.Steps),
+			VolumePerProcMB: bytesFull / 1e6,
+		})
+	}
+	return rows, nil
+}
+
+// Table1Report renders Table 1 next to the paper's values.
+func Table1Report() (report.Table, error) {
+	rows, err := Table1()
+	if err != nil {
+		return report.Table{}, err
+	}
+	t := report.Table{
+		Title:   "Table 1: Application Characteristics (paper values in parentheses)",
+		Headers: []string{"Appln", "Total Comp (FP Ops x1e6)", "Comm/Proc Start-ups", "Volume (MB)"},
+	}
+	paperStart := map[string]string{"Navier-Stokes": "80,000", "Euler": "60,000"}
+	paperVol := map[string]string{"Navier-Stokes": "125", "Euler": "95"}
+	paperComp := map[string]string{"Navier-Stokes": "145,000", "Euler": "77,000"}
+	for _, r := range rows {
+		t.AddRow(r.App,
+			fmt.Sprintf("%.0f (%s)", r.TotalFlopsOurs/1e6, paperComp[r.App]),
+			fmt.Sprintf("%d (%s)", r.StartupsPerProc, paperStart[r.App]),
+			fmt.Sprintf("%.0f (%s)", r.VolumePerProcMB, paperVol[r.App]),
+		)
+	}
+	return t, nil
+}
+
+// ---------------------------------------------------------------------
+// Table 2: computation-communication ratios.
+
+// Table2Report reproduces the paper's Table 2 (idealized per-processor
+// convention: total FLOPs split over P, one-neighbour volume/startups).
+func Table2Report() report.Table {
+	t := report.Table{
+		Title:   "Table 2: Computation-Communication Ratios",
+		Headers: []string{"No. of Procs", "FPs/Byte N-S", "FPs/Byte Euler", "FPs/Start-up N-S", "FPs/Start-up Euler"},
+	}
+	ns, eu := trace.PaperNS(), trace.PaperEuler()
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		if p == 1 {
+			t.AddRow("1", "inf", "inf", "inf", "inf")
+			continue
+		}
+		row := []string{fmt.Sprintf("%d", p)}
+		for _, ch := range []trace.Characterization{ns, eu} {
+			perProcFlops := ch.TotalFlops() / float64(p)
+			row = append(row, fmt.Sprintf("%.0f", perProcFlops/float64(ch.RankBytes())))
+		}
+		for _, ch := range []trace.Characterization{ns, eu} {
+			perProcFlops := ch.TotalFlops() / float64(p)
+			row = append(row, fmt.Sprintf("%.0fK", perProcFlops/float64(ch.RankStartups())/1e3))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------
+// Figure 1: the excited-jet flow field.
+
+// Fig1 runs the serial solver and returns the axial momentum field
+// (rho*u). The paper used 250x100 and 16,000 steps; the defaults here
+// are reduced for turnaround, with full fidelity available via flags.
+func Fig1(nx, nr, steps int) ([][]float64, error) {
+	g, err := grid.New(nx, nr, 50, 5)
+	if err != nil {
+		return nil, err
+	}
+	s, err := solver.NewSerial(jet.Paper(), g)
+	if err != nil {
+		return nil, err
+	}
+	s.Run(steps)
+	d := s.Diagnose()
+	if d.HasNaN {
+		return nil, fmt.Errorf("study: Fig1 run produced NaN")
+	}
+	return s.AxialMomentum(), nil
+}
+
+// ---------------------------------------------------------------------
+// Figure 2: single-processor code versions.
+
+// Fig2 returns execution-time series (seconds on the RS6000/560) versus
+// code version for both applications, including Version 6 (overlap
+// restructuring, which on one processor only adds loop overhead).
+func Fig2() []stats.Series {
+	var out []stats.Series
+	for _, ch := range Apps() {
+		s := stats.Series{Name: ch.Name}
+		w := ch.TotalFlops()
+		for _, v := range kernels.Versions() {
+			p := cpu.RS560.Evaluate(v, ch.FlopsPerPoint)
+			s.Add(float64(v.ID), w/(p.EffMFLOPS*1e6))
+		}
+		// Version 6: Version 5 plus the overlap restructuring overhead.
+		v5 := cpu.RS560.Evaluate(kernels.V(5), ch.FlopsPerPoint)
+		s.Add(6, w/(v5.EffMFLOPS*1e6)*1.02)
+		out = append(out, s)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Figures 3-6: LACE networks.
+
+// LACEPlatforms returns the three networks of Figures 3-6.
+func LACEPlatforms() []machine.Platform {
+	return []machine.Platform{
+		machine.LACE590AllnodeF,
+		machine.LACE560AllnodeS,
+		machine.LACE560Ethernet,
+	}
+}
+
+// simSeries sweeps processor counts on a platform and returns total,
+// busy, and wait series.
+func simSeries(p machine.Platform, ch trace.Characterization, version int) (total, busy, wait stats.Series, err error) {
+	total = stats.Series{Name: p.Name}
+	busy = stats.Series{Name: p.Name + " busy"}
+	wait = stats.Series{Name: p.Name + " non-overlapped comm"}
+	for _, np := range ProcCounts(p.MaxProcs) {
+		o, e := p.Simulate(ch, np, version)
+		if e != nil {
+			return total, busy, wait, e
+		}
+		total.Add(float64(np), o.Seconds)
+		busy.Add(float64(np), o.BusySeconds)
+		wait.Add(float64(np), o.WaitSeconds)
+	}
+	return total, busy, wait, nil
+}
+
+// FigLACE produces the Figure 3 (viscous) or Figure 4 (Euler) series.
+func FigLACE(viscous bool) ([]stats.Series, error) {
+	ch := charFor(viscous)
+	var out []stats.Series
+	for _, p := range LACEPlatforms() {
+		tot, _, _, err := simSeries(p, ch, 5)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tot)
+	}
+	return out, nil
+}
+
+// FigLACEComponents produces Figure 5/6: busy and non-overlapped
+// communication for ALLNODE-F, ALLNODE-S and the Ethernet wait curve.
+func FigLACEComponents(viscous bool) ([]stats.Series, error) {
+	ch := charFor(viscous)
+	var out []stats.Series
+	for _, p := range []machine.Platform{machine.LACE590AllnodeF, machine.LACE560AllnodeS} {
+		_, busy, wait, err := simSeries(p, ch, 5)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, busy, wait)
+	}
+	_, _, ethWait, err := simSeries(machine.LACE560Ethernet, ch, 5)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, ethWait)
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Figures 7-8: communication strategy versions.
+
+// FigCommVersions produces the Version 5/6/7 comparison on ALLNODE-S
+// and Ethernet (Figures 7 and 8).
+func FigCommVersions(viscous bool) ([]stats.Series, error) {
+	ch := charFor(viscous)
+	var out []stats.Series
+	for _, ver := range []int{5, 6, 7} {
+		for _, p := range []machine.Platform{machine.LACE560AllnodeS, machine.LACE560Ethernet} {
+			tot, _, _, err := simSeries(p, ch, ver)
+			if err != nil {
+				return nil, err
+			}
+			tot.Name = fmt.Sprintf("Version %d %s", ver, p.Name)
+			out = append(out, tot)
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Figures 9-10: all platforms.
+
+// ComparePlatforms returns the five platforms of Figures 9-10.
+func ComparePlatforms() []machine.Platform {
+	return []machine.Platform{
+		machine.YMP,
+		machine.SPMPL,
+		machine.LACE560AllnodeS,
+		machine.T3D,
+		machine.LACE590AllnodeF,
+	}
+}
+
+// FigPlatforms produces Figure 9 (viscous) or 10 (Euler).
+func FigPlatforms(viscous bool) ([]stats.Series, error) {
+	ch := charFor(viscous)
+	var out []stats.Series
+	for _, p := range ComparePlatforms() {
+		tot, _, _, err := simSeries(p, ch, 5)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tot)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Figures 11-12: MPL vs PVMe on the SP.
+
+// FigLibraries produces the busy and non-overlapped curves for MPL and
+// PVMe (Figures 11 and 12).
+func FigLibraries(viscous bool) ([]stats.Series, error) {
+	ch := charFor(viscous)
+	var out []stats.Series
+	for _, p := range []machine.Platform{machine.SPMPL, machine.SPPVMe} {
+		_, busy, wait, err := simSeries(p, ch, 5)
+		if err != nil {
+			return nil, err
+		}
+		busy.Name = "Busy " + p.Lib.Name
+		wait.Name = "Non-overlapped " + p.Lib.Name
+		out = append(out, busy, wait)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Figure 13: load balance.
+
+// Fig13 returns the simulated per-processor busy times on the SP at 16
+// processors for Navier-Stokes.
+func Fig13() ([]float64, error) {
+	o, err := machine.SPMPL.Simulate(trace.PaperNS(), 16, 5)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(o.PerRank))
+	for i, r := range o.PerRank {
+		out[i] = r.Busy
+	}
+	return out, nil
+}

@@ -1,0 +1,169 @@
+package study
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestProcCounts(t *testing.T) {
+	if got := ProcCounts(8); len(got) != 5 || got[4] != 8 {
+		t.Fatalf("ProcCounts(8) = %v", got)
+	}
+	if got := ProcCounts(16); got[len(got)-1] != 16 {
+		t.Fatalf("ProcCounts(16) = %v", got)
+	}
+}
+
+func TestTable1RowsMatchCharacterization(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	ns := rows[0]
+	if ns.App != "Navier-Stokes" {
+		t.Fatalf("row order: %q", ns.App)
+	}
+	// The measured startup count must equal the paper characterization.
+	if ns.StartupsPerProc != trace.PaperNS().RankStartups() {
+		t.Errorf("N-S startups %d != %d", ns.StartupsPerProc, trace.PaperNS().RankStartups())
+	}
+	// Measured volume (scaled to Nr=100) matches the analytic 128 MB.
+	if ns.VolumePerProcMB < 120 || ns.VolumePerProcMB > 135 {
+		t.Errorf("N-S volume %g MB", ns.VolumePerProcMB)
+	}
+	if rows[1].StartupsPerProc != trace.PaperEuler().RankStartups() {
+		t.Errorf("Euler startups %d", rows[1].StartupsPerProc)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	tb := Table2Report()
+	if len(tb.Rows) != 5 || len(tb.Headers) != 5 {
+		t.Fatalf("table 2 shape: %dx%d", len(tb.Rows), len(tb.Headers))
+	}
+	// FPs/byte halves as P doubles: row P=4 vs P=8.
+	if !strings.Contains(tb.Rows[1][1], "566") {
+		t.Errorf("P=2 FPs/byte cell %q", tb.Rows[1][1])
+	}
+}
+
+func TestFig2SeriesStructure(t *testing.T) {
+	ss := Fig2()
+	if len(ss) != 2 {
+		t.Fatalf("%d series", len(ss))
+	}
+	for _, s := range ss {
+		if s.Len() != 6 { // versions 1-5 plus the overlap restructuring
+			t.Fatalf("%s has %d points", s.Name, s.Len())
+		}
+		// Times must be non-increasing through V5 (each optimization helps).
+		for i := 1; i < 5; i++ {
+			if s.Y[i] > s.Y[i-1]*1.0001 {
+				t.Errorf("%s: V%d slower than V%d", s.Name, i+1, i)
+			}
+		}
+	}
+	// Euler is roughly half the work of N-S.
+	if r := ss[1].Y[4] / ss[0].Y[4]; r < 0.4 || r > 0.7 {
+		t.Errorf("Euler/N-S V5 time ratio %g", r)
+	}
+}
+
+func TestFigureSeriesConsistency(t *testing.T) {
+	lace, err := FigLACE(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lace) != 3 {
+		t.Fatalf("Fig3: %d series", len(lace))
+	}
+	comp, err := FigLACEComponents(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp) != 5 { // 2 busy + 2 wait + ethernet wait
+		t.Fatalf("Fig5: %d series", len(comp))
+	}
+	vers, err := FigCommVersions(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vers) != 6 {
+		t.Fatalf("Fig8: %d series", len(vers))
+	}
+	plats, err := FigPlatforms(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plats) != 5 {
+		t.Fatalf("Fig9: %d series", len(plats))
+	}
+	libs, err := FigLibraries(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(libs) != 4 {
+		t.Fatalf("Fig11: %d series", len(libs))
+	}
+	// Busy series must fall monotonically with P on every platform.
+	for _, s := range []int{0, 2} {
+		if !libs[s].Monotone() {
+			t.Errorf("library busy series %q not monotone", libs[s].Name)
+		}
+	}
+}
+
+func TestFig1ProducesFlowField(t *testing.T) {
+	field, err := Fig1(48, 16, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(field) != 48 || len(field[0]) != 16 {
+		t.Fatalf("field shape %dx%d", len(field), len(field[0]))
+	}
+	// Jet core: rho*u ~ rho_c*Uc = 0.5*2.12 ~ 1.06 at the axis.
+	if f := field[5][0]; f < 0.8 || f > 1.3 {
+		t.Errorf("core momentum %g", f)
+	}
+	// Ambient: rho*u ~ 0.1 coflow at the top.
+	if f := field[5][15]; f < 0.02 || f > 0.3 {
+		t.Errorf("ambient momentum %g", f)
+	}
+	if _, err := Fig1(4, 4, 1); err == nil {
+		t.Error("want error for degenerate grid")
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	busy, err := Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(busy) != 16 {
+		t.Fatalf("%d processors", len(busy))
+	}
+	for i, b := range busy {
+		if b <= 0 {
+			t.Fatalf("proc %d busy %g", i, b)
+		}
+	}
+}
+
+func TestTable1ReportRenders(t *testing.T) {
+	tb, err := Table1Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	tb.Render(&sb)
+	for _, want := range []string{"Navier-Stokes", "Euler", "80,000", "125"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}

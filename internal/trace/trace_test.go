@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCountersAccumulateAndMerge(t *testing.T) {
+	var a, b Counters
+	a.AddFlops(100)
+	a.AddMessage(64)
+	b.AddFlops(50)
+	b.AddMessage(32)
+	b.AddMessage(32)
+	a.Merge(b)
+	if a.Flops != 150 || a.Startups != 3 || a.Bytes != 128 {
+		t.Fatalf("merged: %+v", a)
+	}
+	if a.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestPaperFlopsPerPoint(t *testing.T) {
+	// 145,000e6 / (250*100*5000) = 1160; 77,000e6 / same = 616.
+	if f := PaperFlopsPerPoint(true); f != 1160 {
+		t.Errorf("N-S flops/point = %g", f)
+	}
+	if f := PaperFlopsPerPoint(false); f != 616 {
+		t.Errorf("Euler flops/point = %g", f)
+	}
+}
+
+func TestCharacterizationMatchesTable1(t *testing.T) {
+	ns := PaperNS()
+	if w := ns.TotalFlops(); w != 145000e6 {
+		t.Errorf("N-S total flops = %g", w)
+	}
+	// 16 startups/step: 4 exchanges x 2 neighbours x (send+recv).
+	if s := ns.RankStartups(); s != 80000 {
+		t.Errorf("N-S startups = %d", s)
+	}
+	// One-neighbour volume: 16 col-vars x 2 cols x 100 x 8 x 5000 = 128 MB,
+	// the paper's "125 MB" per-processor figure.
+	if b := float64(ns.RankBytes()) / 1e6; math.Abs(b-128) > 0.5 {
+		t.Errorf("N-S volume = %g MB", b)
+	}
+	// Message payload: 4 vars x 2 cols x 100 x 8 = 6.4 KB.
+	if m := ns.MessageBytes(); m != 6400 {
+		t.Errorf("N-S message bytes = %d", m)
+	}
+
+	eu := PaperEuler()
+	if w := eu.TotalFlops(); w != 77000e6 {
+		t.Errorf("Euler total flops = %g", w)
+	}
+	if s := eu.RankStartups(); s != 60000 {
+		t.Errorf("Euler startups = %d", s)
+	}
+	if b := float64(eu.RankBytes()) / 1e6; math.Abs(b-96) > 0.5 {
+		t.Errorf("Euler volume = %g MB", b)
+	}
+}

@@ -1,0 +1,107 @@
+// Package vis renders 2-D scalar fields as ASCII contour maps and
+// binary PGM images — the reproduction of the paper's Figure 1 contour
+// plot of axial momentum.
+package vis
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// ramp is the character ramp from low to high values.
+const ramp = " .:-=+*#%@"
+
+// ASCIIContour renders field (indexed [i][j], i axial, j radial) as an
+// ASCII map with the axis at the bottom, downsampled to at most width x
+// height characters.
+func ASCIIContour(w io.Writer, title string, field [][]float64, width, height int) {
+	nx := len(field)
+	if nx == 0 {
+		fmt.Fprintln(w, title+" (empty)")
+		return
+	}
+	nr := len(field[0])
+	if width <= 0 || width > nx {
+		width = nx
+	}
+	if height <= 0 || height > nr {
+		height = nr
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, col := range field {
+		for _, v := range col {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	fmt.Fprintf(w, "%s   [min %.4g, max %.4g]\n", title, lo, hi)
+	// Radial index decreasing: jet axis at the bottom of the plot.
+	for row := height - 1; row >= 0; row-- {
+		j := row * nr / height
+		var b strings.Builder
+		for col := 0; col < width; col++ {
+			i := col * nx / width
+			v := (field[i][j] - lo) / (hi - lo)
+			idx := int(v * float64(len(ramp)-1))
+			b.WriteByte(ramp[idx])
+		}
+		fmt.Fprintln(w, b.String())
+	}
+	fmt.Fprintln(w, strings.Repeat("-", width)+"  (axis; x ->)")
+}
+
+// WritePGM writes the field as a portable graymap (P2, ASCII) with the
+// axis at the bottom row.
+func WritePGM(w io.Writer, field [][]float64) error {
+	nx := len(field)
+	if nx == 0 {
+		return fmt.Errorf("vis: empty field")
+	}
+	nr := len(field[0])
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, col := range field {
+		for _, v := range col {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	if _, err := fmt.Fprintf(w, "P2\n%d %d\n255\n", nx, nr); err != nil {
+		return err
+	}
+	for row := nr - 1; row >= 0; row-- {
+		for i := 0; i < nx; i++ {
+			g := int((field[i][row] - lo) / (hi - lo) * 255)
+			if _, err := fmt.Fprintf(w, "%d ", g); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ContourLevels returns n evenly spaced contour level values.
+func ContourLevels(field [][]float64, n int) []float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, col := range field {
+		for _, v := range col {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i+1)/float64(n+1)
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package vis
+
+import (
+	"strings"
+	"testing"
+)
+
+func gradient(nx, nr int) [][]float64 {
+	f := make([][]float64, nx)
+	for i := range f {
+		f[i] = make([]float64, nr)
+		for j := range f[i] {
+			f[i][j] = float64(i + j)
+		}
+	}
+	return f
+}
+
+func TestASCIIContourShape(t *testing.T) {
+	var sb strings.Builder
+	ASCIIContour(&sb, "field", gradient(40, 20), 40, 10)
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	// title + 10 rows + axis line.
+	if len(lines) != 12 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	if !strings.Contains(lines[0], "min 0") {
+		t.Errorf("header: %s", lines[0])
+	}
+	// Low values (top-left of the bottom rows) should use light ramp
+	// characters, high values dark ones.
+	if !strings.ContainsAny(lines[1], "%@#") {
+		t.Errorf("high row has no dark marks: %q", lines[1])
+	}
+}
+
+func TestASCIIContourEmpty(t *testing.T) {
+	var sb strings.Builder
+	ASCIIContour(&sb, "x", nil, 10, 10)
+	if !strings.Contains(sb.String(), "empty") {
+		t.Fatal("empty field should be reported")
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	var sb strings.Builder
+	if err := WritePGM(&sb, gradient(8, 4)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "P2\n8 4\n255\n") {
+		t.Fatalf("header: %q", out[:20])
+	}
+	if !strings.Contains(out, "255") {
+		t.Error("no max gray value")
+	}
+	if err := WritePGM(&sb, nil); err == nil {
+		t.Error("want error for empty field")
+	}
+}
+
+func TestContourLevels(t *testing.T) {
+	lv := ContourLevels(gradient(10, 10), 4)
+	if len(lv) != 4 {
+		t.Fatalf("%d levels", len(lv))
+	}
+	for i := 1; i < len(lv); i++ {
+		if lv[i] <= lv[i-1] {
+			t.Fatal("levels not increasing")
+		}
+	}
+	if lv[0] <= 0 || lv[3] >= 18 {
+		t.Fatalf("levels %v outside open range", lv)
+	}
+}
