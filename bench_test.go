@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/backend"
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/cpu"
@@ -28,7 +29,6 @@ import (
 	"repro/internal/machine"
 	"repro/internal/msg"
 	"repro/internal/par"
-	"repro/internal/shm"
 	"repro/internal/sim"
 	"repro/internal/solver"
 	"repro/internal/study"
@@ -188,29 +188,43 @@ func BenchmarkSolverStepSerialEuler(b *testing.B) {
 	}
 }
 
-// benchParallel measures parallel composite steps at a rank count.
-func benchParallel(b *testing.B, procs int, version par.Version) {
+// benchBackend measures composite steps through the solver-backend
+// registry: the backend is resolved by name, exactly as cmd/jetsim
+// does, so the harness covers the same code path users run. Because
+// Backend.Run is one-shot, the timed region includes solver
+// construction and the final state gather — amortized at real
+// benchtimes, dominant at -benchtime=1x. Compare against the
+// construction-free BenchmarkSolverStepSerial accordingly.
+func benchBackend(b *testing.B, name string, opts backend.Options) {
 	b.Helper()
-	r, err := par.NewRunner(jet.Paper(), benchGrid(), par.Options{Procs: procs, Version: version, Policy: solver.Lagged})
+	be, err := backend.Get(name)
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ResetTimer()
-	r.Run(b.N)
+	res, err := be.Run(jet.Paper(), benchGrid(), opts, b.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(128*64*b.N)/b.Elapsed().Seconds()/1e6, "Mpoints/s")
+	if res.Diag.HasNaN {
+		b.Fatal("diverged")
+	}
 }
 
-func BenchmarkSolverStepParallel2(b *testing.B) { benchParallel(b, 2, par.V5) }
-func BenchmarkSolverStepParallel4(b *testing.B) { benchParallel(b, 4, par.V5) }
-func BenchmarkSolverStepParallel8(b *testing.B) { benchParallel(b, 8, par.V5) }
-
-func BenchmarkSolverStepSharedMemory4(b *testing.B) {
-	s, err := shm.NewSolver(jet.Paper(), benchGrid(), 4)
-	if err != nil {
-		b.Fatal(err)
+// BenchmarkBackends sweeps every registered backend on the same
+// workload at a representative parallel width.
+func BenchmarkBackends(b *testing.B) {
+	for _, name := range backend.Names() {
+		opts := backend.Options{Procs: 4, Workers: 2, Policy: solver.Lagged}
+		b.Run(name, func(b *testing.B) { benchBackend(b, name, opts) })
 	}
-	defer s.Close()
-	b.ResetTimer()
-	s.Run(b.N)
+}
+
+func BenchmarkSolverStepParallel2(b *testing.B) {
+	benchBackend(b, "mp:v5", backend.Options{Procs: 2})
+}
+func BenchmarkSolverStepParallel8(b *testing.B) {
+	benchBackend(b, "mp:v5", backend.Options{Procs: 8})
 }
 
 // BenchmarkFluxKernel measures the axial flux evaluation alone.

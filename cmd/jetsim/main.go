@@ -1,13 +1,14 @@
 // Command jetsim runs the excited axisymmetric jet of the paper on a
-// chosen solver configuration and prints diagnostics, optionally
-// writing the axial momentum field (Figure 1's quantity) as PGM or
-// ASCII contours.
+// named execution backend and prints diagnostics, optionally writing
+// the axial momentum field (Figure 1's quantity) as PGM or ASCII
+// contours.
 //
 // Examples:
 //
 //	jetsim -nx 125 -nr 50 -steps 500
-//	jetsim -mode mp -procs 8 -version 7 -steps 200
-//	jetsim -mode shm -procs 4 -euler
+//	jetsim -backend mp:v7 -procs 8 -steps 200
+//	jetsim -backend shm -procs 4 -euler
+//	jetsim -backend hybrid -procs 4 -workers 2 -fresh
 //	jetsim -contour -pgm out/jet.pgm
 package main
 
@@ -16,7 +17,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/vis"
 )
@@ -29,29 +32,44 @@ func main() {
 		nr      = flag.Int("nr", 50, "radial grid nodes")
 		steps   = flag.Int("steps", 500, "composite time steps")
 		euler   = flag.Bool("euler", false, "solve the Euler equations instead of Navier-Stokes")
-		mode    = flag.String("mode", "serial", "solver mode: serial, mp (message passing), shm (shared memory)")
-		procs   = flag.Int("procs", 4, "ranks (mp) or workers (shm)")
-		version = flag.Int("version", 5, "communication strategy: 5, 6, or 7 (mp mode)")
+		name    = flag.String("backend", "serial", "execution backend: "+strings.Join(backend.Names(), ", "))
+		mode    = flag.String("mode", "", "deprecated alias for -backend: serial, mp, shm")
+		procs   = flag.Int("procs", 4, "ranks (mp, hybrid) or workers (shm)")
+		workers = flag.Int("workers", 0, "per-rank DOALL workers (hybrid; 0 = host default)")
+		version = flag.Int("version", 5, "communication strategy 5, 6, or 7 (with -mode mp)")
 		fresh   = flag.Bool("fresh", false, "exact halo policy (bitwise serial equivalence)")
 		contour = flag.Bool("contour", false, "print an ASCII contour of axial momentum")
 		pgm     = flag.String("pgm", "", "write axial momentum as a PGM image to this path")
 	)
 	flag.Parse()
 
-	cfg := core.Config{
-		Euler: *euler, Nx: *nx, Nr: *nr, Steps: *steps,
-		Procs: *procs, Version: *version, FreshHalos: *fresh,
+	explicitBackend := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "backend" {
+			explicitBackend = true
+		}
+	})
+	be := *name
+	if *mode != "" && explicitBackend {
+		log.Fatalf("-mode %q conflicts with -backend %q; -mode is a deprecated alias, drop it", *mode, *name)
 	}
 	switch *mode {
+	case "":
 	case "serial":
-		cfg.Mode = core.Serial
-		cfg.Procs = 1
+		be = "serial"
 	case "mp":
-		cfg.Mode = core.MessagePassing
+		be = fmt.Sprintf("mp:v%d", *version)
 	case "shm":
-		cfg.Mode = core.SharedMemory
+		be = "shm"
 	default:
 		log.Fatalf("unknown mode %q", *mode)
+	}
+	cfg := core.Config{
+		Euler: *euler, Nx: *nx, Nr: *nr, Steps: *steps,
+		Backend: be, Procs: *procs, Workers: *workers, FreshHalos: *fresh,
+	}
+	if be == "serial" {
+		cfg.Procs = 1
 	}
 
 	run, err := core.NewRun(cfg)
@@ -64,8 +82,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("mode=%s procs=%d grid=%dx%d steps=%d dt=%.4g elapsed=%s\n",
-		res.Mode, res.Procs, *nx, *nr, res.Steps, res.Dt, res.Elapsed.Round(1e6))
+	fmt.Printf("backend=%s procs=%d grid=%dx%d steps=%d dt=%.4g elapsed=%s\n",
+		res.Backend, res.Procs, *nx, *nr, res.Steps, res.Dt, res.Elapsed.Round(1e6))
 	d := res.Diag
 	fmt.Printf("mass=%.6f energy=%.6f max|v|=%.4g minRho=%.4g minP=%.4g\n",
 		d.Mass, d.Energy, d.MaxV, d.MinRho, d.MinP)

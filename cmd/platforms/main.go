@@ -1,11 +1,16 @@
 // Command platforms co-simulates the paper's platforms on the
-// application workload and prints execution-time curves.
+// application workload and prints execution-time curves. With -backend
+// it additionally measures the real workload on this host through the
+// solver-backend registry, appending the measured curve to the
+// simulated ones — the paper's same-computation-everywhere premise made
+// literal.
 //
 // Examples:
 //
 //	platforms                      # all platforms, Navier-Stokes
 //	platforms -euler -version 7    # Euler with de-burst messages
 //	platforms -platform "Cray T3D" -procs 16
+//	platforms -backend hybrid      # add a measured host curve
 package main
 
 import (
@@ -13,7 +18,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
+	"repro/internal/backend"
+	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/report"
 	"repro/internal/stats"
@@ -38,6 +46,10 @@ func main() {
 		name    = flag.String("platform", "", "run a single platform by name")
 		procs   = flag.Int("procs", 0, "run a single processor count (0 = sweep)")
 		chart   = flag.Bool("chart", true, "draw log-scale ASCII chart")
+		real    = flag.String("backend", "", "also measure a real host run through the backend registry: "+strings.Join(backend.Names(), ", "))
+		nx      = flag.Int("nx", 125, "grid for the measured host run (with -backend)")
+		nr      = flag.Int("nr", 50, "grid for the measured host run (with -backend)")
+		steps   = flag.Int("steps", 100, "composite steps for the measured host run (with -backend)")
 	)
 	flag.Parse()
 
@@ -74,6 +86,37 @@ func main() {
 				log.Fatal(err)
 			}
 			s.Add(float64(np), o.Seconds)
+		}
+		series = append(series, s)
+	}
+
+	if *real != "" {
+		if _, err := backend.Get(*real); err != nil {
+			log.Fatal(err)
+		}
+		s := stats.Series{Name: fmt.Sprintf("host %s (measured)", *real)}
+		counts := []int{1, 2, 4, 8}
+		switch {
+		case *real == "serial":
+			// A single-processor backend is always a P=1 data point,
+			// whatever -procs says about the simulated sweep.
+			counts = []int{1}
+		case *procs > 0:
+			counts = []int{*procs}
+		}
+		for _, np := range counts {
+			run, err := core.NewRun(core.Config{
+				Euler: *euler, Nx: *nx, Nr: *nr, Steps: *steps,
+				Backend: *real, Procs: np,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := run.Execute()
+			if err != nil {
+				log.Fatal(err)
+			}
+			s.Add(float64(np), res.Elapsed.Seconds())
 		}
 		series = append(series, s)
 	}

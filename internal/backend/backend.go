@@ -1,0 +1,173 @@
+// Package backend is the unified solver-backend layer: one interface
+// over every execution style of the reproduction, selected by name
+// through a registry. The paper's whole point is running the *same*
+// Navier-Stokes computation across a variety of architectural
+// platforms; this package makes that literal — callers pick a backend
+// by name and get bitwise-identical physics however the sweeps are
+// scheduled.
+//
+// Registered backends:
+//
+//	serial   single processor, one slab spanning the domain
+//	shm      shared-memory DOALL loop parallelism (Cray Y-MP style)
+//	mp:v5    message passing, grouped two-column halo messages
+//	mp:v6    message passing, communication/computation overlap
+//	mp:v7    message passing, de-burst one-column flux messages
+//	hybrid   ranks × DOALL: axial rank decomposition with each rank's
+//	         sweeps additionally split over a per-rank worker pool
+//
+// All backends run the identical slab engine of internal/solver, so
+// under the Fresh halo policy every backend reproduces the serial
+// arithmetic bitwise (asserted by TestBackendParity).
+package backend
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/flux"
+	"repro/internal/grid"
+	"repro/internal/jet"
+	"repro/internal/par"
+	"repro/internal/solver"
+	"repro/internal/trace"
+)
+
+// Options configures a backend run. The zero value selects one rank /
+// worker, the Lagged halo policy (the paper's message budget), and the
+// default CFL number.
+type Options struct {
+	// Procs is the number of ranks (mp, hybrid) or DOALL workers (shm).
+	// The serial backend ignores it. Zero means 1.
+	Procs int
+	// Workers is the per-rank DOALL pool size of the hybrid backend.
+	// Zero picks a host-derived default (NumCPU/Procs, at least 1).
+	Workers int
+	// Policy selects the halo treatment of the distributed backends:
+	// Lagged matches the paper's Table 1 message budget, Fresh
+	// reproduces the serial arithmetic bitwise.
+	Policy solver.HaloPolicy
+	// CFL overrides the Courant number (0 = solver.DefaultCFL).
+	CFL float64
+}
+
+// cfl resolves the Courant number.
+func (o Options) cfl() float64 {
+	if o.CFL == 0 {
+		return solver.DefaultCFL
+	}
+	return o.CFL
+}
+
+// procs resolves the parallel width.
+func (o Options) procs() int {
+	if o.Procs < 1 {
+		return 1
+	}
+	return o.Procs
+}
+
+// Result reports a completed backend run.
+type Result struct {
+	Backend string
+	Procs   int // ranks (mp, hybrid) or workers (shm), 1 for serial
+	Workers int // per-rank DOALL workers (hybrid), 0 otherwise
+	Steps   int
+	Dt      float64
+	Elapsed time.Duration
+	Diag    solver.Diagnostics
+	// Comm aggregates the message-layer counters (mp, hybrid).
+	Comm trace.Counters
+	// PerRank is the per-rank execution profile (mp, hybrid).
+	PerRank []par.RankStats
+	// Fields is the gathered full-domain conserved state (interior
+	// values), the basis for cross-backend parity checks.
+	Fields *flux.State
+}
+
+// Momentum extracts the axial momentum field rho*u (the quantity
+// contoured in the paper's Figure 1) from the gathered state.
+func (r *Result) Momentum() [][]float64 {
+	nx := r.Fields[flux.IMx].Nx
+	nr := r.Fields[flux.IMx].Nr
+	flat := make([]float64, nx*nr)
+	out := make([][]float64, nx)
+	for i := 0; i < nx; i++ {
+		col := flat[i*nr : (i+1)*nr]
+		copy(col, r.Fields[flux.IMx].Col(i))
+		out[i] = col
+	}
+	return out
+}
+
+// Backend is one execution style of the solver. Run is one-shot: it
+// builds the solver configuration, advances the given number of
+// composite steps, releases any worker pools, and reports.
+type Backend interface {
+	Name() string
+	Run(cfg jet.Config, g *grid.Grid, opts Options, steps int) (Result, error)
+}
+
+// validator is an optional Backend extension: a cheap configuration
+// check without building the solver (used by core.NewRun to fail early
+// on, e.g., a decomposition with slabs below the stencil width).
+type validator interface {
+	Validate(cfg jet.Config, g *grid.Grid, opts Options) error
+}
+
+// Validate checks opts against b without running it. Backends that do
+// not implement the optional validator accept everything here and
+// report errors from Run instead.
+func Validate(b Backend, cfg jet.Config, g *grid.Grid, opts Options) error {
+	if v, ok := b.(validator); ok {
+		return v.Validate(cfg, g, opts)
+	}
+	return nil
+}
+
+// registry maps backend names to implementations. Registration happens
+// in package init functions; the map is read-only afterwards, so
+// lookups need no locking.
+var registry = map[string]Backend{}
+
+// register adds b under its name; duplicate names are a programming
+// error.
+func register(b Backend) {
+	name := b.Name()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("backend: duplicate registration of %q", name))
+	}
+	registry[name] = b
+}
+
+// Get resolves a backend by name. The error lists the registered names
+// so callers can surface it directly as CLI help text.
+func Get(name string) (Backend, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("backend: unknown backend %q (have %v)", name, Names())
+	}
+	return b, nil
+}
+
+// Names returns the registered backend names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// gatherSlab copies the interior of a full-domain slab's state.
+func gatherSlab(g *grid.Grid, q *flux.State) *flux.State {
+	full := flux.NewState(g.Nx, g.Nr)
+	for k := 0; k < flux.NVar; k++ {
+		for c := 0; c < g.Nx; c++ {
+			copy(full[k].Col(c), q[k].Col(c))
+		}
+	}
+	return full
+}

@@ -1,0 +1,168 @@
+package backend
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/flux"
+	"repro/internal/grid"
+	"repro/internal/jet"
+	"repro/internal/solver"
+)
+
+func testGrid(t *testing.T) *grid.Grid {
+	t.Helper()
+	return grid.MustNew(64, 24, 50, 5)
+}
+
+// TestBackendParity is the layer's central guarantee: under the Fresh
+// halo policy every registered backend produces bitwise-identical
+// fields after N composite steps — the same-arithmetic-everywhere
+// property the solver package doc claims, asserted across the whole
+// registry at once.
+func TestBackendParity(t *testing.T) {
+	const steps = 6
+	g := testGrid(t)
+	cfg := jet.Paper()
+
+	ser, err := Get("serial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ser.Run(cfg, g, Options{}, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"serial", Options{}},
+		{"shm", Options{Procs: 4}},
+		{"mp:v5", Options{Procs: 4, Policy: solver.Fresh}},
+		{"mp:v6", Options{Procs: 4, Policy: solver.Fresh}},
+		{"mp:v7", Options{Procs: 4, Policy: solver.Fresh}},
+		{"hybrid", Options{Procs: 4, Workers: 2, Policy: solver.Fresh}},
+	}
+	if len(cases) != len(Names()) {
+		t.Fatalf("parity cases cover %d backends, registry has %v", len(cases), Names())
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			b, err := Get(c.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := b.Run(cfg, g, c.opts, steps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Dt != ref.Dt {
+				t.Fatalf("dt %g != serial %g", res.Dt, ref.Dt)
+			}
+			for k := 0; k < flux.NVar; k++ {
+				if !res.Fields[k].Equal(ref.Fields[k]) {
+					t.Errorf("component %d differs from serial (max %g)",
+						k, res.Fields[k].MaxAbsDiff(ref.Fields[k]))
+				}
+			}
+		})
+	}
+}
+
+// TestHybridComposesBothStyles: the hybrid backend must actually
+// communicate (ranks exchange halos) while reporting its DOALL width.
+func TestHybridComposesBothStyles(t *testing.T) {
+	b, err := Get("hybrid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run(jet.Paper(), testGrid(t), Options{Procs: 3, Workers: 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Comm.Startups == 0 || res.Comm.Bytes == 0 {
+		t.Fatalf("hybrid ran without rank communication: %+v", res.Comm)
+	}
+	if res.Procs != 3 || res.Workers != 2 {
+		t.Fatalf("hybrid shape: procs=%d workers=%d", res.Procs, res.Workers)
+	}
+	if len(res.PerRank) != 3 {
+		t.Fatalf("%d rank stats", len(res.PerRank))
+	}
+}
+
+// TestRegistry covers lookup, the sorted name list, and the error text
+// that doubles as CLI help.
+func TestRegistry(t *testing.T) {
+	want := []string{"hybrid", "mp:v5", "mp:v6", "mp:v7", "serial", "shm"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("registry: %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registry: %v, want %v", got, want)
+		}
+	}
+	for _, n := range want {
+		b, err := Get(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Name() != n {
+			t.Errorf("backend %q reports name %q", n, b.Name())
+		}
+	}
+	if _, err := Get("vector"); err == nil || !strings.Contains(err.Error(), "hybrid") {
+		t.Errorf("unknown-backend error should list registered names, got %v", err)
+	}
+}
+
+// TestValidateCatchesBadDecomposition: the optional validator must
+// reject slabs below the stencil width without building ranks.
+func TestValidateCatchesBadDecomposition(t *testing.T) {
+	g := testGrid(t)
+	cfg := jet.Paper()
+	for _, name := range []string{"mp:v5", "hybrid"} {
+		b, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(b, cfg, g, Options{Procs: 32}); err == nil {
+			t.Errorf("%s: want decomposition error for 32 ranks on 64 columns", name)
+		}
+		if err := Validate(b, cfg, g, Options{Procs: 4}); err != nil {
+			t.Errorf("%s: valid decomposition rejected: %v", name, err)
+		}
+	}
+	ser, err := Get("serial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(ser, cfg, g, Options{Procs: 99}); err != nil {
+		t.Errorf("serial has no validator, want nil, got %v", err)
+	}
+}
+
+// TestResultMomentum: the gathered state must expose the Figure 1
+// quantity with the interior shape and independent storage.
+func TestResultMomentum(t *testing.T) {
+	ser, err := Get("serial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ser.Run(jet.Paper(), testGrid(t), Options{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Momentum()
+	if len(m) != 64 || len(m[0]) != 24 {
+		t.Fatalf("momentum shape %dx%d", len(m), len(m[0]))
+	}
+	m[0][0] = 12345
+	if res.Fields[flux.IMx].At(0, 0) == 12345 {
+		t.Fatal("Momentum must copy, not alias, the gathered state")
+	}
+}

@@ -1,0 +1,57 @@
+package backend
+
+import (
+	"fmt"
+
+	"repro/internal/decomp"
+	"repro/internal/grid"
+	"repro/internal/jet"
+	"repro/internal/par"
+)
+
+func init() {
+	register(mpBackend{version: par.V5})
+	register(mpBackend{version: par.V6})
+	register(mpBackend{version: par.V7})
+}
+
+// mpBackend is the distributed-memory parallelization of the paper's
+// Section 5: one goroutine per rank, halo exchanges through the
+// PVM-like message layer. The version field selects the paper's
+// communication strategy (grouped, overlapped, or de-burst).
+type mpBackend struct {
+	version par.Version
+}
+
+func (b mpBackend) Name() string { return fmt.Sprintf("mp:v%d", int(b.version)) }
+
+// Validate checks the axial decomposition without building the ranks.
+func (b mpBackend) Validate(_ jet.Config, g *grid.Grid, opts Options) error {
+	_, err := decomp.Axial(g.Nx, opts.procs())
+	return err
+}
+
+func (b mpBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int) (Result, error) {
+	r, err := par.NewRunner(cfg, g, par.Options{
+		Procs:   opts.procs(),
+		Version: b.version,
+		Policy:  opts.Policy,
+		CFL:     opts.CFL,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	pr := r.Run(steps)
+	res := Result{
+		Backend: b.Name(),
+		Procs:   pr.Procs,
+		Steps:   steps,
+		Dt:      pr.Dt,
+		Elapsed: pr.Elapsed,
+		Diag:    pr.Diag,
+		Comm:    pr.TotalComm(),
+		PerRank: pr.Ranks,
+		Fields:  r.GatherState(),
+	}
+	return res, nil
+}

@@ -1,0 +1,36 @@
+package backend
+
+import (
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/jet"
+	"repro/internal/solver"
+)
+
+func init() { register(serialBackend{}) }
+
+// serialBackend is the single-processor reference: one slab spanning
+// the whole domain, the configuration the paper measures in Figure 2.
+type serialBackend struct{}
+
+func (serialBackend) Name() string { return "serial" }
+
+func (serialBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int) (Result, error) {
+	s, err := solver.NewSerialCFL(cfg, g, opts.cfl())
+	if err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+	s.Run(steps)
+	elapsed := time.Since(start)
+	return Result{
+		Backend: "serial",
+		Procs:   1,
+		Steps:   steps,
+		Dt:      s.Dt,
+		Elapsed: elapsed,
+		Diag:    s.Diagnose(),
+		Fields:  gatherSlab(g, s.Q),
+	}, nil
+}

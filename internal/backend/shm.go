@@ -1,0 +1,42 @@
+package backend
+
+import (
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/jet"
+	"repro/internal/shm"
+)
+
+func init() { register(shmBackend{}) }
+
+// shmBackend is the shared-memory DOALL parallelization the paper used
+// on the Cray Y-MP: one slab spanning the domain, every column loop
+// fork-joined across a persistent worker pool.
+type shmBackend struct{}
+
+func (shmBackend) Name() string { return "shm" }
+
+func (shmBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int) (Result, error) {
+	workers := opts.procs()
+	s, err := shm.NewSolver(cfg, g, workers)
+	if err != nil {
+		return Result{}, err
+	}
+	defer s.Close()
+	if opts.CFL != 0 {
+		s.Dt = s.StableDt(opts.CFL)
+	}
+	start := time.Now()
+	s.Run(steps)
+	elapsed := time.Since(start)
+	return Result{
+		Backend: "shm",
+		Procs:   workers,
+		Steps:   steps,
+		Dt:      s.Dt,
+		Elapsed: elapsed,
+		Diag:    s.Diagnose(),
+		Fields:  gatherSlab(g, s.Q),
+	}, nil
+}

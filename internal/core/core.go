@@ -1,31 +1,34 @@
 // Package core is the public face of the reproduction: one entry point
 // to (a) the parallel Navier-Stokes/Euler jet solver — the paper's
-// application — in serial, message-passing, and shared-memory (DOALL)
-// configurations, and (b) the architectural study that replays the
-// paper's evaluation on simulated 1995 platforms.
+// application — on any execution backend of internal/backend, and (b)
+// the architectural study that replays the paper's evaluation on
+// simulated 1995 platforms.
 //
 // Quick start:
 //
 //	run, err := core.NewRun(core.Config{Nx: 125, Nr: 50, Steps: 200})
 //	res, err := run.Execute()
 //
-// See examples/ for complete programs and DESIGN.md for the system
-// inventory.
+// Backends are selected by name through the registry ("serial", "shm",
+// "mp:v5", "mp:v6", "mp:v7", "hybrid"); the legacy Mode field maps onto
+// the same registry. See examples/ for complete programs and DESIGN.md
+// for the system inventory.
 package core
 
 import (
 	"fmt"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/grid"
 	"repro/internal/jet"
 	"repro/internal/par"
-	"repro/internal/shm"
 	"repro/internal/solver"
 	"repro/internal/trace"
 )
 
-// Mode selects the execution configuration.
+// Mode selects the execution configuration (legacy alternative to the
+// Backend name).
 type Mode int
 
 const (
@@ -61,10 +64,18 @@ type Config struct {
 	Nx, Nr int
 	// Steps: composite time steps (default 5000, the paper's runs).
 	Steps int
-	// Mode: Serial, MessagePassing, or SharedMemory.
+	// Backend names the execution backend in the internal/backend
+	// registry ("serial", "shm", "mp:v5", "mp:v6", "mp:v7", "hybrid").
+	// When set it takes precedence over Mode/Version.
+	Backend string
+	// Mode: Serial, MessagePassing, or SharedMemory (legacy selector,
+	// used when Backend is empty).
 	Mode Mode
-	// Procs: ranks (MessagePassing) or workers (SharedMemory).
+	// Procs: ranks (MessagePassing, hybrid) or workers (SharedMemory).
 	Procs int
+	// Workers: per-rank DOALL pool size (hybrid backend only; 0 picks a
+	// host-derived default).
+	Workers int
 	// Version: communication strategy 5, 6 or 7 (MessagePassing only).
 	Version int
 	// FreshHalos selects the exact-halo policy (bitwise serial
@@ -94,6 +105,23 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// backendName resolves the registry name: the explicit Backend field,
+// or the legacy Mode/Version pair.
+func (c Config) backendName() (string, error) {
+	if c.Backend != "" {
+		return c.Backend, nil
+	}
+	switch c.Mode {
+	case Serial:
+		return "serial", nil
+	case MessagePassing:
+		return fmt.Sprintf("mp:v%d", c.Version), nil
+	case SharedMemory:
+		return "shm", nil
+	}
+	return "", fmt.Errorf("core: unknown mode %v", c.Mode)
+}
+
 // jetConfig resolves the physical problem.
 func (c Config) jetConfig() jet.Config {
 	if c.Jet != nil {
@@ -107,109 +135,89 @@ func (c Config) jetConfig() jet.Config {
 
 // Result reports a completed run.
 type Result struct {
+	Backend  string
 	Mode     Mode
 	Procs    int
 	Steps    int
 	Dt       float64
 	Elapsed  time.Duration
 	Diag     solver.Diagnostics
-	Comm     trace.Counters  // aggregate communication (MessagePassing)
-	PerRank  []par.RankStats // per-rank profile (MessagePassing)
+	Comm     trace.Counters  // aggregate communication (mp, hybrid)
+	PerRank  []par.RankStats // per-rank profile (mp, hybrid)
 	Momentum [][]float64     // axial momentum field rho*u
 }
 
-// Run is a configured, reusable solver instance.
+// Run is a configured solver run bound to a registry backend.
 type Run struct {
-	cfg    Config
-	grid   *grid.Grid
-	serial *solver.Serial
-	mp     *par.Runner
-	shmS   *shm.Solver
+	cfg  Config
+	grid *grid.Grid
+	be   backend.Backend
+	opts backend.Options
 }
 
-// NewRun validates the configuration and allocates the solver.
+// NewRun validates the configuration, resolves the backend from the
+// registry, and checks the decomposition.
 func NewRun(c Config) (*Run, error) {
 	c = c.withDefaults()
 	g, err := grid.New(c.Nx, c.Nr, 50, 5)
 	if err != nil {
 		return nil, err
 	}
-	r := &Run{cfg: c, grid: g}
-	jc := c.jetConfig()
-	switch c.Mode {
-	case Serial:
-		r.serial, err = solver.NewSerial(jc, g)
-	case MessagePassing:
-		policy := solver.Lagged
-		if c.FreshHalos {
-			policy = solver.Fresh
-		}
-		r.mp, err = par.NewRunner(jc, g, par.Options{
-			Procs:   c.Procs,
-			Version: par.Version(c.Version),
-			Policy:  policy,
-		})
-	case SharedMemory:
-		r.shmS, err = shm.NewSolver(jc, g, c.Procs)
-	default:
-		err = fmt.Errorf("core: unknown mode %v", c.Mode)
-	}
+	name, err := c.backendName()
 	if err != nil {
 		return nil, err
 	}
-	return r, nil
+	be, err := backend.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	policy := solver.Lagged
+	if c.FreshHalos {
+		policy = solver.Fresh
+	}
+	opts := backend.Options{
+		Procs:   c.Procs,
+		Workers: c.Workers,
+		Policy:  policy,
+	}
+	if err := backend.Validate(be, c.jetConfig(), g, opts); err != nil {
+		return nil, err
+	}
+	return &Run{cfg: c, grid: g, be: be, opts: opts}, nil
 }
 
 // Grid returns the computational grid.
 func (r *Run) Grid() *grid.Grid { return r.grid }
 
+// Backend returns the resolved execution backend.
+func (r *Run) Backend() backend.Backend { return r.be }
+
 // Execute advances the configured number of steps and reports.
 func (r *Run) Execute() (*Result, error) {
 	c := r.cfg
-	res := &Result{Mode: c.Mode, Procs: c.Procs, Steps: c.Steps}
-	start := time.Now()
-	switch c.Mode {
-	case Serial:
-		r.serial.Run(c.Steps)
-		res.Dt = r.serial.Dt
-		res.Diag = r.serial.Diagnose()
-		res.Momentum = r.serial.AxialMomentum()
-	case MessagePassing:
-		pr := r.mp.Run(c.Steps)
-		res.Dt = pr.Dt
-		res.Diag = pr.Diag
-		res.Comm = pr.TotalComm()
-		res.PerRank = pr.Ranks
-		res.Momentum = momentumFromState(r.mp)
-	case SharedMemory:
-		r.shmS.Run(c.Steps)
-		res.Dt = r.shmS.Dt
-		res.Diag = r.shmS.Diagnose()
-		res.Momentum = r.shmS.AxialMomentum()
+	br, err := r.be.Run(c.jetConfig(), r.grid, r.opts, c.Steps)
+	if err != nil {
+		return nil, err
 	}
-	res.Elapsed = time.Since(start)
+	res := &Result{
+		Backend:  br.Backend,
+		Mode:     c.Mode,
+		Procs:    br.Procs,
+		Steps:    c.Steps,
+		Dt:       br.Dt,
+		Elapsed:  br.Elapsed,
+		Diag:     br.Diag,
+		Comm:     br.Comm,
+		PerRank:  br.PerRank,
+		Momentum: br.Momentum(),
+	}
 	if res.Diag.HasNaN {
 		return res, fmt.Errorf("core: run diverged (NaN after %d steps)", c.Steps)
 	}
 	return res, nil
 }
 
-// Close releases worker pools (SharedMemory mode).
-func (r *Run) Close() {
-	if r.shmS != nil {
-		r.shmS.Close()
-	}
-}
-
-// momentumFromState assembles rho*u from the distributed slabs.
-func momentumFromState(runner *par.Runner) [][]float64 {
-	full := runner.GatherState()
-	nx, nr := runner.Grid.Nx, runner.Grid.Nr
-	out := make([][]float64, nx)
-	for i := 0; i < nx; i++ {
-		col := make([]float64, nr)
-		copy(col, full[1].Col(i)) // component IMx = rho*u
-		out[i] = col
-	}
-	return out
-}
+// Close releases run resources. Backends release their worker pools at
+// the end of Run, so this is a no-op kept for callers written against
+// the pre-registry API.
+func (r *Run) Close() {}

@@ -139,3 +139,38 @@ func TestModeString(t *testing.T) {
 		t.Fatal("mode strings")
 	}
 }
+
+// TestBackendNameSelectsRegistry: the Backend field must route through
+// the internal/backend registry, take precedence over Mode, and
+// surface registry errors at NewRun.
+func TestBackendNameSelectsRegistry(t *testing.T) {
+	c := small()
+	c.Backend = "hybrid"
+	c.Mode = SharedMemory // must be overridden by Backend
+	c.Procs = 4
+	c.Workers = 2
+	run, err := NewRun(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Backend().Name() != "hybrid" {
+		t.Fatalf("resolved %q, want hybrid", run.Backend().Name())
+	}
+	res, err := run.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Backend != "hybrid" || res.Comm.Startups == 0 {
+		t.Fatalf("hybrid result: backend=%q comm=%+v", res.Backend, res.Comm)
+	}
+
+	c.Backend = "nonesuch"
+	if _, err := NewRun(c); err == nil {
+		t.Error("want error for unknown backend name")
+	}
+	c.Backend = "hybrid"
+	c.Procs = 32 // 64 columns / 32 ranks is below the stencil width
+	if _, err := NewRun(c); err == nil {
+		t.Error("want early decomposition error from backend.Validate")
+	}
+}

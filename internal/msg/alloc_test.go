@@ -1,0 +1,47 @@
+package msg
+
+import "testing"
+
+// TestSendRecvSteadyStateAllocs locks in the free-list property: once
+// the payload free list is primed, a Send/Recv round-trip allocates
+// nothing — the paper's steady exchange schedule runs garbage-free.
+func TestSendRecvSteadyStateAllocs(t *testing.T) {
+	w := NewWorld(2)
+	a, b := w.Comm(0), w.Comm(1)
+	data := make([]float64, 800) // two 100-row halo columns x 4 components
+	buf := make([]float64, 800)
+	roundTrip := func() {
+		a.Send(1, 3, data)
+		b.Recv(0, 3, buf)
+		b.Send(0, 3, buf)
+		a.Recv(1, 3, data)
+	}
+	roundTrip() // prime the free list
+	if n := testing.AllocsPerRun(100, roundTrip); n != 0 {
+		t.Errorf("steady-state Send/Recv round-trip allocates %.1f times, want 0", n)
+	}
+}
+
+// TestFreeListRecyclesAcrossSizes: a larger message after a smaller one
+// must still be delivered intact (an undersized recycled buffer is
+// dropped, not reused).
+func TestFreeListRecyclesAcrossSizes(t *testing.T) {
+	w := NewWorld(2)
+	a, b := w.Comm(0), w.Comm(1)
+	small := []float64{1, 2}
+	a.Send(1, 0, small)
+	got2 := make([]float64, 2)
+	b.Recv(0, 0, got2)
+	big := make([]float64, 64)
+	for i := range big {
+		big[i] = float64(i)
+	}
+	a.Send(1, 1, big)
+	got64 := make([]float64, 64)
+	b.Recv(0, 1, got64)
+	for i := range big {
+		if got64[i] != float64(i) {
+			t.Fatalf("payload corrupted at %d: %g", i, got64[i])
+		}
+	}
+}

@@ -30,11 +30,18 @@ type message struct {
 // most a few messages in flight between neighbours.
 const pairCap = 16
 
+// freeCap bounds the world's payload free list. In-flight payloads are
+// limited by the pair buffers, so a modest cap keeps steady-state sends
+// allocation-free without holding memory proportional to world size
+// squared.
+const freeCap = 1024
+
 // World connects Size ranks with in-process channels.
 type World struct {
 	size  int
 	pipes [][]chan message // pipes[from][to]
 	comms []*Comm
+	free  chan []float64 // recycled message payloads
 }
 
 // NewWorld creates a world of n ranks.
@@ -42,7 +49,7 @@ func NewWorld(n int) *World {
 	if n < 1 {
 		panic(fmt.Sprintf("msg: invalid world size %d", n))
 	}
-	w := &World{size: n, pipes: make([][]chan message, n)}
+	w := &World{size: n, pipes: make([][]chan message, n), free: make(chan []float64, freeCap)}
 	for i := range w.pipes {
 		w.pipes[i] = make([]chan message, n)
 		for j := range w.pipes[i] {
@@ -56,6 +63,30 @@ func NewWorld(n int) *World {
 		w.comms[r] = &Comm{world: w, rank: r}
 	}
 	return w
+}
+
+// getBuf takes a recycled payload of length n from the free list, or
+// allocates one. An undersized recycled slice is dropped rather than
+// grown: message sizes per world take only a few distinct values, so
+// the list converges to the largest within a step or two.
+func (w *World) getBuf(n int) []float64 {
+	select {
+	case b := <-w.free:
+		if cap(b) >= n {
+			return b[:n]
+		}
+	default:
+	}
+	return make([]float64, n)
+}
+
+// putBuf returns a delivered payload to the free list (dropped if the
+// list is full).
+func (w *World) putBuf(b []float64) {
+	select {
+	case w.free <- b:
+	default:
+	}
 }
 
 // Size returns the number of ranks.
@@ -91,13 +122,14 @@ func (c *Comm) Rank() int { return c.rank }
 func (c *Comm) Size() int { return c.world.size }
 
 // Send transmits data to rank `to` with an eager (buffered) semantic:
-// it blocks only if the pair buffer is full. The payload is copied, so
-// the caller may reuse data immediately (as PVM's pack/send does).
+// it blocks only if the pair buffer is full. The payload is copied into
+// a recycled buffer, so the caller may reuse data immediately (as PVM's
+// pack/send does) and steady-state sends allocate nothing.
 func (c *Comm) Send(to int, tag Tag, data []float64) {
 	if to == c.rank {
 		panic("msg: send to self")
 	}
-	cp := make([]float64, len(data))
+	cp := c.world.getBuf(len(data))
 	copy(cp, data)
 	c.Counters.AddMessage(8 * len(data))
 	c.world.pipes[c.rank][to] <- message{tag: tag, data: cp}
@@ -122,6 +154,7 @@ func (c *Comm) Recv(from int, tag Tag, buf []float64) {
 		panic(fmt.Sprintf("msg: rank %d tag %d from %d: length %d != buffer %d", c.rank, tag, from, len(m.data), len(buf)))
 	}
 	copy(buf, m.data)
+	c.world.putBuf(m.data)
 }
 
 // TryRecvReady reports whether a message from `from` is already waiting

@@ -10,7 +10,9 @@ import (
 // rankHalo implements solver.Halo over the message layer. Boundary
 // columns are grouped into a single send per neighbour per exchange
 // (the paper's startup-reduction optimization); Version 7 splits the
-// flux exchanges into one-column messages to reduce burstiness.
+// flux exchanges into one-column messages to reduce burstiness. The
+// pack and unpack staging buffers are sized for the widest exchange at
+// construction, so the steady-state exchange path allocates nothing.
 type rankHalo struct {
 	comm      *msg.Comm
 	left      int // neighbour ranks, -1 at domain edges
@@ -23,8 +25,11 @@ type rankHalo struct {
 	edgeRight solver.EdgeHalo
 }
 
-func newRankHalo(c *msg.Comm, rank, procs, n int, v Version) *rankHalo {
+func newRankHalo(c *msg.Comm, rank, procs, n, nr int, v Version) *rankHalo {
 	h := &rankHalo{comm: c, left: rank - 1, right: rank + 1, n: n, version: v}
+	maxMsg := flux.NVar * field.Halo * nr
+	h.sendBuf = make([]float64, 0, maxMsg)
+	h.recvBuf = make([]float64, 0, maxMsg)
 	if rank == 0 {
 		h.left = -1
 		h.edgeLeft = solver.EdgeHalo{Left: true}
@@ -52,7 +57,9 @@ func (h *rankHalo) parts(k solver.Kind) int {
 	return 1
 }
 
-// pack copies ncols columns starting at c0 of every component into buf.
+// pack copies ncols columns starting at c0 of every component into buf,
+// growing it only if the constructor-sized capacity is exceeded (which
+// does not happen on the solver's exchange schedule).
 func pack(b *flux.State, c0, ncols int, buf []float64) []float64 {
 	nr := b[0].Nr
 	need := flux.NVar * ncols * nr
@@ -90,7 +97,7 @@ func (h *rankHalo) sendTo(to int, k solver.Kind, b *flux.State, c0 int) {
 }
 
 // recvFrom receives the neighbour's boundary columns into ghost columns
-// starting at c0.
+// starting at c0, staging them through the constructor-sized recvBuf.
 func (h *rankHalo) recvFrom(from int, k solver.Kind, b *flux.State, c0 int) {
 	nr := b[0].Nr
 	if h.parts(k) == 1 {
@@ -103,9 +110,6 @@ func (h *rankHalo) recvFrom(from int, k solver.Kind, b *flux.State, c0 int) {
 		return
 	}
 	need := flux.NVar * nr
-	if cap(h.recvBuf) < need {
-		h.recvBuf = make([]float64, need)
-	}
 	for p := 0; p < field.Halo; p++ {
 		h.comm.Recv(from, tag(k, p), h.recvBuf[:need])
 		unpack(b, c0+p, 1, h.recvBuf[:need])

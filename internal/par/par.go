@@ -135,7 +135,7 @@ func NewRunner(cfg jet.Config, g *grid.Grid, opt Options) (*Runner, error) {
 	for rank := 0; rank < opt.Procs; rank++ {
 		i0, n := d.Range(rank)
 		comm := world.Comm(rank)
-		h := newRankHalo(comm, rank, opt.Procs, n, opt.Version)
+		h := newRankHalo(comm, rank, opt.Procs, n, g.Nr, opt.Version)
 		sl, err := solver.NewSlab(cfg, g, gm, i0, n, h, opt.Policy)
 		if err != nil {
 			return nil, err

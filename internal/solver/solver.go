@@ -132,6 +132,10 @@ type Slab struct {
 
 	RInv []float64
 	T    *trace.Counters
+
+	// momBuf backs AxialMomentum's returned columns, allocated once and
+	// reused across calls.
+	momBuf []float64
 }
 
 // NewSlab builds a slab owning global columns [i0, i0+nxloc) of g.
@@ -432,11 +436,17 @@ func (s *Slab) Diagnose() Diagnostics {
 }
 
 // AxialMomentum extracts the rho*u field (the quantity contoured in the
-// paper's Figure 1) for the owned columns.
+// paper's Figure 1) for the owned columns. The column storage is a
+// slab-owned buffer reused by subsequent calls: callers that need the
+// snapshot to survive the next call must copy it.
 func (s *Slab) AxialMomentum() [][]float64 {
+	nr := s.Grid.Nr
+	if cap(s.momBuf) < s.NxLoc*nr {
+		s.momBuf = make([]float64, s.NxLoc*nr)
+	}
 	out := make([][]float64, s.NxLoc)
 	for c := 0; c < s.NxLoc; c++ {
-		col := make([]float64, s.Grid.Nr)
+		col := s.momBuf[c*nr : (c+1)*nr]
 		copy(col, s.Q[flux.IMx].Col(c))
 		out[c] = col
 	}
