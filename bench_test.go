@@ -227,6 +227,19 @@ func BenchmarkSolverStepParallel8(b *testing.B) {
 	benchBackend(b, "mp:v5", backend.Options{Procs: 8})
 }
 
+// Benchmark2DShapes sweeps rank-grid shapes of the 2-D decomposition at
+// a fixed rank count, axial-only through square: the halo-surface
+// trade the mp2d backend exists to make (per-rank perimeter
+// 2*(nx/px + nr/pr) shrinks toward the square shape, message count
+// grows).
+func Benchmark2DShapes(b *testing.B) {
+	for _, sh := range [][2]int{{8, 1}, {4, 2}, {2, 4}} {
+		b.Run(fmt.Sprintf("%dx%d", sh[0], sh[1]), func(b *testing.B) {
+			benchBackend(b, "mp2d", backend.Options{Px: sh[0], Pr: sh[1], Policy: solver.Lagged})
+		})
+	}
+}
+
 // BenchmarkFluxKernel measures the axial flux evaluation alone.
 func BenchmarkFluxKernel(b *testing.B) {
 	gm := jet.Paper().Gas()

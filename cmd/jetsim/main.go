@@ -9,6 +9,8 @@
 //	jetsim -backend mp:v7 -procs 8 -steps 200
 //	jetsim -backend shm -procs 4 -euler
 //	jetsim -backend hybrid -procs 4 -workers 2 -fresh
+//	jetsim -backend mp2d -procs 8 -steps 200       # auto near-square rank grid
+//	jetsim -backend mp2d -px 4 -pr 2 -steps 200    # explicit 4x2 rank grid
 //	jetsim -contour -pgm out/jet.pgm
 package main
 
@@ -34,8 +36,10 @@ func main() {
 		euler   = flag.Bool("euler", false, "solve the Euler equations instead of Navier-Stokes")
 		name    = flag.String("backend", "serial", "execution backend: "+strings.Join(backend.Names(), ", "))
 		mode    = flag.String("mode", "", "deprecated alias for -backend: serial, mp, shm")
-		procs   = flag.Int("procs", 4, "ranks (mp, hybrid) or workers (shm)")
+		procs   = flag.Int("procs", 4, "ranks (mp, mp2d, hybrid) or workers (shm)")
 		workers = flag.Int("workers", 0, "per-rank DOALL workers (hybrid; 0 = host default)")
+		px      = flag.Int("px", 0, "axial rank-grid width (mp2d; 0 = auto near-square)")
+		pr      = flag.Int("pr", 0, "radial rank-grid height (mp2d; 0 = auto near-square)")
 		version = flag.Int("version", 5, "communication strategy 5, 6, or 7 (with -mode mp)")
 		fresh   = flag.Bool("fresh", false, "exact halo policy (bitwise serial equivalence)")
 		contour = flag.Bool("contour", false, "print an ASCII contour of axial momentum")
@@ -44,9 +48,13 @@ func main() {
 	flag.Parse()
 
 	explicitBackend := false
+	explicitProcs := false
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "backend" {
+		switch f.Name {
+		case "backend":
 			explicitBackend = true
+		case "procs":
+			explicitProcs = true
 		}
 	})
 	be := *name
@@ -66,7 +74,13 @@ func main() {
 	}
 	cfg := core.Config{
 		Euler: *euler, Nx: *nx, Nr: *nr, Steps: *steps,
-		Backend: be, Procs: *procs, Workers: *workers, FreshHalos: *fresh,
+		Backend: be, Procs: *procs, Workers: *workers, Px: *px, Pr: *pr,
+		FreshHalos: *fresh,
+	}
+	if *px > 0 && *pr > 0 && !explicitProcs {
+		// An explicit rank-grid shape defines the width; only an
+		// explicitly contradicting -procs should error downstream.
+		cfg.Procs = 0
 	}
 	if be == "serial" {
 		cfg.Procs = 1
@@ -82,13 +96,21 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("backend=%s procs=%d grid=%dx%d steps=%d dt=%.4g elapsed=%s\n",
-		res.Backend, res.Procs, *nx, *nr, res.Steps, res.Dt, res.Elapsed.Round(1e6))
+	shape := ""
+	if res.Px > 0 {
+		shape = fmt.Sprintf(" ranks=%dx%d", res.Px, res.Pr)
+	}
+	fmt.Printf("backend=%s procs=%d%s grid=%dx%d steps=%d dt=%.4g elapsed=%s\n",
+		res.Backend, res.Procs, shape, *nx, *nr, res.Steps, res.Dt, res.Elapsed.Round(1e6))
 	d := res.Diag
 	fmt.Printf("mass=%.6f energy=%.6f max|v|=%.4g minRho=%.4g minP=%.4g\n",
 		d.Mass, d.Energy, d.MaxV, d.MinRho, d.MinP)
 	if res.Comm.Startups > 0 {
 		fmt.Printf("comm: %d startups, %.2f MB sent\n", res.Comm.Startups, float64(res.Comm.Bytes)/1e6)
+		if dir := res.CommDir; dir.Radial.Startups > 0 {
+			fmt.Printf("  axial:  %8d startups %8.2f MB\n", dir.Axial.Startups, float64(dir.Axial.Bytes)/1e6)
+			fmt.Printf("  radial: %8d startups %8.2f MB\n", dir.Radial.Startups, float64(dir.Radial.Bytes)/1e6)
+		}
 		for _, rs := range res.PerRank {
 			fmt.Printf("  rank %2d: busy=%-10s wait=%-10s %8d startups %8.2f MB %12.3g flops\n",
 				rs.Rank, rs.Busy.Round(1e6), rs.Wait.Round(1e6), rs.Comm.Startups, float64(rs.Comm.Bytes)/1e6, rs.Flops)

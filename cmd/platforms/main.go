@@ -11,6 +11,7 @@
 //	platforms -euler -version 7    # Euler with de-burst messages
 //	platforms -platform "Cray T3D" -procs 16
 //	platforms -backend hybrid      # add a measured host curve
+//	platforms -backend mp2d        # measured 2-D rank-grid curve
 package main
 
 import (

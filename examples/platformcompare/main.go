@@ -68,9 +68,12 @@ func main() {
 	const nx, nr, steps, procs = 96, 32, 40, 4
 	var refMass float64
 	for i, name := range backend.Names() {
+		// Px/Pr pin the mp2d rank grid to 2x2 so the radial exchange
+		// path is exercised (its surface-minimizing default for this
+		// wide domain is the axial-only 4x1); other backends ignore it.
 		run, err := core.NewRun(core.Config{
 			Nx: nx, Nr: nr, Steps: steps,
-			Backend: name, Procs: procs, FreshHalos: true,
+			Backend: name, Procs: procs, Px: 2, Pr: 2, FreshHalos: true,
 		})
 		if err != nil {
 			log.Fatal(err)

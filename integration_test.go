@@ -10,26 +10,37 @@ import (
 )
 
 // TestEndToEnd exercises the public API as a downstream user would:
-// build a jet, run it in all three modes, render the field, and check
-// the fast subset of the paper's claims.
+// build a jet, run it in all three legacy modes plus the 2-D rank-grid
+// backend, render the field, and check the fast subset of the paper's
+// claims.
 func TestEndToEnd(t *testing.T) {
-	for _, mode := range []core.Mode{core.Serial, core.MessagePassing, core.SharedMemory} {
-		run, err := core.NewRun(core.Config{Nx: 64, Nr: 24, Steps: 6, Mode: mode, Procs: 4})
+	configs := []core.Config{
+		{Nx: 64, Nr: 24, Steps: 6, Mode: core.Serial, Procs: 4},
+		{Nx: 64, Nr: 24, Steps: 6, Mode: core.MessagePassing, Procs: 4},
+		{Nx: 64, Nr: 24, Steps: 6, Mode: core.SharedMemory, Procs: 4},
+		{Nx: 64, Nr: 24, Steps: 6, Backend: "mp2d", Px: 2, Pr: 2},
+	}
+	for _, cfg := range configs {
+		name := cfg.Backend
+		if name == "" {
+			name = cfg.Mode.String()
+		}
+		run, err := core.NewRun(cfg)
 		if err != nil {
-			t.Fatalf("%v: %v", mode, err)
+			t.Fatalf("%v: %v", name, err)
 		}
 		res, err := run.Execute()
 		run.Close()
 		if err != nil {
-			t.Fatalf("%v: %v", mode, err)
+			t.Fatalf("%v: %v", name, err)
 		}
 		if res.Diag.HasNaN || res.Diag.MinP <= 0 {
-			t.Fatalf("%v: nonphysical result %+v", mode, res.Diag)
+			t.Fatalf("%v: nonphysical result %+v", name, res.Diag)
 		}
 		var sb strings.Builder
 		vis.ASCIIContour(&sb, "rho*u", res.Momentum, 60, 12)
 		if !strings.Contains(sb.String(), "max") {
-			t.Fatalf("%v: contour rendering failed", mode)
+			t.Fatalf("%v: contour rendering failed", name)
 		}
 	}
 }

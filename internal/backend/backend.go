@@ -13,6 +13,8 @@
 //	mp:v5    message passing, grouped two-column halo messages
 //	mp:v6    message passing, communication/computation overlap
 //	mp:v7    message passing, de-burst one-column flux messages
+//	mp2d     message passing over a 2-D (axial × radial) rank grid:
+//	         ghost columns left/right plus ghost rows down/up
 //	hybrid   ranks × DOALL: axial rank decomposition with each rank's
 //	         sweeps additionally split over a per-rank worker pool
 //
@@ -44,6 +46,11 @@ type Options struct {
 	// Workers is the per-rank DOALL pool size of the hybrid backend.
 	// Zero picks a host-derived default (NumCPU/Procs, at least 1).
 	Workers int
+	// Px, Pr select the rank-grid shape of the mp2d backend (axial ×
+	// radial). Both zero picks the surface-minimizing near-square shape
+	// for Procs ranks; one of them set derives the other from Procs.
+	// Other backends ignore them.
+	Px, Pr int
 	// Policy selects the halo treatment of the distributed backends:
 	// Lagged matches the paper's Table 1 message budget, Fresh
 	// reproduces the serial arithmetic bitwise.
@@ -77,8 +84,13 @@ type Result struct {
 	Dt      float64
 	Elapsed time.Duration
 	Diag    solver.Diagnostics
-	// Comm aggregates the message-layer counters (mp, hybrid).
+	// Px, Pr is the rank-grid shape (mp2d), 0 otherwise.
+	Px, Pr int
+	// Comm aggregates the message-layer counters (mp, mp2d, hybrid).
 	Comm trace.Counters
+	// CommDir splits Comm by exchange direction; Radial is nonzero only
+	// for the 2-D decomposition.
+	CommDir trace.DirCounters
 	// PerRank is the per-rank execution profile (mp, hybrid).
 	PerRank []par.RankStats
 	// Fields is the gathered full-domain conserved state (interior

@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -15,14 +16,51 @@ func testGrid(t *testing.T) *grid.Grid {
 	return grid.MustNew(64, 24, 50, 5)
 }
 
+// parityOptions returns the Options sweep TestBackendParity runs for
+// one backend: every parallel width 1..4, plus — for mp2d — a set of
+// explicit rank-grid shapes that includes non-divisible splits of both
+// nx and nr.
+func parityOptions(name string) []Options {
+	var opts []Options
+	for p := 1; p <= 4; p++ {
+		o := Options{Procs: p, Policy: solver.Fresh}
+		if name == "hybrid" {
+			o.Workers = 2
+		}
+		opts = append(opts, o)
+	}
+	if name == "mp2d" {
+		// The parity grid is 64x26: px=3 leaves columns 22+21+21 and
+		// pr=3 leaves rows 9+9+8, so both directions cover the
+		// remainder-block paths; 4x3 = 12 ranks exceeds anything the
+		// width sweep reaches.
+		for _, sh := range [][2]int{{2, 2}, {3, 2}, {2, 3}, {1, 4}, {4, 1}, {3, 3}, {4, 3}} {
+			opts = append(opts, Options{Px: sh[0], Pr: sh[1], Policy: solver.Fresh})
+		}
+	}
+	return opts
+}
+
+// optionsLabel names one sweep point for the subtest tree.
+func optionsLabel(o Options) string {
+	if o.Px > 0 || o.Pr > 0 {
+		return fmt.Sprintf("px%dxpr%d", o.Px, o.Pr)
+	}
+	if o.Workers > 0 {
+		return fmt.Sprintf("procs%dx%d", o.Procs, o.Workers)
+	}
+	return fmt.Sprintf("procs%d", o.Procs)
+}
+
 // TestBackendParity is the layer's central guarantee: under the Fresh
 // halo policy every registered backend produces bitwise-identical
 // fields after N composite steps — the same-arithmetic-everywhere
-// property the solver package doc claims, asserted across the whole
-// registry at once.
+// property the solver package doc claims — asserted registry-wide over
+// every parallel width 1..4 and, for the 2-D decomposition, over a set
+// of rank-grid shapes including non-divisible nx/nr splits.
 func TestBackendParity(t *testing.T) {
 	const steps = 6
-	g := testGrid(t)
+	g := grid.MustNew(64, 26, 50, 5)
 	cfg := jet.Paper()
 
 	ser, err := Get("serial")
@@ -34,40 +72,55 @@ func TestBackendParity(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	cases := []struct {
-		name string
-		opts Options
-	}{
-		{"serial", Options{}},
-		{"shm", Options{Procs: 4}},
-		{"mp:v5", Options{Procs: 4, Policy: solver.Fresh}},
-		{"mp:v6", Options{Procs: 4, Policy: solver.Fresh}},
-		{"mp:v7", Options{Procs: 4, Policy: solver.Fresh}},
-		{"hybrid", Options{Procs: 4, Workers: 2, Policy: solver.Fresh}},
-	}
-	if len(cases) != len(Names()) {
-		t.Fatalf("parity cases cover %d backends, registry has %v", len(cases), Names())
-	}
-	for _, c := range cases {
-		t.Run(c.name, func(t *testing.T) {
-			b, err := Get(c.name)
-			if err != nil {
-				t.Fatal(err)
-			}
-			res, err := b.Run(cfg, g, c.opts, steps)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if res.Dt != ref.Dt {
-				t.Fatalf("dt %g != serial %g", res.Dt, ref.Dt)
-			}
-			for k := 0; k < flux.NVar; k++ {
-				if !res.Fields[k].Equal(ref.Fields[k]) {
-					t.Errorf("component %d differs from serial (max %g)",
-						k, res.Fields[k].MaxAbsDiff(ref.Fields[k]))
+	for _, name := range Names() {
+		b, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range parityOptions(name) {
+			t.Run(name+"/"+optionsLabel(o), func(t *testing.T) {
+				res, err := b.Run(cfg, g, o, steps)
+				if err != nil {
+					t.Fatal(err)
 				}
-			}
-		})
+				if res.Dt != ref.Dt {
+					t.Fatalf("dt %g != serial %g", res.Dt, ref.Dt)
+				}
+				for k := 0; k < flux.NVar; k++ {
+					if !res.Fields[k].Equal(ref.Fields[k]) {
+						t.Errorf("component %d differs from serial (max %g)",
+							k, res.Fields[k].MaxAbsDiff(ref.Fields[k]))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestMp2dReportsShapeAndDirections: the 2-D backend must expose its
+// resolved rank-grid shape and a per-direction message split whose sum
+// matches the aggregate counters.
+func TestMp2dReportsShapeAndDirections(t *testing.T) {
+	b, err := Get("mp2d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run(jet.Paper(), grid.MustNew(64, 26, 50, 5), Options{Px: 2, Pr: 2, Policy: solver.Fresh}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Px != 2 || res.Pr != 2 || res.Procs != 4 {
+		t.Fatalf("shape: px=%d pr=%d procs=%d", res.Px, res.Pr, res.Procs)
+	}
+	if res.CommDir.Axial.Startups == 0 || res.CommDir.Radial.Startups == 0 {
+		t.Fatalf("2x2 run must communicate in both directions: %v", res.CommDir)
+	}
+	tot := res.CommDir.Total()
+	if tot.Startups != res.Comm.Startups || tot.Bytes != res.Comm.Bytes {
+		t.Fatalf("direction split %v does not sum to aggregate %v", res.CommDir, res.Comm)
+	}
+	if len(res.PerRank) != 4 {
+		t.Fatalf("%d rank stats", len(res.PerRank))
 	}
 }
 
@@ -96,7 +149,7 @@ func TestHybridComposesBothStyles(t *testing.T) {
 // TestRegistry covers lookup, the sorted name list, and the error text
 // that doubles as CLI help.
 func TestRegistry(t *testing.T) {
-	want := []string{"hybrid", "mp:v5", "mp:v6", "mp:v7", "serial", "shm"}
+	want := []string{"hybrid", "mp2d", "mp:v5", "mp:v6", "mp:v7", "serial", "shm"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("registry: %v, want %v", got, want)
@@ -143,6 +196,26 @@ func TestValidateCatchesBadDecomposition(t *testing.T) {
 	}
 	if err := Validate(ser, cfg, g, Options{Procs: 99}); err != nil {
 		t.Errorf("serial has no validator, want nil, got %v", err)
+	}
+
+	// The 2-D decomposition scales past the axial rank ceiling: 32
+	// ranks on 64 columns is impossible axially but fits as an 8x4
+	// grid — while a degenerate 32x1 shape still fails the width check.
+	m2, err := Get("mp2d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(m2, cfg, g, Options{Procs: 32}); err != nil {
+		t.Errorf("mp2d: 32 ranks on 64x24 should fit as 8x4, got %v", err)
+	}
+	if err := Validate(m2, cfg, g, Options{Px: 32, Pr: 1}); err == nil {
+		t.Error("mp2d: want width error for a 32x1 shape on 64 columns")
+	}
+	if err := Validate(m2, cfg, g, Options{Px: 1, Pr: 12}); err == nil {
+		t.Error("mp2d: want height error for a 1x12 shape on 24 rows")
+	}
+	if err := Validate(m2, cfg, g, Options{Procs: 6, Px: 4}); err == nil {
+		t.Error("mp2d: want error when px does not divide procs")
 	}
 }
 

@@ -1,0 +1,136 @@
+package backend
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/flux"
+	"repro/internal/grid"
+	"repro/internal/jet"
+)
+
+// update regenerates the committed goldens instead of comparing:
+//
+//	go test ./internal/backend -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite testdata/goldens.json from the current serial solver")
+
+// goldenCase pins the serial solver on one small configuration.
+type goldenCase struct {
+	Nx      int     `json:"nx"`
+	Nr      int     `json:"nr"`
+	Steps   int     `json:"steps"`
+	Euler   bool    `json:"euler"`
+	DtBits  uint64  `json:"dt_bits"`  // IEEE-754 bits of the stable time step
+	SumBits uint64  `json:"sum_bits"` // FNV-1a 64 over the final field bits
+	Mass    float64 `json:"mass"`     // human-readable drift indicator
+}
+
+// goldenCases are the two pinned configurations: one viscous, one
+// inviscid, on different grids.
+func goldenCases() map[string]goldenCase {
+	return map[string]goldenCase{
+		"ns-64x24":    {Nx: 64, Nr: 24, Steps: 8},
+		"euler-48x16": {Nx: 48, Nr: 16, Steps: 10, Euler: true},
+	}
+}
+
+// fieldChecksum hashes the interior of every component, column-major,
+// as raw IEEE-754 bits — any single-ulp drift anywhere changes it.
+func fieldChecksum(s *flux.State) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for k := 0; k < flux.NVar; k++ {
+		for i := 0; i < s[k].Nx; i++ {
+			for _, v := range s[k].Col(i) {
+				binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+				h.Write(buf[:])
+			}
+		}
+	}
+	return h.Sum64()
+}
+
+// TestGoldenFields locks the serial physics against bitwise drift:
+// kernel or backend refactors that change any arithmetic — even in the
+// last ulp — fail this test, so deliberate changes must regenerate the
+// goldens with -update (and say so in review). The checksums pin the
+// amd64 arithmetic; other architectures may legally fuse multiply-adds
+// into different (equally valid) results, so the comparison is skipped
+// there.
+func TestGoldenFields(t *testing.T) {
+	if runtime.GOARCH != "amd64" {
+		if *update {
+			t.Fatalf("refusing to regenerate the goldens on GOARCH=%s: they pin amd64 arithmetic and CI would then fail on a physics change that never happened", runtime.GOARCH)
+		}
+		t.Skipf("goldens pin amd64 float arithmetic; GOARCH=%s may fuse FMAs", runtime.GOARCH)
+	}
+	path := filepath.Join("testdata", "goldens.json")
+	got := map[string]goldenCase{}
+	for name, c := range goldenCases() {
+		cfg := jet.Paper()
+		if c.Euler {
+			cfg = jet.Euler()
+		}
+		b, err := Get("serial")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := b.Run(cfg, grid.MustNew(c.Nx, c.Nr, 50, 5), Options{}, c.Steps)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		c.DtBits = math.Float64bits(res.Dt)
+		c.SumBits = fieldChecksum(res.Fields)
+		c.Mass = res.Diag.Mass
+		got[name] = c
+	}
+
+	if *update {
+		out, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing goldens (regenerate with -update): %v", err)
+	}
+	want := map[string]goldenCase{}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	for name, g := range got {
+		w, ok := want[name]
+		if !ok {
+			t.Errorf("%s: no committed golden (regenerate with -update)", name)
+			continue
+		}
+		if g.SumBits != w.SumBits || g.DtBits != w.DtBits {
+			t.Errorf("%s: fields drifted from golden:\n  dt   %016x want %016x\n  sum  %016x want %016x\n  mass %.15g want %.15g\nIf the physics change is intentional, regenerate with -update.",
+				name, g.DtBits, w.DtBits, g.SumBits, w.SumBits, g.Mass, w.Mass)
+		}
+	}
+	// Keys present in the file but no longer generated indicate a stale
+	// golden set.
+	for name := range want {
+		if _, ok := got[name]; !ok {
+			t.Errorf("stale golden %q (regenerate with -update)", name)
+		}
+	}
+}

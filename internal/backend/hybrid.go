@@ -76,6 +76,7 @@ func (b hybridBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int
 		Elapsed: pr.Elapsed,
 		Diag:    pr.Diag,
 		Comm:    pr.TotalComm(),
+		CommDir: pr.TotalDir(),
 		PerRank: pr.Ranks,
 		Fields:  r.GatherState(),
 	}

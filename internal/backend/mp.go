@@ -50,6 +50,7 @@ func (b mpBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int) (R
 		Elapsed: pr.Elapsed,
 		Diag:    pr.Diag,
 		Comm:    pr.TotalComm(),
+		CommDir: pr.TotalDir(),
 		PerRank: pr.Ranks,
 		Fields:  r.GatherState(),
 	}

@@ -1,0 +1,72 @@
+package backend
+
+import (
+	"repro/internal/decomp"
+	"repro/internal/grid"
+	"repro/internal/jet"
+	"repro/internal/par"
+)
+
+func init() { register(mp2dBackend{}) }
+
+// mp2dBackend is the 2-D (axial × radial) rank-grid decomposition: the
+// domain is split into px*pr sub-rectangles, each running the slab
+// engine and exchanging ghost columns with left/right neighbours and
+// ghost rows with down/up neighbours through the message layer. The
+// paper's axial-only split (Section 5) caps out at Nx/MinWidth ranks
+// with 2*Nr halo surface per rank; the rank grid raises the ceiling to
+// (Nx/MinWidth)*(Nr/MinHeight) and cuts the surface to
+// 2*(Nr/pr + Nx/px). Exchanges are grouped (the Version 5 shape) and
+// the physics stays bitwise-identical to serial under the Fresh halo
+// policy for every rank-grid shape.
+type mp2dBackend struct{}
+
+func (mp2dBackend) Name() string { return "mp2d" }
+
+// options2D maps the registry options onto the 2-D runner's. Procs
+// passes through raw: zero means "derive from the shape" (or one rank
+// when no shape is given either), while an explicit value that
+// contradicts an explicit shape must reach the runner's error check.
+func options2D(opts Options) par.Options2D {
+	return par.Options2D{
+		Procs:  opts.Procs,
+		Px:     opts.Px,
+		Pr:     opts.Pr,
+		Policy: opts.Policy,
+		CFL:    opts.CFL,
+	}
+}
+
+// Validate checks the rank-grid shape and both block decompositions
+// without building the ranks.
+func (mp2dBackend) Validate(_ jet.Config, g *grid.Grid, opts Options) error {
+	px, pr, err := options2D(opts).Shape(g)
+	if err != nil {
+		return err
+	}
+	_, err = decomp.NewGrid2D(g.Nx, g.Nr, px, pr)
+	return err
+}
+
+func (b mp2dBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int) (Result, error) {
+	r, err := par.NewRunner2D(cfg, g, options2D(opts))
+	if err != nil {
+		return Result{}, err
+	}
+	pr := r.Run(steps)
+	res := Result{
+		Backend: b.Name(),
+		Procs:   pr.Procs,
+		Px:      r.Opt.Px,
+		Pr:      r.Opt.Pr,
+		Steps:   steps,
+		Dt:      pr.Dt,
+		Elapsed: pr.Elapsed,
+		Diag:    pr.Diag,
+		Comm:    pr.TotalComm(),
+		CommDir: pr.TotalDir(),
+		PerRank: pr.Ranks,
+		Fields:  r.GatherState(),
+	}
+	return res, nil
+}

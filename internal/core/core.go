@@ -10,7 +10,7 @@
 //	res, err := run.Execute()
 //
 // Backends are selected by name through the registry ("serial", "shm",
-// "mp:v5", "mp:v6", "mp:v7", "hybrid"); the legacy Mode field maps onto
+// "mp:v5", "mp:v6", "mp:v7", "mp2d", "hybrid"); the legacy Mode field maps onto
 // the same registry. See examples/ for complete programs and DESIGN.md
 // for the system inventory.
 package core
@@ -65,17 +65,21 @@ type Config struct {
 	// Steps: composite time steps (default 5000, the paper's runs).
 	Steps int
 	// Backend names the execution backend in the internal/backend
-	// registry ("serial", "shm", "mp:v5", "mp:v6", "mp:v7", "hybrid").
+	// registry ("serial", "shm", "mp:v5", "mp:v6", "mp:v7", "mp2d", "hybrid").
 	// When set it takes precedence over Mode/Version.
 	Backend string
 	// Mode: Serial, MessagePassing, or SharedMemory (legacy selector,
 	// used when Backend is empty).
 	Mode Mode
-	// Procs: ranks (MessagePassing, hybrid) or workers (SharedMemory).
+	// Procs: ranks (MessagePassing, mp2d, hybrid) or workers
+	// (SharedMemory).
 	Procs int
 	// Workers: per-rank DOALL pool size (hybrid backend only; 0 picks a
 	// host-derived default).
 	Workers int
+	// Px, Pr: rank-grid shape of the mp2d backend (axial × radial).
+	// Zero picks the surface-minimizing shape for Procs ranks.
+	Px, Pr int
 	// Version: communication strategy 5, 6 or 7 (MessagePassing only).
 	Version int
 	// FreshHalos selects the exact-halo policy (bitwise serial
@@ -95,6 +99,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Steps == 0 {
 		c.Steps = 5000
+	}
+	if c.Procs == 0 && c.Px > 0 && c.Pr > 0 {
+		// An explicit rank-grid shape defines the width; an explicit
+		// Procs that contradicts it is rejected downstream.
+		c.Procs = c.Px * c.Pr
 	}
 	if c.Procs == 0 {
 		c.Procs = 1
@@ -138,13 +147,15 @@ type Result struct {
 	Backend  string
 	Mode     Mode
 	Procs    int
+	Px, Pr   int // rank-grid shape (mp2d), 0 otherwise
 	Steps    int
 	Dt       float64
 	Elapsed  time.Duration
 	Diag     solver.Diagnostics
-	Comm     trace.Counters  // aggregate communication (mp, hybrid)
-	PerRank  []par.RankStats // per-rank profile (mp, hybrid)
-	Momentum [][]float64     // axial momentum field rho*u
+	Comm     trace.Counters    // aggregate communication (mp, mp2d, hybrid)
+	CommDir  trace.DirCounters // Comm split by exchange direction (mp2d)
+	PerRank  []par.RankStats   // per-rank profile (mp, mp2d, hybrid)
+	Momentum [][]float64       // axial momentum field rho*u
 }
 
 // Run is a configured solver run bound to a registry backend.
@@ -178,6 +189,8 @@ func NewRun(c Config) (*Run, error) {
 	opts := backend.Options{
 		Procs:   c.Procs,
 		Workers: c.Workers,
+		Px:      c.Px,
+		Pr:      c.Pr,
 		Policy:  policy,
 	}
 	if err := backend.Validate(be, c.jetConfig(), g, opts); err != nil {
@@ -203,11 +216,14 @@ func (r *Run) Execute() (*Result, error) {
 		Backend:  br.Backend,
 		Mode:     c.Mode,
 		Procs:    br.Procs,
+		Px:       br.Px,
+		Pr:       br.Pr,
 		Steps:    c.Steps,
 		Dt:       br.Dt,
 		Elapsed:  br.Elapsed,
 		Diag:     br.Diag,
 		Comm:     br.Comm,
+		CommDir:  br.CommDir,
 		PerRank:  br.PerRank,
 		Momentum: br.Momentum(),
 	}

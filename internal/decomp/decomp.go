@@ -1,6 +1,9 @@
-// Package decomp implements the paper's domain decomposition: blocks
-// along the axial direction only (Section 5), balanced to within one
-// column.
+// Package decomp implements the domain decomposition. The paper's
+// scheme is blocks along the axial direction only (Section 5), balanced
+// to within one column; Grid2D extends it to a px-by-pr rank grid that
+// also partitions the radial direction, which cuts per-rank halo
+// surface and scales past the Nx/MinWidth rank ceiling of the axial
+// split.
 package decomp
 
 import "fmt"
@@ -9,22 +12,30 @@ import "fmt"
 // boundary extrapolation need four columns.
 const MinWidth = 4
 
-// Decomposition maps global axial columns to ranks.
+// MinHeight is the shortest legal radial block: the 2-4 stencil reaches
+// two ghost rows, the axis mirror reads the first two interior rows, and
+// the top cubic extrapolation (physical or re-applied after a future
+// regrid) reads the four outermost interior rows.
+const MinHeight = 4
+
+// Decomposition maps a contiguous global index range to ranks. It is
+// direction-agnostic: Axial builds one over columns, Radial over rows.
 type Decomposition struct {
 	Nx, P  int
 	starts []int // len P+1; rank r owns [starts[r], starts[r+1])
 }
 
-// Axial splits nx columns over p ranks in contiguous balanced blocks.
-func Axial(nx, p int) (*Decomposition, error) {
+// split builds balanced contiguous blocks of n indices over p ranks,
+// rejecting blocks shorter than min.
+func split(n, p, min int, what string) (*Decomposition, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("decomp: need at least one rank, got %d", p)
 	}
-	if nx/p < MinWidth {
-		return nil, fmt.Errorf("decomp: %d columns over %d ranks leaves slabs narrower than %d", nx, p, MinWidth)
+	if n/p < min {
+		return nil, fmt.Errorf("decomp: %d %s over %d ranks leaves blocks shorter than %d", n, what, p, min)
 	}
-	d := &Decomposition{Nx: nx, P: p, starts: make([]int, p+1)}
-	base, rem := nx/p, nx%p
+	d := &Decomposition{Nx: n, P: p, starts: make([]int, p+1)}
+	base, rem := n/p, n%p
 	pos := 0
 	for r := 0; r < p; r++ {
 		d.starts[r] = pos
@@ -35,6 +46,16 @@ func Axial(nx, p int) (*Decomposition, error) {
 	}
 	d.starts[p] = pos
 	return d, nil
+}
+
+// Axial splits nx columns over p ranks in contiguous balanced blocks.
+func Axial(nx, p int) (*Decomposition, error) {
+	return split(nx, p, MinWidth, "columns")
+}
+
+// Radial splits nr rows over p ranks in contiguous balanced blocks.
+func Radial(nr, p int) (*Decomposition, error) {
+	return split(nr, p, MinHeight, "rows")
 }
 
 // Range returns the owned column range [i0, i0+n) of rank r.

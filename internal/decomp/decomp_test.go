@@ -78,3 +78,104 @@ func TestOwnerPanicsOutOfRange(t *testing.T) {
 	}()
 	d.Owner(100)
 }
+
+func TestRadialValidation(t *testing.T) {
+	if _, err := Radial(100, 0); err == nil {
+		t.Error("want error for zero ranks")
+	}
+	if _, err := Radial(12, 4); err == nil {
+		t.Error("want error for sub-stencil blocks")
+	}
+	d, err := Radial(26, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := d.Widths()
+	if ws[0] != 9 || ws[1] != 9 || ws[2] != 8 {
+		t.Fatalf("26 rows over 3 ranks: %v", ws)
+	}
+}
+
+func TestGrid2DBlocksAndNeighbors(t *testing.T) {
+	// 3x2 ranks on 64x26: columns 22+21+21, rows 13+13.
+	d, err := NewGrid2D(64, 26, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Ranks() != 6 {
+		t.Fatalf("ranks %d", d.Ranks())
+	}
+	area := 0
+	for r := 0; r < d.Ranks(); r++ {
+		ix, ir := d.Coords(r)
+		if d.Rank(ix, ir) != r {
+			t.Fatalf("rank %d: Coords/Rank disagree", r)
+		}
+		i0, nx, j0, nr := d.Block(r)
+		if nx < MinWidth || nr < MinHeight {
+			t.Fatalf("rank %d block %dx%d below minima", r, nx, nr)
+		}
+		area += nx * nr
+		l, rt, dn, up := d.Neighbors(r)
+		if (l < 0) != (ix == 0) || (rt < 0) != (ix == d.Px-1) ||
+			(dn < 0) != (ir == 0) || (up < 0) != (ir == d.Pr-1) {
+			t.Fatalf("rank %d edge flags wrong: %d %d %d %d", r, l, rt, dn, up)
+		}
+		// Neighbour relations are symmetric.
+		if l >= 0 {
+			if _, r2, _, _ := d.Neighbors(l); r2 != r {
+				t.Fatalf("rank %d left neighbour asymmetric", r)
+			}
+		}
+		if dn >= 0 {
+			if _, _, _, u2 := d.Neighbors(dn); u2 != r {
+				t.Fatalf("rank %d down neighbour asymmetric", r)
+			}
+		}
+		// Rank i0/j0 must agree with the 1-D decompositions.
+		wi, wn := d.X.Range(ix)
+		hj, hn := d.R.Range(ir)
+		if i0 != wi || nx != wn || j0 != hj || nr != hn {
+			t.Fatalf("rank %d block disagrees with 1-D ranges", r)
+		}
+	}
+	if area != 64*26 {
+		t.Fatalf("blocks cover %d points, want %d", area, 64*26)
+	}
+	if imb := d.Imbalance(); imb > 0.15 {
+		t.Fatalf("imbalance %g", imb)
+	}
+}
+
+func TestShape2D(t *testing.T) {
+	cases := []struct {
+		nx, nr, p    int
+		wantX, wantR int
+	}{
+		// The paper's grid: 8 ranks minimize surface as 4x2
+		// (250/4 + 100/2 = 112.5 beats 8x1's 131.25).
+		{250, 100, 8, 4, 2},
+		// Wide domain: the axial-only split stays optimal.
+		{96, 32, 4, 4, 1},
+		// A square domain ties 2x1 against 1x2; the axial-leaning
+		// shape wins (the paper's long stride-1 radial runs).
+		{64, 64, 2, 2, 1},
+		{64, 64, 4, 2, 2},
+		{64, 26, 1, 1, 1},
+	}
+	for _, c := range cases {
+		px, pr, err := Shape2D(c.nx, c.nr, c.p)
+		if err != nil {
+			t.Fatalf("Shape2D(%d,%d,%d): %v", c.nx, c.nr, c.p, err)
+		}
+		if px != c.wantX || pr != c.wantR {
+			t.Errorf("Shape2D(%d,%d,%d) = %dx%d, want %dx%d", c.nx, c.nr, c.p, px, pr, c.wantX, c.wantR)
+		}
+	}
+	if _, _, err := Shape2D(16, 16, 32); err == nil {
+		t.Error("want error when no shape fits")
+	}
+	if _, _, err := Shape2D(16, 16, 0); err == nil {
+		t.Error("want error for zero ranks")
+	}
+}

@@ -1,0 +1,132 @@
+package decomp
+
+import "fmt"
+
+// Grid2D is a two-dimensional rank-grid decomposition: px balanced
+// axial blocks crossed with pr balanced radial blocks. Rank numbering
+// is row-major over the axial index, rank = ir*Px + ix, so an axial
+// neighbour is rank±1 and a radial neighbour is rank±Px.
+//
+// Compared with the paper's axial-only split, each interior rank trades
+// two full-height column halos for two part-height column halos plus
+// two part-width row halos: per-rank halo surface drops from 2*Nr to
+// 2*(Nr/pr + Nx/px), and the rank ceiling rises from Nx/MinWidth to
+// (Nx/MinWidth)*(Nr/MinHeight).
+type Grid2D struct {
+	Nx, Nr int
+	Px, Pr int
+	X, R   *Decomposition
+}
+
+// NewGrid2D builds a px-by-pr rank grid over an nx-by-nr domain.
+func NewGrid2D(nx, nr, px, pr int) (*Grid2D, error) {
+	dx, err := Axial(nx, px)
+	if err != nil {
+		return nil, err
+	}
+	dr, err := Radial(nr, pr)
+	if err != nil {
+		return nil, err
+	}
+	return &Grid2D{Nx: nx, Nr: nr, Px: px, Pr: pr, X: dx, R: dr}, nil
+}
+
+// Shape2D picks the rank-grid shape for p ranks on an nx-by-nr domain:
+// among all feasible factorizations px*pr = p it minimizes the
+// per-rank halo perimeter 2*(nx/px + nr/pr), the surface-minimizing
+// near-square choice. Axial-leaning shapes win ties, matching the
+// paper's preference for long stride-1 radial runs.
+func Shape2D(nx, nr, p int) (px, pr int, err error) {
+	if p < 1 {
+		return 0, 0, fmt.Errorf("decomp: need at least one rank, got %d", p)
+	}
+	best := -1.0
+	for cx := p; cx >= 1; cx-- {
+		if p%cx != 0 {
+			continue
+		}
+		cr := p / cx
+		if nx/cx < MinWidth || nr/cr < MinHeight {
+			continue
+		}
+		cost := float64(nx)/float64(cx) + float64(nr)/float64(cr)
+		if best < 0 || cost < best {
+			best, px, pr = cost, cx, cr
+		}
+	}
+	if best < 0 {
+		return 0, 0, fmt.Errorf("decomp: no %d-rank shape fits %dx%d (blocks need >= %dx%d)", p, nx, nr, MinWidth, MinHeight)
+	}
+	return px, pr, nil
+}
+
+// Ranks returns the total rank count px*pr.
+func (d *Grid2D) Ranks() int { return d.Px * d.Pr }
+
+// Rank maps grid coordinates (ix, ir) to the linear rank id.
+func (d *Grid2D) Rank(ix, ir int) int {
+	if ix < 0 || ix >= d.Px || ir < 0 || ir >= d.Pr {
+		panic(fmt.Sprintf("decomp: rank coordinates (%d,%d) outside %dx%d", ix, ir, d.Px, d.Pr))
+	}
+	return ir*d.Px + ix
+}
+
+// Coords maps a linear rank id to its grid coordinates.
+func (d *Grid2D) Coords(rank int) (ix, ir int) {
+	if rank < 0 || rank >= d.Ranks() {
+		panic(fmt.Sprintf("decomp: rank %d outside [0,%d)", rank, d.Ranks()))
+	}
+	return rank % d.Px, rank / d.Px
+}
+
+// Block returns the owned sub-rectangle of rank: columns [i0, i0+nx)
+// by rows [j0, j0+nr).
+func (d *Grid2D) Block(rank int) (i0, nx, j0, nr int) {
+	ix, ir := d.Coords(rank)
+	i0, nx = d.X.Range(ix)
+	j0, nr = d.R.Range(ir)
+	return i0, nx, j0, nr
+}
+
+// Neighbors returns the four neighbour ranks of rank, -1 where the
+// block touches the physical domain boundary (left/right axially,
+// down toward the axis, up toward the far field).
+func (d *Grid2D) Neighbors(rank int) (left, right, down, up int) {
+	ix, ir := d.Coords(rank)
+	left, right, down, up = -1, -1, -1, -1
+	if ix > 0 {
+		left = d.Rank(ix-1, ir)
+	}
+	if ix < d.Px-1 {
+		right = d.Rank(ix+1, ir)
+	}
+	if ir > 0 {
+		down = d.Rank(ix, ir-1)
+	}
+	if ir < d.Pr-1 {
+		up = d.Rank(ix, ir+1)
+	}
+	return left, right, down, up
+}
+
+// Imbalance returns (max-min)/mean of the per-rank point counts.
+func (d *Grid2D) Imbalance() float64 {
+	mn, mx, sum := -1, -1, 0
+	for r := 0; r < d.Ranks(); r++ {
+		_, nx, _, nr := d.Block(r)
+		pts := nx * nr
+		if mn < 0 || pts < mn {
+			mn = pts
+		}
+		if pts > mx {
+			mx = pts
+		}
+		sum += pts
+	}
+	mean := float64(sum) / float64(d.Ranks())
+	return float64(mx-mn) / mean
+}
+
+func (d *Grid2D) String() string {
+	return fmt.Sprintf("%dx%d ranks over %dx%d points", d.Px, d.Pr, d.Nx, d.Nr)
+}

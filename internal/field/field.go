@@ -144,6 +144,31 @@ func (f *Field) UnpackCols(i0, n int, src []float64) int {
 	return k
 }
 
+// PackRows copies rows [j0, j0+n) across all interior columns into dst,
+// x-major (the storage order, so each column contributes one contiguous
+// n-value run), returning the number of values written. dst must hold
+// Nx*n values. Ghost rows are legal sources. Used to assemble the
+// radial (row) halo-exchange messages of the 2-D decomposition.
+func (f *Field) PackRows(j0, n int, dst []float64) int {
+	k := 0
+	for i := 0; i < f.Nx; i++ {
+		base := f.idx(i, j0)
+		k += copy(dst[k:k+n], f.data[base:base+n])
+	}
+	return k
+}
+
+// UnpackRows copies src (as produced by PackRows) into rows [j0, j0+n)
+// of all interior columns. Ghost rows are legal targets.
+func (f *Field) UnpackRows(j0, n int, src []float64) int {
+	k := 0
+	for i := 0; i < f.Nx; i++ {
+		base := f.idx(i, j0)
+		k += copy(f.data[base:base+n], src[k:k+n])
+	}
+	return k
+}
+
 // MirrorAxis fills the two ghost rows below j=0 with the mirror image of
 // rows 0 and 1 (r_j = (j+1/2)Dr implies ghost j=-1 mirrors j=0, j=-2
 // mirrors j=1). sign is +1 for even symmetry (rho, u, p, T, E) and -1

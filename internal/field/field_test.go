@@ -180,6 +180,38 @@ func TestExtrapolateTopExactForCubic(t *testing.T) {
 	}
 }
 
+func TestPackUnpackRowsRoundtrip(t *testing.T) {
+	src := New(6, 9)
+	dst := New(6, 9)
+	for i := 0; i < 6; i++ {
+		for j := -Halo; j < 9+Halo; j++ {
+			src.Set(i, j, float64(100*i+j))
+		}
+	}
+	buf := make([]float64, 6*Halo)
+	// The two bottom boundary rows land in the neighbour's top ghost
+	// rows, exactly as the radial halo exchange uses them.
+	if n := src.PackRows(0, Halo, buf); n != len(buf) {
+		t.Fatalf("packed %d values, want %d", n, len(buf))
+	}
+	if n := dst.UnpackRows(9, Halo, buf); n != len(buf) {
+		t.Fatalf("unpacked %d values, want %d", n, len(buf))
+	}
+	for i := 0; i < 6; i++ {
+		if dst.At(i, 9) != src.At(i, 0) || dst.At(i, 10) != src.At(i, 1) {
+			t.Fatalf("ghost rows wrong at column %d: %g %g", i, dst.At(i, 9), dst.At(i, 10))
+		}
+	}
+	// And the top boundary rows into bottom ghosts.
+	src.PackRows(7, Halo, buf)
+	dst.UnpackRows(-Halo, Halo, buf)
+	for i := 0; i < 6; i++ {
+		if dst.At(i, -2) != src.At(i, 7) || dst.At(i, -1) != src.At(i, 8) {
+			t.Fatalf("bottom ghost rows wrong at column %d", i)
+		}
+	}
+}
+
 func TestCopyFromSizeMismatchPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/decomp"
 	"repro/internal/flux"
 	"repro/internal/msg"
 	"repro/internal/solver"
@@ -41,5 +42,38 @@ func TestHaloExchangeSteadyStateAllocs(t *testing.T) {
 				t.Errorf("steady-state halo exchange allocates %.1f times, want 0", allocs)
 			}
 		})
+	}
+}
+
+// TestRadialExchangeSteadyStateAllocs extends the allocation-free
+// guarantee to the 2-D decomposition's row exchanges: two radially
+// stacked ranks trading ghost rows allocate nothing in steady state.
+func TestRadialExchangeSteadyStateAllocs(t *testing.T) {
+	const nx, nrLoc = 8, 8
+	d, err := decomp.NewGrid2D(nx, 2*nrLoc, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := msg.NewWorld(2)
+	h0 := newRankHalo2D(w.Comm(0), d, 0, nx, nrLoc)
+	h1 := newRankHalo2D(w.Comm(1), d, 1, nx, nrLoc)
+	b0 := flux.NewState(nx, nrLoc)
+	b1 := flux.NewState(nx, nrLoc)
+	for k := range b0 {
+		b0[k].FillAll(1)
+		b1[k].FillAll(2)
+	}
+	exchange := func() {
+		h0.StartR(solver.KPrims, b0)
+		h1.StartR(solver.KPrims, b1)
+		h0.FinishR(solver.KPrims, b0)
+		h1.FinishR(solver.KPrims, b1)
+	}
+	exchange() // prime the message-layer free list
+	if b0[0].At(0, nrLoc) != 2 || b1[0].At(0, -1) != 1 {
+		t.Fatal("radial exchange did not deliver neighbour rows")
+	}
+	if allocs := testing.AllocsPerRun(50, exchange); allocs != 0 {
+		t.Errorf("steady-state radial exchange allocates %.1f times, want 0", allocs)
 	}
 }

@@ -1,35 +1,55 @@
 package par
 
 import (
+	"repro/internal/decomp"
 	"repro/internal/field"
 	"repro/internal/flux"
 	"repro/internal/msg"
 	"repro/internal/solver"
+	"repro/internal/trace"
 )
 
-// rankHalo implements solver.Halo over the message layer. Boundary
-// columns are grouped into a single send per neighbour per exchange
-// (the paper's startup-reduction optimization); Version 7 splits the
-// flux exchanges into one-column messages to reduce burstiness. The
-// pack and unpack staging buffers are sized for the widest exchange at
-// construction, so the steady-state exchange path allocates nothing.
+// rankHalo implements solver.Halo over the message layer for a rank of
+// either decomposition: the paper's axial-only split (left/right
+// neighbours, ghost columns) and the 2-D rank grid (additionally
+// down/up neighbours, ghost rows). Boundary columns are grouped into a
+// single send per neighbour per exchange (the paper's
+// startup-reduction optimization); Version 7 splits the axial flux
+// exchanges into one-column messages to reduce burstiness. The pack and
+// unpack staging buffers are sized for the widest exchange at
+// construction, so the steady-state exchange path — columns and rows
+// alike — allocates nothing.
 type rankHalo struct {
-	comm      *msg.Comm
-	left      int // neighbour ranks, -1 at domain edges
-	right     int
-	n         int // owned columns
-	version   Version
-	sendBuf   []float64
-	recvBuf   []float64
-	edgeLeft  solver.EdgeHalo
-	edgeRight solver.EdgeHalo
+	comm    *msg.Comm
+	left    int // neighbour ranks, -1 at physical sides
+	right   int
+	down    int
+	up      int
+	n       int // owned columns
+	nr      int // owned rows
+	version Version
+
+	sendBuf    []float64 // axial (column) staging
+	recvBuf    []float64
+	rowSendBuf []float64 // radial (row) staging
+	rowRecvBuf []float64
+
+	edgeLeft   solver.EdgeHalo
+	edgeRight  solver.EdgeHalo
+	edgeBottom solver.EdgeHalo
+	edgeTop    solver.EdgeHalo
+
+	// dir splits this rank's message accounting by exchange direction
+	// (the paper's Table 1 budget is purely axial; the 2-D topology adds
+	// a radial share).
+	dir trace.DirCounters
 }
 
+// newRankHalo builds the halo of an axial-only rank: radial sides are
+// physical everywhere, so FillR degenerates to the serial
+// mirror/extrapolation.
 func newRankHalo(c *msg.Comm, rank, procs, n, nr int, v Version) *rankHalo {
-	h := &rankHalo{comm: c, left: rank - 1, right: rank + 1, n: n, version: v}
-	maxMsg := flux.NVar * field.Halo * nr
-	h.sendBuf = make([]float64, 0, maxMsg)
-	h.recvBuf = make([]float64, 0, maxMsg)
+	h := &rankHalo{comm: c, left: rank - 1, right: rank + 1, down: -1, up: -1, n: n, nr: nr, version: v}
 	if rank == 0 {
 		h.left = -1
 		h.edgeLeft = solver.EdgeHalo{Left: true}
@@ -38,11 +58,42 @@ func newRankHalo(c *msg.Comm, rank, procs, n, nr int, v Version) *rankHalo {
 		h.right = -1
 		h.edgeRight = solver.EdgeHalo{Right: true}
 	}
+	h.edgeBottom = solver.EdgeHalo{Bottom: true}
+	h.edgeTop = solver.EdgeHalo{Top: true}
+	h.sizeBuffers()
 	return h
 }
 
+// newRankHalo2D builds the halo of a 2-D rank-grid block: neighbour
+// exchange on interior sides in both directions, physical treatment on
+// domain edges. Exchanges are grouped (the Version 5 shape).
+func newRankHalo2D(c *msg.Comm, d *decomp.Grid2D, rank, n, nr int) *rankHalo {
+	h := &rankHalo{comm: c, n: n, nr: nr, version: V5}
+	h.left, h.right, h.down, h.up = d.Neighbors(rank)
+	h.edgeLeft = solver.EdgeHalo{Left: h.left < 0}
+	h.edgeRight = solver.EdgeHalo{Right: h.right < 0}
+	h.edgeBottom = solver.EdgeHalo{Bottom: h.down < 0}
+	h.edgeTop = solver.EdgeHalo{Top: h.up < 0}
+	h.sizeBuffers()
+	return h
+}
+
+// sizeBuffers allocates the staging buffers for the widest exchange in
+// each direction, the capacity the steady-state path never exceeds.
+func (h *rankHalo) sizeBuffers() {
+	colMsg := flux.NVar * field.Halo * h.nr
+	h.sendBuf = make([]float64, 0, colMsg)
+	h.recvBuf = make([]float64, 0, colMsg)
+	if h.down >= 0 || h.up >= 0 {
+		rowMsg := flux.NVar * field.Halo * h.n
+		h.rowSendBuf = make([]float64, 0, rowMsg)
+		h.rowRecvBuf = make([]float64, 0, rowMsg)
+	}
+}
+
 // tag encodes the exchange kind and the message part (Version 7 splits
-// flux exchanges into two parts).
+// flux exchanges into two parts). Axial and radial exchanges reuse the
+// same tag space: they travel on disjoint directed rank pairs.
 func tag(k solver.Kind, part int) msg.Tag { return msg.Tag(int(k)*4 + part) }
 
 // fluxKind reports whether an exchange carries flux columns (the ones
@@ -83,15 +134,39 @@ func unpack(b *flux.State, c0, ncols int, buf []float64) {
 	}
 }
 
+// packRows copies the two boundary rows starting at j0 of every
+// component into buf; unpackRows scatters them back into ghost rows.
+func packRows(b *flux.State, j0 int, buf []float64) []float64 {
+	need := flux.NVar * field.Halo * b[0].Nx
+	if cap(buf) < need {
+		buf = make([]float64, need)
+	}
+	buf = buf[:need]
+	o := 0
+	for k := 0; k < flux.NVar; k++ {
+		o += b[k].PackRows(j0, field.Halo, buf[o:])
+	}
+	return buf
+}
+
+func unpackRows(b *flux.State, j0 int, buf []float64) {
+	o := 0
+	for k := 0; k < flux.NVar; k++ {
+		o += b[k].UnpackRows(j0, field.Halo, buf[o:])
+	}
+}
+
 // sendTo groups the boundary columns [c0, c0+2) into parts(k) messages.
 func (h *rankHalo) sendTo(to int, k solver.Kind, b *flux.State, c0 int) {
 	if h.parts(k) == 1 {
 		h.sendBuf = pack(b, c0, field.Halo, h.sendBuf)
+		h.dir.Axial.AddMessage(8 * len(h.sendBuf))
 		h.comm.Send(to, tag(k, 0), h.sendBuf)
 		return
 	}
 	for p := 0; p < field.Halo; p++ {
 		h.sendBuf = pack(b, c0+p, 1, h.sendBuf)
+		h.dir.Axial.AddMessage(8 * len(h.sendBuf))
 		h.comm.Send(to, tag(k, p), h.sendBuf)
 	}
 }
@@ -105,20 +180,22 @@ func (h *rankHalo) recvFrom(from int, k solver.Kind, b *flux.State, c0 int) {
 		if cap(h.recvBuf) < need {
 			h.recvBuf = make([]float64, need)
 		}
+		h.dir.Axial.Startups++
 		h.comm.Recv(from, tag(k, 0), h.recvBuf[:need])
 		unpack(b, c0, field.Halo, h.recvBuf[:need])
 		return
 	}
 	need := flux.NVar * nr
 	for p := 0; p < field.Halo; p++ {
+		h.dir.Axial.Startups++
 		h.comm.Recv(from, tag(k, p), h.recvBuf[:need])
 		unpack(b, c0+p, 1, h.recvBuf[:need])
 	}
 }
 
-// Start implements solver.Halo: initiate the sends of one exchange.
-// Rank r sends its first two owned columns to its left neighbour and
-// its last two to its right neighbour.
+// Start implements solver.Halo: initiate the sends of one axial
+// exchange. Rank r sends its first two owned columns to its left
+// neighbour and its last two to its right neighbour.
 func (h *rankHalo) Start(k solver.Kind, b *flux.State) {
 	if h.left >= 0 {
 		h.sendTo(h.left, k, b, 0)
@@ -154,4 +231,67 @@ func (h *rankHalo) Fill(k solver.Kind, b *flux.State) {
 func (h *rankHalo) FillEdges(b *flux.State) {
 	h.edgeLeft.FillEdges(b)
 	h.edgeRight.FillEdges(b)
+}
+
+// sendRowsTo groups the two boundary rows starting at j0 into one
+// message (row exchanges are always grouped: de-bursting targets the
+// axial flux messages the paper measured).
+func (h *rankHalo) sendRowsTo(to int, k solver.Kind, b *flux.State, j0 int) {
+	h.rowSendBuf = packRows(b, j0, h.rowSendBuf)
+	h.dir.Radial.AddMessage(8 * len(h.rowSendBuf))
+	h.comm.Send(to, tag(k, 0), h.rowSendBuf)
+}
+
+// recvRowsFrom receives the neighbour's boundary rows into ghost rows
+// starting at j0.
+func (h *rankHalo) recvRowsFrom(from int, k solver.Kind, b *flux.State, j0 int) {
+	need := flux.NVar * field.Halo * b[0].Nx
+	if cap(h.rowRecvBuf) < need {
+		h.rowRecvBuf = make([]float64, need)
+	}
+	h.dir.Radial.Startups++
+	h.comm.Recv(from, tag(k, 0), h.rowRecvBuf[:need])
+	unpackRows(b, j0, h.rowRecvBuf[:need])
+}
+
+// StartR initiates the sends of one radial exchange: the block's first
+// two owned rows go to the down neighbour, its last two to the up
+// neighbour. Sends are eager, so both go out before any receive blocks.
+func (h *rankHalo) StartR(k solver.Kind, b *flux.State) {
+	if h.down >= 0 {
+		h.sendRowsTo(h.down, k, b, 0)
+	}
+	if h.up >= 0 {
+		h.sendRowsTo(h.up, k, b, h.nr-field.Halo)
+	}
+}
+
+// FinishR completes the receives of one radial exchange and applies the
+// axis mirror / far-field extrapolation where the block touches the
+// physical boundary.
+func (h *rankHalo) FinishR(k solver.Kind, b *flux.State) {
+	if h.down >= 0 {
+		h.recvRowsFrom(h.down, k, b, -field.Halo)
+	} else {
+		h.edgeBottom.FillREdges(b)
+	}
+	if h.up >= 0 {
+		h.recvRowsFrom(h.up, k, b, h.nr)
+	} else {
+		h.edgeTop.FillREdges(b)
+	}
+}
+
+// FillR implements solver.Halo: exchange the two ghost rows with the
+// down/up neighbours, physical treatment elsewhere.
+func (h *rankHalo) FillR(k solver.Kind, b *flux.State) {
+	h.StartR(k, b)
+	h.FinishR(k, b)
+}
+
+// FillREdges implements solver.Halo (physical radial treatment only;
+// interior ghost rows keep their previous — lagged — contents).
+func (h *rankHalo) FillREdges(b *flux.State) {
+	h.edgeBottom.FillREdges(b)
+	h.edgeTop.FillREdges(b)
 }

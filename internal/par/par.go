@@ -54,6 +54,9 @@ type RankStats struct {
 	Wait  time.Duration // time blocked in receives (non-overlapped comm)
 	Total time.Duration
 	Comm  trace.Counters
+	// Dir splits Comm by exchange direction (Radial is zero for the
+	// axial-only decomposition).
+	Dir   trace.DirCounters
 	Flops float64
 }
 
@@ -72,6 +75,15 @@ func (r *Result) TotalComm() trace.Counters {
 	var t trace.Counters
 	for _, rs := range r.Ranks {
 		t.Merge(rs.Comm)
+	}
+	return t
+}
+
+// TotalDir aggregates the per-rank per-direction message counters.
+func (r *Result) TotalDir() trace.DirCounters {
+	var t trace.DirCounters
+	for _, rs := range r.Ranks {
+		t.Merge(rs.Dir)
 	}
 	return t
 }
@@ -106,6 +118,7 @@ type Runner struct {
 	World *msg.World
 	Slabs []*solver.Slab
 	comms []*msg.Comm
+	halos []*rankHalo
 }
 
 // NewRunner decomposes the grid, builds one slab per rank, and computes
@@ -147,6 +160,7 @@ func NewRunner(cfg jet.Config, g *grid.Grid, opt Options) (*Runner, error) {
 		}
 		r.Slabs = append(r.Slabs, sl)
 		r.comms = append(r.comms, comm)
+		r.halos = append(r.halos, h)
 	}
 	for _, sl := range r.Slabs {
 		sl.Dt = dt
@@ -187,6 +201,7 @@ func (r *Runner) Run(n int) *Result {
 			Wait:  c.WaitTime,
 			Total: totals[i],
 			Comm:  c.Counters,
+			Dir:   r.halos[i].dir,
 			Flops: sl.T.Flops,
 		})
 	}

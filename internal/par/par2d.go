@@ -1,0 +1,188 @@
+package par
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/decomp"
+	"repro/internal/flux"
+	"repro/internal/grid"
+	"repro/internal/jet"
+	"repro/internal/msg"
+	"repro/internal/solver"
+)
+
+// Options2D configures a 2-D rank-grid run. Zero Px/Pr picks the
+// surface-minimizing shape for Procs ranks.
+type Options2D struct {
+	Procs  int // total ranks when Px/Pr are zero
+	Px, Pr int // explicit rank-grid shape (both or neither)
+	Policy solver.HaloPolicy
+	CFL    float64 // 0 means solver.DefaultCFL
+}
+
+// Shape resolves the rank grid: explicit Px×Pr, one explicit factor
+// with the other derived from Procs, or the automatic near-square fit.
+// A Procs that contradicts an explicit shape is an error, not a silent
+// override — a scaling run must use exactly the width it asked for.
+func (o Options2D) Shape(g *grid.Grid) (px, pr int, err error) {
+	p := o.Procs
+	switch {
+	case o.Px > 0 && o.Pr > 0:
+		if p > 0 && o.Px*o.Pr != p {
+			return 0, 0, fmt.Errorf("par: shape %dx%d uses %d ranks, not the requested %d", o.Px, o.Pr, o.Px*o.Pr, p)
+		}
+		return o.Px, o.Pr, nil
+	case o.Px > 0:
+		if p < o.Px || p%o.Px != 0 {
+			return 0, 0, fmt.Errorf("par: px=%d does not divide %d ranks", o.Px, p)
+		}
+		return o.Px, p / o.Px, nil
+	case o.Pr > 0:
+		if p < o.Pr || p%o.Pr != 0 {
+			return 0, 0, fmt.Errorf("par: pr=%d does not divide %d ranks", o.Pr, p)
+		}
+		return p / o.Pr, o.Pr, nil
+	}
+	if p < 1 {
+		p = 1
+	}
+	return decomp.Shape2D(g.Nx, g.Nr, p)
+}
+
+// Runner2D owns the blocks and the message world of a 2-D rank-grid
+// solver: px axial blocks crossed with pr radial blocks, each running
+// the slab engine on its sub-rectangle and exchanging ghost columns
+// axially and ghost rows radially.
+type Runner2D struct {
+	Cfg   jet.Config
+	Grid  *grid.Grid
+	Opt   Options2D
+	Dec   *decomp.Grid2D
+	World *msg.World
+	Slabs []*solver.Slab
+	comms []*msg.Comm
+	halos []*rankHalo
+}
+
+// NewRunner2D decomposes the grid in both directions, builds one slab
+// per rank, and computes the global CFL time step.
+func NewRunner2D(cfg jet.Config, g *grid.Grid, opt Options2D) (*Runner2D, error) {
+	px, pr, err := opt.Shape(g)
+	if err != nil {
+		return nil, err
+	}
+	d, err := decomp.NewGrid2D(g.Nx, g.Nr, px, pr)
+	if err != nil {
+		return nil, err
+	}
+	if opt.CFL == 0 {
+		opt.CFL = solver.DefaultCFL
+	}
+	opt.Px, opt.Pr, opt.Procs = px, pr, px*pr
+	gm := cfg.Gas()
+	world := msg.NewWorld(d.Ranks())
+	r := &Runner2D{Cfg: cfg, Grid: g, Opt: opt, Dec: d, World: world}
+	dt := math.Inf(1)
+	for rank := 0; rank < d.Ranks(); rank++ {
+		i0, nxloc, j0, nrloc := d.Block(rank)
+		comm := world.Comm(rank)
+		h := newRankHalo2D(comm, d, rank, nxloc, nrloc)
+		sl, err := solver.NewSlabRect(cfg, g, gm, i0, nxloc, j0, nrloc, h, opt.Policy)
+		if err != nil {
+			return nil, err
+		}
+		sl.InitParallelFlow()
+		if local := sl.StableDt(opt.CFL); local < dt {
+			dt = local
+		}
+		r.Slabs = append(r.Slabs, sl)
+		r.comms = append(r.comms, comm)
+		r.halos = append(r.halos, h)
+	}
+	for _, sl := range r.Slabs {
+		sl.Dt = dt
+	}
+	return r, nil
+}
+
+// Run advances all ranks by n composite steps concurrently and returns
+// the measured profile.
+func (r *Runner2D) Run(n int) *Result {
+	var wg sync.WaitGroup
+	totals := make([]time.Duration, len(r.Slabs))
+	start := time.Now()
+	for i, sl := range r.Slabs {
+		wg.Add(1)
+		go func(i int, sl *solver.Slab) {
+			defer wg.Done()
+			t0 := time.Now()
+			for s := 0; s < n; s++ {
+				sl.Advance()
+			}
+			totals[i] = time.Since(t0)
+		}(i, sl)
+	}
+	wg.Wait()
+	res := &Result{
+		Steps:   n,
+		Procs:   r.Opt.Procs,
+		Dt:      r.Slabs[0].Dt,
+		Elapsed: time.Since(start),
+	}
+	res.Diag = r.Diagnose()
+	for i, sl := range r.Slabs {
+		c := r.comms[i]
+		res.Ranks = append(res.Ranks, RankStats{
+			Rank:  i,
+			Busy:  totals[i] - c.WaitTime,
+			Wait:  c.WaitTime,
+			Total: totals[i],
+			Comm:  c.Counters,
+			Dir:   r.halos[i].dir,
+			Flops: sl.T.Flops,
+		})
+	}
+	return res
+}
+
+// Diagnose aggregates the per-block diagnostics.
+func (r *Runner2D) Diagnose() solver.Diagnostics {
+	var d solver.Diagnostics
+	d.MinRho, d.MinP = math.Inf(1), math.Inf(1)
+	for _, sl := range r.Slabs {
+		sd := sl.Diagnose()
+		d.Mass += sd.Mass
+		d.Energy += sd.Energy
+		d.OwnPoints += sd.OwnPoints
+		if sd.MaxV > d.MaxV {
+			d.MaxV = sd.MaxV
+		}
+		if sd.MinRho < d.MinRho {
+			d.MinRho = sd.MinRho
+		}
+		if sd.MinP < d.MinP {
+			d.MinP = sd.MinP
+		}
+		d.HasNaN = d.HasNaN || sd.HasNaN
+	}
+	return d
+}
+
+// GatherState assembles the full-domain conservative state from the
+// blocks (interior values only), for comparison against the serial
+// solver.
+func (r *Runner2D) GatherState() *flux.State {
+	full := flux.NewState(r.Grid.Nx, r.Grid.Nr)
+	for rank, sl := range r.Slabs {
+		i0, nxloc, j0, nrloc := r.Dec.Block(rank)
+		for k := 0; k < flux.NVar; k++ {
+			for c := 0; c < nxloc; c++ {
+				copy(full[k].Col(i0 + c)[j0:j0+nrloc], sl.Q[k].Col(c))
+			}
+		}
+	}
+	return full
+}

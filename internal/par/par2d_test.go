@@ -1,0 +1,106 @@
+package par
+
+import (
+	"testing"
+
+	"repro/internal/flux"
+	"repro/internal/grid"
+	"repro/internal/jet"
+	"repro/internal/solver"
+)
+
+// TestRunner2DDegeneratesToAxial: a pr=1 rank grid must reproduce the
+// axial Runner (Version 5) bitwise — same blocks, same exchanges, same
+// arithmetic.
+func TestRunner2DDegeneratesToAxial(t *testing.T) {
+	g := grid.MustNew(64, 26, 50, 5)
+	cfg := jet.Paper()
+	const steps = 4
+	r1, err := NewRunner(cfg, g, Options{Procs: 3, Policy: solver.Fresh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRunner2D(cfg, g, Options2D{Px: 3, Pr: 1, Policy: solver.Fresh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1 := r1.Run(steps)
+	res2 := r2.Run(steps)
+	if res1.Dt != res2.Dt {
+		t.Fatalf("dt %g != %g", res2.Dt, res1.Dt)
+	}
+	s1, s2 := r1.GatherState(), r2.GatherState()
+	for k := 0; k < flux.NVar; k++ {
+		if !s1[k].Equal(s2[k]) {
+			t.Errorf("component %d differs (max %g)", k, s1[k].MaxAbsDiff(s2[k]))
+		}
+	}
+	// With no radial neighbours every message is axial.
+	dir := res2.Ranks[1].Dir
+	if dir.Radial.Startups != 0 || dir.Axial.Startups == 0 {
+		t.Fatalf("pr=1 rank direction split: %+v", dir)
+	}
+}
+
+// TestRunner2DLaggedRuns: the lagged policy must run the 2-D exchange
+// schedule to completion (no deadlock, no divergence) on an uneven
+// shape, with both directions active.
+func TestRunner2DLaggedRuns(t *testing.T) {
+	g := grid.MustNew(48, 26, 50, 5)
+	r, err := NewRunner2D(jet.Paper(), g, Options2D{Px: 2, Pr: 3, Policy: solver.Lagged})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Run(6)
+	if res.Diag.HasNaN {
+		t.Fatal("lagged 2-D run diverged")
+	}
+	dir := res.TotalDir()
+	// Under Lagged each direction runs four exchanges per composite
+	// step: axially the paper's Table 1 budget (prims, flux, pred-prims,
+	// pred-flux of the axial sweep), radially the radial sweep's prim
+	// and flux pairs. Every neighbour pair costs 2 sends + 2 recvs = 4
+	// startups per exchange. The 2x3 grid has 3 axial pairs (one per
+	// rank row) and 4 radial pairs (two per rank column).
+	steps := int64(res.Steps)
+	if want := 4 * 3 * 4 * steps; dir.Axial.Startups != want {
+		t.Errorf("axial startups %d, want %d", dir.Axial.Startups, want)
+	}
+	if want := 4 * 4 * 4 * steps; dir.Radial.Startups != want {
+		t.Errorf("radial startups %d, want %d", dir.Radial.Startups, want)
+	}
+	if res.Dt <= 0 {
+		t.Fatal("bad dt")
+	}
+}
+
+// TestRunner2DShapeResolution: explicit, derived, and automatic shapes.
+func TestRunner2DShapeResolution(t *testing.T) {
+	g := grid.MustNew(64, 26, 50, 5)
+	r, err := NewRunner2D(jet.Paper(), g, Options2D{Procs: 6, Px: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Opt.Px != 3 || r.Opt.Pr != 2 {
+		t.Fatalf("derived shape %dx%d, want 3x2", r.Opt.Px, r.Opt.Pr)
+	}
+	if _, err := NewRunner2D(jet.Paper(), g, Options2D{Procs: 7, Px: 2}); err == nil {
+		t.Fatal("px=2 cannot divide 7 ranks")
+	}
+	if _, err := NewRunner2D(jet.Paper(), g, Options2D{Procs: 8, Px: 2, Pr: 2}); err == nil {
+		t.Fatal("a 2x2 shape must not silently satisfy a request for 8 ranks")
+	}
+	if _, err := NewRunner2D(jet.Paper(), g, Options2D{Px: 2}); err == nil {
+		t.Fatal("px without procs cannot derive a shape")
+	}
+	if r, err := NewRunner2D(jet.Paper(), g, Options2D{Px: 2, Pr: 2}); err != nil || r.Opt.Procs != 4 {
+		t.Fatalf("explicit shape alone must run px*pr ranks: %v", err)
+	}
+	r, err = NewRunner2D(jet.Paper(), g, Options2D{Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Opt.Px*r.Opt.Pr != 4 {
+		t.Fatalf("auto shape %dx%d does not use 4 ranks", r.Opt.Px, r.Opt.Pr)
+	}
+}

@@ -8,12 +8,18 @@ import (
 
 // EdgeHalo implements Halo for a slab whose side(s) coincide with the
 // physical domain boundary: ghost columns are cubically extrapolated,
-// matching the paper's artificial-point treatment. Interior sides (when
-// a side is not an edge) must be handled by a wrapping exchanger; the
-// zero value extrapolates nothing.
+// matching the paper's artificial-point treatment, ghost rows get the
+// axis parity mirror (Bottom) and the far-field cubic extrapolation
+// (Top). Interior sides (when a side is not an edge) must be handled by
+// a wrapping exchanger; the zero value fills nothing.
 type EdgeHalo struct {
 	Left, Right bool
+	Bottom, Top bool
 }
+
+// FullDomain is the EdgeHalo of a slab spanning the whole domain: every
+// side is a physical boundary.
+func FullDomain() EdgeHalo { return EdgeHalo{Left: true, Right: true, Bottom: true, Top: true} }
 
 // Fill implements Halo.
 func (h EdgeHalo) Fill(_ Kind, b *flux.State) { h.FillEdges(b) }
@@ -36,6 +42,23 @@ func (h EdgeHalo) FillEdges(b *flux.State) {
 	}
 }
 
+// FillR implements Halo: with no radial neighbours, the exchange
+// degenerates to the physical treatment.
+func (h EdgeHalo) FillR(_ Kind, b *flux.State) { h.FillREdges(b) }
+
+// FillREdges implements Halo. The axis parity pattern (component IMr
+// odd, the rest even) and the cubic top extrapolation are shared by the
+// primitive and radial-flux bundles, so one treatment serves both (cf.
+// flux.AxisMirrorPrims and flux.MirrorFluxR, which are the same map).
+func (h EdgeHalo) FillREdges(b *flux.State) {
+	if h.Bottom {
+		flux.AxisMirrorPrims(b)
+	}
+	if h.Top {
+		flux.TopExtrapolatePrims(b)
+	}
+}
+
 // Serial is the single-processor reference solver: one slab spanning the
 // whole grid, the configuration the paper measures in Figure 2.
 type Serial struct {
@@ -54,7 +77,7 @@ const DefaultCFL = 0.4
 // NewSerialCFL builds the serial solver with an explicit CFL number.
 func NewSerialCFL(cfg jet.Config, g *grid.Grid, cfl float64) (*Serial, error) {
 	gm := cfg.Gas()
-	s, err := NewSlab(cfg, g, gm, 0, g.Nx, EdgeHalo{Left: true, Right: true}, Fresh)
+	s, err := NewSlab(cfg, g, gm, 0, g.Nx, FullDomain(), Fresh)
 	if err != nil {
 		return nil, err
 	}

@@ -26,16 +26,21 @@ import (
 )
 
 // Kind tags the purpose of a halo fill so the message layer can group
-// and account for each of the paper's exchanges.
+// and account for each of the paper's exchanges. A Kind names what a
+// fill carries; the direction comes from the method it is passed to
+// (Fill exchanges axial ghost columns, FillR radial ghost rows), so the
+// 2-D decomposition reuses the same tags on its row exchanges — KFlux
+// on a FillR call carries radial-flux rows, the sweep-direction flux
+// exchange of the radial operator.
 type Kind int
 
 const (
 	KPrims      Kind = iota // E1: rho,u,v,T of the current state
-	KFlux                   // E2: axial flux F
+	KFlux                   // E2: sweep-direction flux (axial F, or radial r*g rows)
 	KPredPrims              // E3: rho,u,v,T of the predicted state
-	KPredFlux               // E4: axial flux Fbar
-	KPrimsR                 // Fresh policy only: prims before the radial sweep
-	KPredPrimsR             // Fresh policy only: predicted prims in the radial sweep
+	KPredFlux               // E4: predicted sweep-direction flux
+	KPrimsR                 // prims of the radial sweep (axial: Fresh policy only)
+	KPredPrimsR             // predicted prims of the radial sweep (axial: Fresh only)
 	NKinds
 )
 
@@ -57,8 +62,13 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", int(k))
 }
 
-// Halo supplies ghost columns for a slab: neighbour exchange on interior
-// sides and cubic edge extrapolation on physical-domain sides.
+// Halo supplies ghost values for a slab in both grid directions:
+// neighbour exchange on interior sides and the physical boundary
+// treatment on domain-edge sides (cubic extrapolation axially, axis
+// mirror / far-field extrapolation radially). Slabs of the axial-only
+// decomposition have physical radial sides everywhere, so their FillR
+// degenerates to the serial mirror/extrapolation; 2-D slabs exchange
+// ghost rows with their down/up neighbours instead.
 type Halo interface {
 	// Fill exchanges the two ghost columns on interior sides and
 	// extrapolates on domain-edge sides.
@@ -66,6 +76,15 @@ type Halo interface {
 	// FillEdges performs only the domain-edge extrapolation (used by the
 	// Lagged halo policy, which skips the radial-sweep exchanges).
 	FillEdges(b *flux.State)
+	// FillR fills the two ghost rows on each radial side: neighbour
+	// exchange on interior sides, axis parity mirror at the bottom edge
+	// and cubic far-field extrapolation at the top edge. The parity and
+	// extrapolation treatment is shared by the primitive and radial-flux
+	// bundles (component IMr odd, the rest even).
+	FillR(k Kind, b *flux.State)
+	// FillREdges performs only the physical radial treatment; interior
+	// ghost rows keep their previous — lagged — contents.
+	FillREdges(b *flux.State)
 	// Start initiates the sends of an exchange without waiting for the
 	// incoming halo; Finish completes it. Fill is equivalent to Start
 	// followed by Finish. Used by the paper's Version 6 overlap of
@@ -95,8 +114,11 @@ func (p HaloPolicy) String() string {
 	return "lagged"
 }
 
-// Slab owns a contiguous range of axial columns and advances them in
-// time. All fields are sized to the local width plus ghost columns.
+// Slab owns a contiguous sub-rectangle of the domain — a range of axial
+// columns crossed with a range of radial rows — and advances it in
+// time. All fields are sized to the local extent plus ghost layers.
+// The axial-only decomposition is the special case NrLoc == Grid.Nr
+// with both radial sides physical.
 type Slab struct {
 	Grid *grid.Grid
 	Gas  gas.Model
@@ -106,6 +128,12 @@ type Slab struct {
 	NxLoc int // number of owned columns
 	Left  bool
 	Right bool
+
+	J0     int       // first owned global row
+	NrLoc  int       // number of owned rows
+	Bottom bool      // owns the axis boundary (j0 == 0)
+	Top    bool      // owns the far-field boundary (j0+nrloc == Grid.Nr)
+	R      []float64 // radii of the owned rows (Grid.R[J0 : J0+NrLoc])
 
 	Q, QP, QN *flux.State // state, predicted state, next state
 	W, WP     *flux.State // primitives of Q and QP
@@ -138,34 +166,52 @@ type Slab struct {
 	momBuf []float64
 }
 
-// NewSlab builds a slab owning global columns [i0, i0+nxloc) of g.
+// NewSlab builds a slab owning global columns [i0, i0+nxloc) of g,
+// spanning the full radial extent.
 func NewSlab(cfg jet.Config, g *grid.Grid, gm gas.Model, i0, nxloc int, halo Halo, policy HaloPolicy) (*Slab, error) {
+	return NewSlabRect(cfg, g, gm, i0, nxloc, 0, g.Nr, halo, policy)
+}
+
+// NewSlabRect builds a slab owning the sub-rectangle of global columns
+// [i0, i0+nxloc) by global rows [j0, j0+nrloc) of g. Radial sides that
+// do not coincide with the physical boundary are interior: their ghost
+// rows must be supplied by the halo's FillR exchange.
+func NewSlabRect(cfg jet.Config, g *grid.Grid, gm gas.Model, i0, nxloc, j0, nrloc int, halo Halo, policy HaloPolicy) (*Slab, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if nxloc < 4 {
 		return nil, fmt.Errorf("solver: slab needs >= 4 columns for the 2-4 stencil and cubic extrapolation, got %d", nxloc)
 	}
+	if nrloc < 4 {
+		return nil, fmt.Errorf("solver: slab needs >= 4 rows for the 2-4 stencil and boundary treatment, got %d", nrloc)
+	}
 	if i0 < 0 || i0+nxloc > g.Nx {
 		return nil, fmt.Errorf("solver: slab [%d,%d) outside grid of %d columns", i0, i0+nxloc, g.Nx)
+	}
+	if j0 < 0 || j0+nrloc > g.Nr {
+		return nil, fmt.Errorf("solver: slab rows [%d,%d) outside grid of %d rows", j0, j0+nrloc, g.Nr)
 	}
 	s := &Slab{
 		Grid: g, Gas: gm, Cfg: cfg,
 		I0: i0, NxLoc: nxloc,
 		Left: i0 == 0, Right: i0+nxloc == g.Nx,
-		Q: flux.NewState(nxloc, g.Nr), QP: flux.NewState(nxloc, g.Nr), QN: flux.NewState(nxloc, g.Nr),
-		W: flux.NewState(nxloc, g.Nr), WP: flux.NewState(nxloc, g.Nr),
-		F: flux.NewState(nxloc, g.Nr), FP: flux.NewState(nxloc, g.Nr),
-		S:   flux.NewStress(nxloc, g.Nr),
-		Src: field.New(nxloc, g.Nr), SrcP: field.New(nxloc, g.Nr),
+		J0: j0, NrLoc: nrloc,
+		Bottom: j0 == 0, Top: j0+nrloc == g.Nr,
+		R: g.R[j0 : j0+nrloc],
+		Q: flux.NewState(nxloc, nrloc), QP: flux.NewState(nxloc, nrloc), QN: flux.NewState(nxloc, nrloc),
+		W: flux.NewState(nxloc, nrloc), WP: flux.NewState(nxloc, nrloc),
+		F: flux.NewState(nxloc, nrloc), FP: flux.NewState(nxloc, nrloc),
+		S:   flux.NewStress(nxloc, nrloc),
+		Src: field.New(nxloc, nrloc), SrcP: field.New(nxloc, nrloc),
 		Halo: halo, Policy: policy,
-		RInv: make([]float64, g.Nr),
+		RInv: make([]float64, nrloc),
 		T:    &trace.Counters{},
 	}
-	for j, r := range g.R {
+	for j, r := range s.R {
 		s.RInv[j] = 1 / r
 	}
-	s.In = bc.NewInflow(cfg, gm, g.R)
+	s.In = bc.NewInflow(cfg, gm, s.R)
 	return s, nil
 }
 
@@ -174,7 +220,7 @@ func NewSlab(cfg jet.Config, g *grid.Grid, gm gas.Model, i0, nxloc int, halo Hal
 func (s *Slab) InitParallelFlow() {
 	gm := s.Gas
 	for c := 0; c < s.NxLoc; c++ {
-		for j, r := range s.Grid.R {
+		for j, r := range s.R {
 			T := s.Cfg.MeanT(gm.Gamma, r)
 			w := gas.Primitive{Rho: 1 / T, U: s.Cfg.MeanU(r), V: 0, P: gm.AmbientPressure()}
 			q := gm.ToConserved(w)
@@ -247,7 +293,10 @@ func (s *Slab) pfor(lo, hi int, fn func(lo, hi int)) {
 }
 
 // radialGhosts applies axis mirror and far-field extrapolation to a
-// primitive bundle (all columns including axial ghosts).
+// primitive bundle (all columns including axial ghosts) — the physical
+// radial treatment of a full-height slab. Sub-rectangle slabs go
+// through Halo.FillR instead, which applies this treatment only on the
+// physical sides and exchanges ghost rows with neighbours elsewhere.
 func radialGhosts(w *flux.State) {
 	flux.AxisMirrorPrims(w)
 	flux.TopExtrapolatePrims(w)
@@ -266,12 +315,19 @@ func (s *Slab) opX(v scheme.Variant) {
 	visc := s.Cfg.Viscous
 	n := s.NxLoc
 
-	// Stage A: predictor.
+	// Stage A: predictor. The radial ghost rows feed the stress tensor's
+	// cross-derivatives: interior radial sides exchange fresh rows under
+	// the Fresh policy and reuse lagged ones otherwise; physical sides
+	// always recompute the (communication-free) mirror/extrapolation.
 	s.pfor(0, n, func(a, b int) { flux.Primitives(gm, s.Q, s.W, a, b) })
 	s.Halo.Fill(KPrims, s.W)
-	radialGhosts(s.W)
+	if s.Policy == Fresh {
+		s.Halo.FillR(KPrims, s.W)
+	} else {
+		s.Halo.FillREdges(s.W)
+	}
 	s.pfor(0, n, func(a, b int) {
-		flux.ComputeStress(gm, g.Dx, g.Dr, g.R, s.W, s.S, a, b)
+		flux.ComputeStress(gm, g.Dx, g.Dr, s.R, s.W, s.S, a, b)
 		flux.FluxX(gm, s.Q, s.W, s.S, s.F, a, b, visc)
 	})
 	s.Halo.Fill(KFlux, s.F)
@@ -286,10 +342,14 @@ func (s *Slab) opX(v scheme.Variant) {
 	s.pfor(0, n, func(a, b int) { flux.Primitives(gm, s.QP, s.WP, a, b) })
 	if visc {
 		s.Halo.Fill(KPredPrims, s.WP)
-		radialGhosts(s.WP)
+		if s.Policy == Fresh {
+			s.Halo.FillR(KPredPrims, s.WP)
+		} else {
+			s.Halo.FillREdges(s.WP)
+		}
 	}
 	s.pfor(0, n, func(a, b int) {
-		flux.ComputeStress(gm, g.Dx, g.Dr, g.R, s.WP, s.S, a, b)
+		flux.ComputeStress(gm, g.Dx, g.Dr, s.R, s.WP, s.S, a, b)
 		flux.FluxX(gm, s.QP, s.WP, s.S, s.FP, a, b, visc)
 	})
 	s.Halo.Fill(KPredFlux, s.FP)
@@ -305,9 +365,13 @@ func (s *Slab) opX(v scheme.Variant) {
 	s.accountX(visc, n)
 }
 
-// opR applies the radial operator. No flux communication is required
-// (the decomposition is axial); under the Fresh policy two extra prim
-// exchanges keep viscous cross-derivatives exact at slab boundaries.
+// opR applies the radial operator. The axial-only decomposition needs
+// no flux communication here (under the Fresh policy two extra axial
+// prim exchanges keep viscous cross-derivatives exact at slab
+// boundaries); a 2-D slab additionally exchanges prim and radial-flux
+// ghost rows with its down/up neighbours — the radial direction is the
+// sweep direction, so its exchanges happen under either policy, exactly
+// as the axial exchanges of opX do.
 func (s *Slab) opR(v scheme.Variant) {
 	gm, g := s.Gas, s.Grid
 	lam := s.Dt / (6 * g.Dr)
@@ -321,16 +385,13 @@ func (s *Slab) opR(v scheme.Variant) {
 	} else {
 		s.Halo.FillEdges(s.W)
 	}
-	radialGhosts(s.W)
+	s.Halo.FillR(KPrimsR, s.W)
 	s.pfor(0, n, func(a, b int) {
-		flux.ComputeStress(gm, g.Dx, g.Dr, g.R, s.W, s.S, a, b)
-		flux.FluxR(gm, g.R, s.Q, s.W, s.S, s.F, a, b, visc)
-		flux.Source(gm, g.R, s.W, s.S, s.Src, a, b, visc)
+		flux.ComputeStress(gm, g.Dx, g.Dr, s.R, s.W, s.S, a, b)
+		flux.FluxR(gm, s.R, s.Q, s.W, s.S, s.F, a, b, visc)
+		flux.Source(gm, s.R, s.W, s.S, s.Src, a, b, visc)
 	})
-	flux.MirrorFluxR(s.F)
-	for k := range s.F {
-		s.F[k].ExtrapolateTop()
-	}
+	s.Halo.FillR(KFlux, s.F)
 	s.pfor(0, n, func(a, b int) { scheme.PredictR(v, lam, s.Dt, s.RInv, s.Q, s.F, s.QP, s.Src, a, b) })
 	if s.Left {
 		s.In.Apply(s.QP, 0, s.Time+s.Dt)
@@ -343,19 +404,18 @@ func (s *Slab) opR(v scheme.Variant) {
 	} else {
 		s.Halo.FillEdges(s.WP)
 	}
-	radialGhosts(s.WP)
+	s.Halo.FillR(KPredPrimsR, s.WP)
 	s.pfor(0, n, func(a, b int) {
-		flux.ComputeStress(gm, g.Dx, g.Dr, g.R, s.WP, s.S, a, b)
-		flux.FluxR(gm, g.R, s.QP, s.WP, s.S, s.FP, a, b, visc)
-		flux.Source(gm, g.R, s.WP, s.S, s.SrcP, a, b, visc)
+		flux.ComputeStress(gm, g.Dx, g.Dr, s.R, s.WP, s.S, a, b)
+		flux.FluxR(gm, s.R, s.QP, s.WP, s.S, s.FP, a, b, visc)
+		flux.Source(gm, s.R, s.WP, s.S, s.SrcP, a, b, visc)
 	})
-	flux.MirrorFluxR(s.FP)
-	for k := range s.FP {
-		s.FP[k].ExtrapolateTop()
-	}
+	s.Halo.FillR(KPredFlux, s.FP)
 	s.pfor(0, n, func(a, b int) { scheme.CorrectR(v, lam, s.Dt, s.RInv, s.Q, s.QP, s.FP, s.QN, s.SrcP, a, b) })
 
-	bc.FarFieldR(gm, g.Dr, s.Dt, g.Lr, g.R, s.Q, s.W, s.F, s.Src, s.QN, 0, n)
+	if s.Top {
+		bc.FarFieldR(gm, g.Dr, s.Dt, g.Lr, s.R, s.Q, s.W, s.F, s.Src, s.QN, 0, n)
+	}
 	if s.Left {
 		s.In.Apply(s.QN, 0, s.Time+s.Dt)
 	}
@@ -365,7 +425,7 @@ func (s *Slab) opR(v scheme.Variant) {
 
 // accountX accumulates the analytic FLOP count of one axial operator.
 func (s *Slab) accountX(visc bool, n int) {
-	pts := float64(n * s.Grid.Nr)
+	pts := float64(n * s.NrLoc)
 	fl := 2 * float64(flux.FlopsPrims)
 	if visc {
 		fl += 2 * float64(flux.FlopsStress+flux.FlopsFluxXVisc)
@@ -375,13 +435,13 @@ func (s *Slab) accountX(visc bool, n int) {
 	fl += float64(scheme.FlopsPredictX + scheme.FlopsCorrectX)
 	s.T.AddFlops(fl * pts)
 	if s.Right {
-		s.T.AddFlops(float64(bc.FlopsCharPoint) * float64(s.Grid.Nr))
+		s.T.AddFlops(float64(bc.FlopsCharPoint) * float64(s.NrLoc))
 	}
 }
 
 // accountR accumulates the analytic FLOP count of one radial operator.
 func (s *Slab) accountR(visc bool, n int) {
-	pts := float64(n * s.Grid.Nr)
+	pts := float64(n * s.NrLoc)
 	fl := 2 * float64(flux.FlopsPrims+flux.FlopsSource)
 	if visc {
 		fl += 2 * float64(flux.FlopsStress+flux.FlopsFluxRVisc)
@@ -390,7 +450,9 @@ func (s *Slab) accountR(visc bool, n int) {
 	}
 	fl += float64(scheme.FlopsPredictR + scheme.FlopsCorrectR)
 	s.T.AddFlops(fl * pts)
-	s.T.AddFlops(float64(bc.FlopsCharPoint) * float64(n)) // far-field row
+	if s.Top {
+		s.T.AddFlops(float64(bc.FlopsCharPoint) * float64(n)) // far-field row
+	}
 }
 
 // Diagnostics summarizes the slab state for validation and reporting.
@@ -408,12 +470,12 @@ type Diagnostics struct {
 func (s *Slab) Diagnose() Diagnostics {
 	g := s.Grid
 	gm := s.Gas
-	d := Diagnostics{MinRho: math.Inf(1), MinP: math.Inf(1), OwnPoints: s.NxLoc * g.Nr}
+	d := Diagnostics{MinRho: math.Inf(1), MinP: math.Inf(1), OwnPoints: s.NxLoc * s.NrLoc}
 	vol := g.Dx * g.Dr
 	for c := 0; c < s.NxLoc; c++ {
 		rho, mx, mr, e := s.Q[flux.IRho].Col(c), s.Q[flux.IMx].Col(c), s.Q[flux.IMr].Col(c), s.Q[flux.IE].Col(c)
 		for j := range rho {
-			r := g.R[j]
+			r := s.R[j]
 			d.Mass += rho[j] * r * vol
 			d.Energy += e[j] * r * vol
 			v := mr[j] / rho[j]
@@ -440,7 +502,7 @@ func (s *Slab) Diagnose() Diagnostics {
 // slab-owned buffer reused by subsequent calls: callers that need the
 // snapshot to survive the next call must copy it.
 func (s *Slab) AxialMomentum() [][]float64 {
-	nr := s.Grid.Nr
+	nr := s.NrLoc
 	if cap(s.momBuf) < s.NxLoc*nr {
 		s.momBuf = make([]float64, s.NxLoc*nr)
 	}

@@ -123,6 +123,30 @@ func TestSlabValidation(t *testing.T) {
 	}
 }
 
+func TestSlabRectValidation(t *testing.T) {
+	g := smallGrid(t)
+	gm := jet.Paper().Gas()
+	if _, err := NewSlabRect(jet.Paper(), g, gm, 0, g.Nx, 0, 3, EdgeHalo{}, Fresh); err == nil {
+		t.Error("want error for block shorter than stencil")
+	}
+	if _, err := NewSlabRect(jet.Paper(), g, gm, 0, g.Nx, g.Nr-2, 6, EdgeHalo{}, Fresh); err == nil {
+		t.Error("want error for rows outside grid")
+	}
+	s, err := NewSlabRect(jet.Paper(), g, gm, 4, 8, 4, g.Nr-4, EdgeHalo{Right: false}, Fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Bottom || !s.Top || s.Left || s.Right {
+		t.Fatalf("edge flags wrong: bottom=%v top=%v left=%v right=%v", s.Bottom, s.Top, s.Left, s.Right)
+	}
+	if len(s.R) != g.Nr-4 || s.R[0] != g.R[4] {
+		t.Fatalf("local radii window wrong: len=%d r0=%g", len(s.R), s.R[0])
+	}
+	if s.NrLoc != g.Nr-4 || s.J0 != 4 {
+		t.Fatalf("rect extent wrong: j0=%d nrloc=%d", s.J0, s.NrLoc)
+	}
+}
+
 func TestFlopAccountingAccumulates(t *testing.T) {
 	s, err := NewSerial(jet.Paper(), smallGrid(t))
 	if err != nil {

@@ -33,6 +33,33 @@ func (c Counters) String() string {
 	return fmt.Sprintf("%.3g flops, %d startups, %.3g MB", c.Flops, c.Startups, float64(c.Bytes)/1e6)
 }
 
+// DirCounters splits a rank's message accounting by exchange direction,
+// extending the paper's Table 1 budget (which is purely axial — the
+// decomposition of Section 5 has no radial neighbours) to the 2-D rank
+// grid, whose blocks also trade ghost rows with down/up neighbours.
+type DirCounters struct {
+	Axial  Counters // ghost-column exchanges with left/right neighbours
+	Radial Counters // ghost-row exchanges with down/up neighbours
+}
+
+// Merge adds other into d.
+func (d *DirCounters) Merge(other DirCounters) {
+	d.Axial.Merge(other.Axial)
+	d.Radial.Merge(other.Radial)
+}
+
+// Total returns the direction-summed counters.
+func (d DirCounters) Total() Counters {
+	var t Counters
+	t.Merge(d.Axial)
+	t.Merge(d.Radial)
+	return t
+}
+
+func (d DirCounters) String() string {
+	return fmt.Sprintf("axial[%v] radial[%v]", d.Axial, d.Radial)
+}
+
 // PaperFlopsPerPoint returns the paper's Table 1 workload density in
 // floating-point operations per grid point per time step: 145,000e6
 // total for Navier-Stokes and 77,000e6 for Euler on a 250x100 grid over

@@ -61,3 +61,24 @@ func TestCharacterizationMatchesTable1(t *testing.T) {
 		t.Errorf("Euler volume = %g MB", b)
 	}
 }
+
+func TestDirCounters(t *testing.T) {
+	var d DirCounters
+	d.Axial.AddMessage(100)
+	d.Axial.AddMessage(100)
+	d.Radial.AddMessage(60)
+	var e DirCounters
+	e.Radial.AddMessage(40)
+	e.Radial.Startups++ // a receive initiation: startup, no bytes
+	d.Merge(e)
+	if d.Axial.Startups != 2 || d.Axial.Bytes != 200 {
+		t.Fatalf("axial %+v", d.Axial)
+	}
+	if d.Radial.Startups != 3 || d.Radial.Bytes != 100 {
+		t.Fatalf("radial %+v", d.Radial)
+	}
+	tot := d.Total()
+	if tot.Startups != 5 || tot.Bytes != 300 {
+		t.Fatalf("total %+v", tot)
+	}
+}

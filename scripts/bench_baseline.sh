@@ -1,0 +1,56 @@
+#!/bin/sh
+# Regenerate BENCH_seed.json, the committed perf-trajectory baseline.
+#
+# Usage:
+#   ./scripts/bench_baseline.sh            # 1-iteration smoke shape (fast)
+#   BENCHTIME=2s ./scripts/bench_baseline.sh   # steadier numbers
+#
+# The baseline captures every benchmark of the root harness (tables,
+# figures, solver kernels, backends, ablations) as one JSON document so
+# future PRs can diff their bench run against the seed. Numbers are
+# host-dependent: compare trends on the same machine, not absolute
+# values across machines.
+set -eu
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-1x}"
+out="${OUT:-BENCH_seed.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run XXX -bench . -benchtime="$benchtime" -benchmem . | tee "$tmp" >&2
+
+awk -v benchtime="$benchtime" '
+BEGIN {
+    printf "{\n"
+    printf "  \"command\": \"go test -run XXX -bench . -benchtime=%s -benchmem .\",\n", benchtime
+    n = 0
+}
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^cpu:/    { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+    if (n == 0) {
+        printf "  \"goos\": \"%s\",\n", goos
+        printf "  \"goarch\": \"%s\",\n", goarch
+        printf "  \"cpu\": \"%s\",\n", cpu
+        printf "  \"benchmarks\": [\n"
+    } else {
+        printf ",\n"
+    }
+    printf "    {\"name\": \"%s\", \"iters\": %s, \"metrics\": {", $1, $2
+    sep = ""
+    for (i = 3; i < NF; i += 2) {
+        printf "%s\"%s\": %s", sep, $(i+1), $i
+        sep = ", "
+    }
+    printf "}}"
+    n++
+}
+END {
+    if (n > 0) printf "\n  ]\n"
+    else printf "  \"benchmarks\": []\n"
+    printf "}\n"
+}' "$tmp" > "$out"
+
+echo "wrote $out ($(grep -c '"name"' "$out") benchmarks)" >&2
