@@ -15,6 +15,7 @@ package repro_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/backend"
 	"repro/internal/cache"
@@ -389,8 +390,27 @@ func BenchmarkAblationGroupedVsSplit(b *testing.B) {
 	}
 }
 
+// reportCommWait attaches the communication profile of a parallel run:
+// the slowest rank's receive-blocked time per step (the
+// "non-overlapped communication time" the Version-6 restructuring
+// exists to hide) and the startup count per step.
+func reportCommWait(b *testing.B, res *par.Result) {
+	b.Helper()
+	maxWait := time.Duration(0)
+	for _, rs := range res.Ranks {
+		if rs.Wait > maxWait {
+			maxWait = rs.Wait
+		}
+	}
+	b.ReportMetric(float64(maxWait.Nanoseconds())/float64(res.Steps), "wait-ns/step")
+	b.ReportMetric(float64(res.TotalComm().Startups)/float64(res.Steps), "startups/step")
+}
+
 // BenchmarkAblationOverlap compares Version 5 against Version 6 on the
-// real goroutine solver (the overlap restructuring is real code).
+// real goroutine solver (the overlap restructuring is real code),
+// reporting each variant's per-rank wait so the baseline records the
+// overlapped vs non-overlapped communication cost of the axial
+// decomposition.
 func BenchmarkAblationOverlap(b *testing.B) {
 	for _, v := range []par.Version{par.V5, par.V6} {
 		b.Run(v.String(), func(b *testing.B) {
@@ -399,7 +419,27 @@ func BenchmarkAblationOverlap(b *testing.B) {
 				b.Fatal(err)
 			}
 			b.ResetTimer()
-			r.Run(b.N)
+			res := r.Run(b.N)
+			reportCommWait(b, res)
+		})
+	}
+}
+
+// BenchmarkAblationOverlap2D is the same ablation on the 2-D rank
+// grid: Version 5 serializes the four-neighbour exchange against the
+// sweeps, Version 6 runs each sweep's interior core while the column
+// and row messages fly. Identical shape, identical message budget —
+// the wait-ns/step metric isolates what the overlap hides.
+func BenchmarkAblationOverlap2D(b *testing.B) {
+	for _, v := range []par.Version{par.V5, par.V6} {
+		b.Run(v.String(), func(b *testing.B) {
+			r, err := par.NewRunner2D(jet.Paper(), benchGrid(), par.Options2D{Px: 2, Pr: 2, Version: v, Policy: solver.Lagged})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			res := r.Run(b.N)
+			reportCommWait(b, res)
 		})
 	}
 }

@@ -11,6 +11,9 @@
 //	jetsim -backend hybrid -procs 4 -workers 2 -fresh
 //	jetsim -backend mp2d -procs 8 -steps 200       # auto near-square rank grid
 //	jetsim -backend mp2d -px 4 -pr 2 -steps 200    # explicit 4x2 rank grid
+//	jetsim -backend mp2d:v6 -procs 8 -steps 200    # overlapped 2-D exchanges
+//	jetsim -backend mp2d -version 6 -procs 8       # same, via the version flag
+//	jetsim -backend hybrid -version 6 -procs 4     # overlapped ranks x DOALL
 //	jetsim -contour -pgm out/jet.pgm
 package main
 
@@ -40,7 +43,7 @@ func main() {
 		workers = flag.Int("workers", 0, "per-rank DOALL workers (hybrid; 0 = host default)")
 		px      = flag.Int("px", 0, "axial rank-grid width (mp2d; 0 = auto near-square)")
 		pr      = flag.Int("pr", 0, "radial rank-grid height (mp2d; 0 = auto near-square)")
-		version = flag.Int("version", 5, "communication strategy 5, 6, or 7 (with -mode mp)")
+		version = flag.Int("version", 0, "communication strategy 5, 6, or 7 (0 = backend default); contradicting a version-pinned backend name is an error")
 		fresh   = flag.Bool("fresh", false, "exact halo policy (bitwise serial equivalence)")
 		contour = flag.Bool("contour", false, "print an ASCII contour of axial momentum")
 		pgm     = flag.String("pgm", "", "write axial momentum as a PGM image to this path")
@@ -57,32 +60,39 @@ func main() {
 			explicitProcs = true
 		}
 	})
-	be := *name
 	if *mode != "" && explicitBackend {
 		log.Fatalf("-mode %q conflicts with -backend %q; -mode is a deprecated alias, drop it", *mode, *name)
 	}
+	// -version feeds the registry options with every backend, not only
+	// the deprecated -mode mp alias: "-backend mp2d -version 6" selects
+	// the overlapped strategy, and a contradiction like "-backend mp:v5
+	// -version 6" is rejected by the registry instead of ignored.
+	cfg := core.Config{
+		Euler: *euler, Nx: *nx, Nr: *nr, Steps: *steps,
+		Backend: *name, Procs: *procs, Workers: *workers, Px: *px, Pr: *pr,
+		Version:    *version,
+		FreshHalos: *fresh,
+	}
+	// The deprecated -mode alias maps onto the legacy Mode selector,
+	// whose resolution (including "mp" + -version → mp:vN) lives in one
+	// place: core.Config.backendName.
 	switch *mode {
 	case "":
 	case "serial":
-		be = "serial"
+		cfg.Backend, cfg.Mode = "", core.Serial
 	case "mp":
-		be = fmt.Sprintf("mp:v%d", *version)
+		cfg.Backend, cfg.Mode = "", core.MessagePassing
 	case "shm":
-		be = "shm"
+		cfg.Backend, cfg.Mode = "", core.SharedMemory
 	default:
 		log.Fatalf("unknown mode %q", *mode)
-	}
-	cfg := core.Config{
-		Euler: *euler, Nx: *nx, Nr: *nr, Steps: *steps,
-		Backend: be, Procs: *procs, Workers: *workers, Px: *px, Pr: *pr,
-		FreshHalos: *fresh,
 	}
 	if *px > 0 && *pr > 0 && !explicitProcs {
 		// An explicit rank-grid shape defines the width; only an
 		// explicitly contradicting -procs should error downstream.
 		cfg.Procs = 0
 	}
-	if be == "serial" {
+	if cfg.Backend == "serial" || (cfg.Backend == "" && cfg.Mode == core.Serial) {
 		cfg.Procs = 1
 	}
 

@@ -12,6 +12,8 @@
 //	platforms -platform "Cray T3D" -procs 16
 //	platforms -backend hybrid      # add a measured host curve
 //	platforms -backend mp2d        # measured 2-D rank-grid curve
+//	platforms -backend mp2d:v6     # measured overlapped rank-grid curve
+//	platforms -backend hybrid -version 6   # overlap on the measured ranks too
 package main
 
 import (
@@ -43,7 +45,7 @@ func main() {
 	log.SetPrefix("platforms: ")
 	var (
 		euler   = flag.Bool("euler", false, "Euler workload instead of Navier-Stokes")
-		version = flag.Int("version", 5, "communication strategy: 5, 6, or 7")
+		version = flag.Int("version", 0, "communication strategy: 5, 6, or 7 (0 = Version 5 for the co-simulation, backend default for the measured host run)")
 		name    = flag.String("platform", "", "run a single platform by name")
 		procs   = flag.Int("procs", 0, "run a single processor count (0 = sweep)")
 		chart   = flag.Bool("chart", true, "draw log-scale ASCII chart")
@@ -57,6 +59,13 @@ func main() {
 	ch := trace.PaperNS()
 	if *euler {
 		ch = trace.PaperEuler()
+	}
+	// The co-simulation needs a concrete strategy; the measured host run
+	// passes the raw flag through so 0 stays "backend default" (and a
+	// pinned backend name like mp:v6 is not contradicted).
+	simVersion := *version
+	if simVersion == 0 {
+		simVersion = 5
 	}
 	plats := allPlatforms()
 	if *name != "" {
@@ -82,7 +91,7 @@ func main() {
 			if np > p.MaxProcs {
 				continue
 			}
-			o, err := p.Simulate(ch, np, *version)
+			o, err := p.Simulate(ch, np, simVersion)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -105,10 +114,20 @@ func main() {
 		case *procs > 0:
 			counts = []int{*procs}
 		}
+		// A distributed measured curve honors -version too: the registry
+		// applies the same strategy selection (and contradiction
+		// checking) to the host run that the co-simulation applies to
+		// the 1995 platforms. serial and shm have no message layer, so
+		// for them -version stays what it always was — a co-simulation
+		// parameter — instead of failing the host baseline.
+		hostVersion := *version
+		if *real == "serial" || *real == "shm" {
+			hostVersion = 0
+		}
 		for _, np := range counts {
 			run, err := core.NewRun(core.Config{
 				Euler: *euler, Nx: *nx, Nr: *nr, Steps: *steps,
-				Backend: *real, Procs: np,
+				Backend: *real, Procs: np, Version: hostVersion,
 			})
 			if err != nil {
 				log.Fatal(err)
@@ -122,7 +141,7 @@ func main() {
 		series = append(series, s)
 	}
 
-	title := fmt.Sprintf("%s execution time (s), Version %d", ch.Name, *version)
+	title := fmt.Sprintf("%s execution time (s), Version %d", ch.Name, simVersion)
 	t := report.SeriesTable(title, "Procs", series)
 	t.Render(os.Stdout)
 	if *chart {

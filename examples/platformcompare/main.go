@@ -66,15 +66,31 @@ func main() {
 	// the paper's variety-of-platforms premise on one machine.
 	fmt.Println("\nMeasured on this host (same workload, every registered backend):")
 	const nx, nr, steps, procs = 96, 32, 40, 4
-	var refMass float64
-	for i, name := range backend.Names() {
+	// The registry sweep covers every named backend (mp2d:v6 included);
+	// the extra row exercises the registry-level version option — the
+	// overlapped (Version 6) rank layer under the hybrid pool — which
+	// has no dedicated name of its own.
+	type row struct {
+		label string
+		cfg   core.Config
+	}
+	var rows []row
+	for _, name := range backend.Names() {
 		// Px/Pr pin the mp2d rank grid to 2x2 so the radial exchange
 		// path is exercised (its surface-minimizing default for this
 		// wide domain is the axial-only 4x1); other backends ignore it.
-		run, err := core.NewRun(core.Config{
+		rows = append(rows, row{name, core.Config{
 			Nx: nx, Nr: nr, Steps: steps,
 			Backend: name, Procs: procs, Px: 2, Pr: 2, FreshHalos: true,
-		})
+		}})
+	}
+	rows = append(rows, row{"hybrid -version 6", core.Config{
+		Nx: nx, Nr: nr, Steps: steps,
+		Backend: "hybrid", Procs: procs, Version: 6, FreshHalos: true,
+	}})
+	var refMass float64
+	for i, row := range rows {
+		run, err := core.NewRun(row.cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -91,6 +107,6 @@ func main() {
 		} else if math.Abs(res.Diag.Mass-refMass) > 1e-9*math.Abs(refMass) {
 			agree = "!"
 		}
-		fmt.Printf("  %-8s %10s  mass=%.9f %s\n", name, res.Elapsed.Round(1e5), res.Diag.Mass, agree)
+		fmt.Printf("  %-17s %10s  mass=%.9f %s\n", row.label, res.Elapsed.Round(1e5), res.Diag.Mass, agree)
 	}
 }

@@ -15,8 +15,14 @@
 //	mp:v7    message passing, de-burst one-column flux messages
 //	mp2d     message passing over a 2-D (axial × radial) rank grid:
 //	         ghost columns left/right plus ghost rows down/up
+//	mp2d:v6  the rank grid with communication/computation overlap in
+//	         both directions (interior core while messages fly)
 //	hybrid   ranks × DOALL: axial rank decomposition with each rank's
 //	         sweeps additionally split over a per-rank worker pool
+//
+// Distributed backends additionally take Options.Version: mp2d and
+// hybrid accept the strategies they implement, the version-pinned
+// names (mp:v5/v6/v7, mp2d:v6) reject a contradicting request.
 //
 // All backends run the identical slab engine of internal/solver, so
 // under the Fresh halo policy every backend reproduces the serial
@@ -26,6 +32,7 @@ package backend
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/flux"
@@ -51,6 +58,12 @@ type Options struct {
 	// for Procs ranks; one of them set derives the other from Procs.
 	// Other backends ignore them.
 	Px, Pr int
+	// Version requests a communication strategy (par.V5, V6, V7) from a
+	// distributed backend. Zero means the backend's default. A backend
+	// whose registry name pins a version (mp:v5, mp:v6, mp:v7, mp2d:v6)
+	// rejects a contradicting request, and every backend rejects a
+	// version it does not implement — never a silent downgrade.
+	Version par.Version
 	// Policy selects the halo treatment of the distributed backends:
 	// Lagged matches the paper's Table 1 message budget, Fresh
 	// reproduces the serial arithmetic bitwise.
@@ -73,6 +86,52 @@ func (o Options) procs() int {
 		return 1
 	}
 	return o.Procs
+}
+
+// resolveVersion reconciles the registry-level version request with a
+// backend. def is the backend's default (used when the request is
+// zero); supported lists what the backend implements; pinned, when
+// nonzero, is the version the backend's registry name hard-wires (a
+// contradicting request is an error, not a downgrade).
+func resolveVersion(name string, o Options, def, pinned par.Version, supported ...par.Version) (par.Version, error) {
+	v := o.Version
+	if v == 0 {
+		if pinned != 0 {
+			return pinned, nil
+		}
+		return def, nil
+	}
+	if pinned != 0 && v != pinned {
+		// Point at the registry name that does implement the request:
+		// the version-suffixed sibling (mp:v6) or, where the requested
+		// version is the unsuffixed default, the base name (mp2d). A
+		// request no registered name implements gets no suggestion.
+		base := strings.SplitN(name, ":", 2)[0]
+		suggest := ""
+		for _, cand := range []string{fmt.Sprintf("%s:v%d", base, int(v)), base} {
+			if _, ok := registry[cand]; ok {
+				suggest = fmt.Sprintf(" (select %s instead)", cand)
+				break
+			}
+		}
+		return 0, fmt.Errorf("backend: %s pins communication Version %d, contradicting the requested Version %d%s",
+			name, int(pinned), int(v), suggest)
+	}
+	for _, s := range supported {
+		if v == s {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("backend: %s does not implement communication Version %d", name, int(v))
+}
+
+// rejectVersion is resolveVersion for backends with no message layer:
+// any explicit version request is an error.
+func rejectVersion(name string, o Options) error {
+	if o.Version != 0 {
+		return fmt.Errorf("backend: %s has no message layer, communication Version %d does not apply", name, int(o.Version))
+	}
+	return nil
 }
 
 // Result reports a completed backend run.

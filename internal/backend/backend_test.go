@@ -8,6 +8,7 @@ import (
 	"repro/internal/flux"
 	"repro/internal/grid"
 	"repro/internal/jet"
+	"repro/internal/par"
 	"repro/internal/solver"
 )
 
@@ -17,9 +18,10 @@ func testGrid(t *testing.T) *grid.Grid {
 }
 
 // parityOptions returns the Options sweep TestBackendParity runs for
-// one backend: every parallel width 1..4, plus — for mp2d — a set of
-// explicit rank-grid shapes that includes non-divisible splits of both
-// nx and nr.
+// one backend: every parallel width 1..4, plus — for both mp2d
+// variants — a set of explicit rank-grid shapes that includes
+// non-divisible splits of both nx and nr, plus — for hybrid — the
+// overlapped rank layer (Version 6) on top of the DOALL pool.
 func parityOptions(name string) []Options {
 	var opts []Options
 	for p := 1; p <= 4; p++ {
@@ -29,11 +31,15 @@ func parityOptions(name string) []Options {
 		}
 		opts = append(opts, o)
 	}
-	if name == "mp2d" {
+	if name == "hybrid" {
+		opts = append(opts, Options{Procs: 3, Workers: 2, Version: par.V6, Policy: solver.Fresh})
+	}
+	if name == "mp2d" || name == "mp2d:v6" {
 		// The parity grid is 64x26: px=3 leaves columns 22+21+21 and
 		// pr=3 leaves rows 9+9+8, so both directions cover the
 		// remainder-block paths; 4x3 = 12 ranks exceeds anything the
-		// width sweep reaches.
+		// width sweep reaches. mp2d:v6 runs the identical sweep through
+		// the overlapped operators.
 		for _, sh := range [][2]int{{2, 2}, {3, 2}, {2, 3}, {1, 4}, {4, 1}, {3, 3}, {4, 3}} {
 			opts = append(opts, Options{Px: sh[0], Pr: sh[1], Policy: solver.Fresh})
 		}
@@ -43,13 +49,17 @@ func parityOptions(name string) []Options {
 
 // optionsLabel names one sweep point for the subtest tree.
 func optionsLabel(o Options) string {
+	v := ""
+	if o.Version != 0 {
+		v = fmt.Sprintf("v%d", int(o.Version))
+	}
 	if o.Px > 0 || o.Pr > 0 {
-		return fmt.Sprintf("px%dxpr%d", o.Px, o.Pr)
+		return fmt.Sprintf("px%dxpr%d%s", o.Px, o.Pr, v)
 	}
 	if o.Workers > 0 {
-		return fmt.Sprintf("procs%dx%d", o.Procs, o.Workers)
+		return fmt.Sprintf("procs%dx%d%s", o.Procs, o.Workers, v)
 	}
-	return fmt.Sprintf("procs%d", o.Procs)
+	return fmt.Sprintf("procs%d%s", o.Procs, v)
 }
 
 // TestBackendParity is the layer's central guarantee: under the Fresh
@@ -149,7 +159,7 @@ func TestHybridComposesBothStyles(t *testing.T) {
 // TestRegistry covers lookup, the sorted name list, and the error text
 // that doubles as CLI help.
 func TestRegistry(t *testing.T) {
-	want := []string{"hybrid", "mp2d", "mp:v5", "mp:v6", "mp:v7", "serial", "shm"}
+	want := []string{"hybrid", "mp2d", "mp2d:v6", "mp:v5", "mp:v6", "mp:v7", "serial", "shm"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("registry: %v, want %v", got, want)
@@ -170,6 +180,92 @@ func TestRegistry(t *testing.T) {
 	}
 	if _, err := Get("vector"); err == nil || !strings.Contains(err.Error(), "hybrid") {
 		t.Errorf("unknown-backend error should list registered names, got %v", err)
+	}
+}
+
+// TestVersionSelection pins the registry-level version semantics:
+// version-agnostic backends honor Options.Version, pinned names reject
+// contradictions, and no backend silently downgrades an unimplemented
+// strategy.
+func TestVersionSelection(t *testing.T) {
+	g := testGrid(t)
+	cfg := jet.Paper()
+	ok := []struct {
+		name string
+		o    Options
+	}{
+		{"mp2d", Options{Procs: 2, Version: par.V6}},
+		{"mp2d:v6", Options{Procs: 2}},
+		{"mp2d:v6", Options{Procs: 2, Version: par.V6}},
+		{"hybrid", Options{Procs: 2, Workers: 2, Version: par.V6}},
+		{"hybrid", Options{Procs: 2, Workers: 2, Version: par.V7}},
+		{"mp:v6", Options{Procs: 2, Version: par.V6}},
+	}
+	for _, c := range ok {
+		b, err := Get(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(b, cfg, g, c.o); err != nil {
+			t.Errorf("%s %s: unexpected validate error: %v", c.name, optionsLabel(c.o), err)
+			continue
+		}
+		if _, err := b.Run(cfg, g, c.o, 1); err != nil {
+			t.Errorf("%s %s: unexpected run error: %v", c.name, optionsLabel(c.o), err)
+		}
+	}
+	bad := []struct {
+		name string
+		o    Options
+	}{
+		{"mp:v5", Options{Procs: 2, Version: par.V6}},
+		{"mp:v6", Options{Procs: 2, Version: par.V5}},
+		{"mp2d:v6", Options{Procs: 2, Version: par.V5}},
+		{"mp2d", Options{Procs: 2, Version: par.V7}},   // de-burst is axial-only
+		{"mp2d:v6", Options{Procs: 2, Version: par.V7}},
+		{"mp2d", Options{Procs: 2, Version: par.Version(9)}},
+		{"serial", Options{Version: par.V6}},
+		{"shm", Options{Procs: 2, Version: par.V6}},
+	}
+	for _, c := range bad {
+		b, err := Get(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(b, cfg, g, c.o); err == nil {
+			t.Errorf("%s %s: Validate accepted an unsupported/contradicting version", c.name, optionsLabel(c.o))
+		}
+		if _, err := b.Run(cfg, g, c.o, 1); err == nil {
+			t.Errorf("%s %s: Run accepted an unsupported/contradicting version", c.name, optionsLabel(c.o))
+		}
+	}
+}
+
+// TestMp2dV6Overlaps: the overlapped 2-D backend must keep the exact
+// Version-5 message budget (overlap changes when the halves run, not
+// what they carry) while reporting the same shape/direction split.
+func TestMp2dV6Overlaps(t *testing.T) {
+	g := grid.MustNew(64, 26, 50, 5)
+	o := Options{Px: 2, Pr: 2, Policy: solver.Fresh}
+	b5, _ := Get("mp2d")
+	b6, _ := Get("mp2d:v6")
+	r5, err := b5.Run(jet.Paper(), g, o, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r6, err := b6.Run(jet.Paper(), g, o, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r6.Comm.Startups != r5.Comm.Startups || r6.Comm.Bytes != r5.Comm.Bytes {
+		t.Errorf("v6 budget %+v != v5 budget %+v", r6.Comm, r5.Comm)
+	}
+	if r6.CommDir.Radial.Startups != r5.CommDir.Radial.Startups {
+		t.Errorf("v6 radial startups %d != v5 %d",
+			r6.CommDir.Radial.Startups, r5.CommDir.Radial.Startups)
+	}
+	if r6.Px != 2 || r6.Pr != 2 {
+		t.Errorf("v6 shape %dx%d, want 2x2", r6.Px, r6.Pr)
 	}
 }
 
@@ -195,7 +291,7 @@ func TestValidateCatchesBadDecomposition(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := Validate(ser, cfg, g, Options{Procs: 99}); err != nil {
-		t.Errorf("serial has no validator, want nil, got %v", err)
+		t.Errorf("serial ignores Procs, want nil, got %v", err)
 	}
 
 	// The 2-D decomposition scales past the axial rank ceiling: 32

@@ -14,6 +14,8 @@ import (
 	"repro/internal/flux"
 	"repro/internal/grid"
 	"repro/internal/jet"
+	"repro/internal/par"
+	"repro/internal/solver"
 )
 
 // update regenerates the committed goldens instead of comparing:
@@ -131,6 +133,58 @@ func TestGoldenFields(t *testing.T) {
 	for name := range want {
 		if _, ok := got[name]; !ok {
 			t.Errorf("stale golden %q (regenerate with -update)", name)
+		}
+	}
+}
+
+// TestGoldenOverlappedVariants extends the checksum net to the
+// Version-6 overlap: on the golden configurations, the overlapped 2-D
+// backend (across rank-grid shapes) and the overlapped hybrid backend
+// must reproduce the serial field bits exactly under the Fresh policy.
+// The serial reference is computed live, so — unlike the committed
+// amd64 goldens — this holds on any architecture: both runs are the
+// same binary doing the same arithmetic.
+func TestGoldenOverlappedVariants(t *testing.T) {
+	ser, err := Get("serial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []struct {
+		backend string
+		opts    Options
+	}{
+		{"mp2d:v6", Options{Px: 2, Pr: 2, Policy: solver.Fresh}},
+		{"mp2d:v6", Options{Px: 1, Pr: 3, Policy: solver.Fresh}},
+		{"mp2d:v6", Options{Px: 3, Pr: 2, Policy: solver.Fresh}},
+		{"hybrid", Options{Procs: 3, Workers: 2, Version: par.V6, Policy: solver.Fresh}},
+	}
+	for name, c := range goldenCases() {
+		cfg := jet.Paper()
+		if c.Euler {
+			cfg = jet.Euler()
+		}
+		g := grid.MustNew(c.Nx, c.Nr, 50, 5)
+		ref, err := ser.Run(cfg, g, Options{}, c.Steps)
+		if err != nil {
+			t.Fatalf("%s: serial: %v", name, err)
+		}
+		refSum := fieldChecksum(ref.Fields)
+		for _, v := range variants {
+			b, err := Get(v.backend)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := b.Run(cfg, g, v.opts, c.Steps)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, v.backend, err)
+			}
+			if sum := fieldChecksum(res.Fields); sum != refSum {
+				t.Errorf("%s: %s %s checksum %016x != serial %016x",
+					name, v.backend, optionsLabel(v.opts), sum, refSum)
+			}
+			if math.Float64bits(res.Dt) != math.Float64bits(ref.Dt) {
+				t.Errorf("%s: %s dt %g != serial %g", name, v.backend, res.Dt, ref.Dt)
+			}
 		}
 	}
 }

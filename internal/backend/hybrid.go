@@ -39,16 +39,32 @@ func (hybridBackend) workers(opts Options) int {
 	return w
 }
 
-// Validate checks the axial decomposition without building the ranks.
-func (hybridBackend) Validate(_ jet.Config, g *grid.Grid, opts Options) error {
+// version resolves the communication strategy of the rank layer:
+// hybrid is version-agnostic (default V5) and composes with any of the
+// axial strategies — under V6 each rank's interior core and edge frame
+// are themselves fork-joined over the pool.
+func (b hybridBackend) version(opts Options) (par.Version, error) {
+	return resolveVersion("hybrid", opts, par.V5, 0, par.V5, par.V6, par.V7)
+}
+
+// Validate checks the version request and the axial decomposition
+// without building the ranks.
+func (b hybridBackend) Validate(_ jet.Config, g *grid.Grid, opts Options) error {
+	if _, err := b.version(opts); err != nil {
+		return err
+	}
 	_, err := decomp.Axial(g.Nx, opts.procs())
 	return err
 }
 
 func (b hybridBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int) (Result, error) {
+	v, err := b.version(opts)
+	if err != nil {
+		return Result{}, err
+	}
 	r, err := par.NewRunner(cfg, g, par.Options{
 		Procs:   opts.procs(),
-		Version: par.V5,
+		Version: v,
 		Policy:  opts.Policy,
 		CFL:     opts.CFL,
 	})

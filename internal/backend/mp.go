@@ -25,16 +25,25 @@ type mpBackend struct {
 
 func (b mpBackend) Name() string { return fmt.Sprintf("mp:v%d", int(b.version)) }
 
-// Validate checks the axial decomposition without building the ranks.
+// Validate checks the axial decomposition and the version request
+// (the name pins the strategy; a contradicting Options.Version is an
+// error) without building the ranks.
 func (b mpBackend) Validate(_ jet.Config, g *grid.Grid, opts Options) error {
+	if _, err := resolveVersion(b.Name(), opts, b.version, b.version, b.version); err != nil {
+		return err
+	}
 	_, err := decomp.Axial(g.Nx, opts.procs())
 	return err
 }
 
 func (b mpBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int) (Result, error) {
+	v, err := resolveVersion(b.Name(), opts, b.version, b.version, b.version)
+	if err != nil {
+		return Result{}, err
+	}
 	r, err := par.NewRunner(cfg, g, par.Options{
 		Procs:   opts.procs(),
-		Version: b.version,
+		Version: v,
 		Policy:  opts.Policy,
 		CFL:     opts.CFL,
 	})

@@ -1,13 +1,18 @@
 package backend
 
 import (
+	"fmt"
+
 	"repro/internal/decomp"
 	"repro/internal/grid"
 	"repro/internal/jet"
 	"repro/internal/par"
 )
 
-func init() { register(mp2dBackend{}) }
+func init() {
+	register(mp2dBackend{})
+	register(mp2dBackend{pin: par.V6})
+}
 
 // mp2dBackend is the 2-D (axial × radial) rank-grid decomposition: the
 // domain is split into px*pr sub-rectangles, each running the slab
@@ -16,31 +21,56 @@ func init() { register(mp2dBackend{}) }
 // paper's axial-only split (Section 5) caps out at Nx/MinWidth ranks
 // with 2*Nr halo surface per rank; the rank grid raises the ceiling to
 // (Nx/MinWidth)*(Nr/MinHeight) and cuts the surface to
-// 2*(Nr/pr + Nx/px). Exchanges are grouped (the Version 5 shape) and
-// the physics stays bitwise-identical to serial under the Fresh halo
-// policy for every rank-grid shape.
-type mp2dBackend struct{}
+// 2*(Nr/pr + Nx/px). Exchanges are grouped in both directions (the
+// Version 5 message shape); "mp2d" takes Options.Version 5 or 6, and
+// "mp2d:v6" pins the overlapped strategy, which runs each sweep's
+// interior core while the column and row messages fly. The physics
+// stays bitwise-identical to serial under the Fresh halo policy for
+// every rank-grid shape and either version.
+type mp2dBackend struct {
+	// pin, when nonzero, is the version the registry name hard-wires
+	// ("mp2d:v6"); zero is the version-agnostic "mp2d" (default V5).
+	pin par.Version
+}
 
-func (mp2dBackend) Name() string { return "mp2d" }
+func (b mp2dBackend) Name() string {
+	if b.pin != 0 {
+		return fmt.Sprintf("mp2d:v%d", int(b.pin))
+	}
+	return "mp2d"
+}
+
+// version resolves the communication strategy: the pinned one for
+// mp2d:v6, Options.Version (default V5) for plain mp2d. V7's de-burst
+// axial flux messages are not defined for the rank grid.
+func (b mp2dBackend) version(opts Options) (par.Version, error) {
+	return resolveVersion(b.Name(), opts, par.V5, b.pin, par.V5, par.V6)
+}
 
 // options2D maps the registry options onto the 2-D runner's. Procs
 // passes through raw: zero means "derive from the shape" (or one rank
 // when no shape is given either), while an explicit value that
 // contradicts an explicit shape must reach the runner's error check.
-func options2D(opts Options) par.Options2D {
+func (b mp2dBackend) options2D(opts Options) (par.Options2D, error) {
+	v, err := b.version(opts)
 	return par.Options2D{
-		Procs:  opts.Procs,
-		Px:     opts.Px,
-		Pr:     opts.Pr,
-		Policy: opts.Policy,
-		CFL:    opts.CFL,
-	}
+		Procs:   opts.Procs,
+		Px:      opts.Px,
+		Pr:      opts.Pr,
+		Version: v,
+		Policy:  opts.Policy,
+		CFL:     opts.CFL,
+	}, err
 }
 
-// Validate checks the rank-grid shape and both block decompositions
-// without building the ranks.
-func (mp2dBackend) Validate(_ jet.Config, g *grid.Grid, opts Options) error {
-	px, pr, err := options2D(opts).Shape(g)
+// Validate checks the version request, the rank-grid shape, and both
+// block decompositions without building the ranks.
+func (b mp2dBackend) Validate(_ jet.Config, g *grid.Grid, opts Options) error {
+	o, err := b.options2D(opts)
+	if err != nil {
+		return err
+	}
+	px, pr, err := o.Shape(g)
 	if err != nil {
 		return err
 	}
@@ -49,7 +79,11 @@ func (mp2dBackend) Validate(_ jet.Config, g *grid.Grid, opts Options) error {
 }
 
 func (b mp2dBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int) (Result, error) {
-	r, err := par.NewRunner2D(cfg, g, options2D(opts))
+	o, err := b.options2D(opts)
+	if err != nil {
+		return Result{}, err
+	}
+	r, err := par.NewRunner2D(cfg, g, o)
 	if err != nil {
 		return Result{}, err
 	}

@@ -16,7 +16,16 @@ type serialBackend struct{}
 
 func (serialBackend) Name() string { return "serial" }
 
+// Validate rejects a communication-version request: there is nothing
+// to communicate.
+func (serialBackend) Validate(_ jet.Config, _ *grid.Grid, opts Options) error {
+	return rejectVersion("serial", opts)
+}
+
 func (serialBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int) (Result, error) {
+	if err := rejectVersion("serial", opts); err != nil {
+		return Result{}, err
+	}
 	s, err := solver.NewSerialCFL(cfg, g, opts.cfl())
 	if err != nil {
 		return Result{}, err

@@ -17,7 +17,16 @@ type shmBackend struct{}
 
 func (shmBackend) Name() string { return "shm" }
 
+// Validate rejects a communication-version request: the DOALL pool has
+// no message layer.
+func (shmBackend) Validate(_ jet.Config, _ *grid.Grid, opts Options) error {
+	return rejectVersion("shm", opts)
+}
+
 func (shmBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int) (Result, error) {
+	if err := rejectVersion("shm", opts); err != nil {
+		return Result{}, err
+	}
 	workers := opts.procs()
 	s, err := shm.NewSolver(cfg, g, workers)
 	if err != nil {

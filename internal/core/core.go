@@ -10,7 +10,7 @@
 //	res, err := run.Execute()
 //
 // Backends are selected by name through the registry ("serial", "shm",
-// "mp:v5", "mp:v6", "mp:v7", "mp2d", "hybrid"); the legacy Mode field maps onto
+// "mp:v5", "mp:v6", "mp:v7", "mp2d", "mp2d:v6", "hybrid"); the legacy Mode field maps onto
 // the same registry. See examples/ for complete programs and DESIGN.md
 // for the system inventory.
 package core
@@ -65,7 +65,8 @@ type Config struct {
 	// Steps: composite time steps (default 5000, the paper's runs).
 	Steps int
 	// Backend names the execution backend in the internal/backend
-	// registry ("serial", "shm", "mp:v5", "mp:v6", "mp:v7", "mp2d", "hybrid").
+	// registry ("serial", "shm", "mp:v5", "mp:v6", "mp:v7", "mp2d",
+	// "mp2d:v6", "hybrid").
 	// When set it takes precedence over Mode/Version.
 	Backend string
 	// Mode: Serial, MessagePassing, or SharedMemory (legacy selector,
@@ -80,7 +81,11 @@ type Config struct {
 	// Px, Pr: rank-grid shape of the mp2d backend (axial × radial).
 	// Zero picks the surface-minimizing shape for Procs ranks.
 	Px, Pr int
-	// Version: communication strategy 5, 6 or 7 (MessagePassing only).
+	// Version: communication strategy 5, 6 or 7. Zero means the
+	// backend's default. With the legacy MessagePassing mode it selects
+	// the mp:vN backend; with an explicit Backend it is passed to the
+	// registry, which rejects contradictions (e.g. Backend "mp:v5" with
+	// Version 6) and unimplemented strategies instead of ignoring it.
 	Version int
 	// FreshHalos selects the exact-halo policy (bitwise serial
 	// equivalence) instead of the paper's lagged message budget.
@@ -108,9 +113,6 @@ func (c Config) withDefaults() Config {
 	if c.Procs == 0 {
 		c.Procs = 1
 	}
-	if c.Version == 0 {
-		c.Version = 5
-	}
 	return c
 }
 
@@ -124,7 +126,11 @@ func (c Config) backendName() (string, error) {
 	case Serial:
 		return "serial", nil
 	case MessagePassing:
-		return fmt.Sprintf("mp:v%d", c.Version), nil
+		v := c.Version
+		if v == 0 {
+			v = 5
+		}
+		return fmt.Sprintf("mp:v%d", v), nil
 	case SharedMemory:
 		return "shm", nil
 	}
@@ -191,6 +197,7 @@ func NewRun(c Config) (*Run, error) {
 		Workers: c.Workers,
 		Px:      c.Px,
 		Pr:      c.Pr,
+		Version: par.Version(c.Version),
 		Policy:  policy,
 	}
 	if err := backend.Validate(be, c.jetConfig(), g, opts); err != nil {

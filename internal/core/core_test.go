@@ -120,7 +120,9 @@ func TestCustomJetOverride(t *testing.T) {
 
 func TestDefaultsAndValidation(t *testing.T) {
 	c := Config{}.withDefaults()
-	if c.Nx != 250 || c.Nr != 100 || c.Steps != 5000 || c.Procs != 1 || c.Version != 5 {
+	// Version stays 0 — "the backend's default" — so that an explicit
+	// Backend like "mp:v6" is not contradicted by a default of 5.
+	if c.Nx != 250 || c.Nr != 100 || c.Steps != 5000 || c.Procs != 1 || c.Version != 0 {
 		t.Fatalf("defaults: %+v", c)
 	}
 	if _, err := NewRun(Config{Nx: 4, Nr: 4}); err == nil {
@@ -131,6 +133,46 @@ func TestDefaultsAndValidation(t *testing.T) {
 	}
 	if _, err := NewRun(Config{Nx: 64, Nr: 24, Mode: MessagePassing, Procs: 32}); err == nil {
 		t.Error("want error for too many ranks")
+	}
+}
+
+// TestVersionReachesRegistry: Config.Version must feed the backend
+// registry with any Backend name — not only through the legacy
+// MessagePassing mode — and contradictions must be rejected at NewRun
+// time, not silently downgraded.
+func TestVersionReachesRegistry(t *testing.T) {
+	base := Config{Nx: 64, Nr: 24, Steps: 2, Procs: 2}
+	for _, name := range []string{"mp2d", "hybrid"} {
+		c := base
+		c.Backend = name
+		c.Version = 6
+		if _, err := NewRun(c); err != nil {
+			t.Errorf("%s with Version 6: %v", name, err)
+		}
+	}
+	bad := []Config{
+		{Nx: 64, Nr: 24, Steps: 2, Procs: 2, Backend: "mp:v5", Version: 6},
+		{Nx: 64, Nr: 24, Steps: 2, Procs: 2, Backend: "mp2d:v6", Version: 5},
+		{Nx: 64, Nr: 24, Steps: 2, Procs: 2, Backend: "mp2d", Version: 7},
+		{Nx: 64, Nr: 24, Steps: 2, Procs: 2, Backend: "serial", Version: 6},
+		{Nx: 64, Nr: 24, Steps: 2, Procs: 2, Backend: "shm", Version: 6},
+	}
+	for _, c := range bad {
+		if _, err := NewRun(c); err == nil {
+			t.Errorf("%s with Version %d: want contradiction error", c.Backend, c.Version)
+		}
+	}
+	// Legacy path: MessagePassing + Version still selects mp:vN without
+	// tripping the pin check.
+	c := base
+	c.Mode = MessagePassing
+	c.Version = 6
+	run, err := NewRun(c)
+	if err != nil {
+		t.Fatalf("legacy MessagePassing Version 6: %v", err)
+	}
+	if got := run.Backend().Name(); got != "mp:v6" {
+		t.Errorf("legacy mode resolved %q, want mp:v6", got)
 	}
 }
 

@@ -95,6 +95,14 @@ func TopExtrapolatePrims(w *State) {
 // terms need only second-order accuracy in the 2-4 scheme). Requires
 // primitives valid on columns [c0-1, c1+1) and on radial ghost rows.
 func ComputeStress(gm gas.Model, dx, dr float64, r []float64, w *State, s *Stress, c0, c1 int) {
+	ComputeStressRows(gm, dx, dr, r, w, s, c0, c1, 0, s.Txx.Nr)
+}
+
+// ComputeStressRows is ComputeStress restricted to rows [j0, j1) —
+// the sub-rectangle form the Version-6 overlap uses to compute an
+// interior core while ghost rows are still in flight. Requires
+// primitives valid on rows [j0-1, j1+1) of columns [c0-1, c1+1).
+func ComputeStressRows(gm gas.Model, dx, dr float64, r []float64, w *State, s *Stress, c0, c1, j0, j1 int) {
 	if gm.Mu == 0 {
 		return
 	}
@@ -110,7 +118,7 @@ func ComputeStress(gm gas.Model, dx, dr float64, r []float64, w *State, s *Stres
 		u, v, t := w[IMx], w[IMr], w[IE]
 		txx, trr, tqq, txr := s.Txx.Col(i), s.Trr.Col(i), s.Tqq.Col(i), s.Txr.Col(i)
 		qx, qr := s.Qx.Col(i), s.Qr.Col(i)
-		for j := 0; j < len(txx); j++ {
+		for j := j0; j < j1; j++ {
 			ux := (ue[j] - uw[j]) * hx
 			vx := (ve[j] - vw[j]) * hx
 			tx := (te[j] - tw[j]) * hx
@@ -134,13 +142,19 @@ func ComputeStress(gm gas.Model, dx, dr float64, r []float64, w *State, s *Stres
 //
 //	f = (rho*u, rho*u^2 + p - txx, rho*u*v - txr, u*(E+p) - u*txx - v*txr + qx)
 func FluxX(gm gas.Model, q, w *State, s *Stress, f *State, c0, c1 int, viscous bool) {
+	FluxXRows(gm, q, w, s, f, c0, c1, 0, f[IRho].Nr, viscous)
+}
+
+// FluxXRows is FluxX restricted to rows [j0, j1); the stress tensor
+// must be valid on the same sub-rectangle.
+func FluxXRows(gm gas.Model, q, w *State, s *Stress, f *State, c0, c1, j0, j1 int, viscous bool) {
 	for i := c0; i < c1; i++ {
 		rho, u, v, t := w[IRho].Col(i), w[IMx].Col(i), w[IMr].Col(i), w[IE].Col(i)
 		e := q[IE].Col(i)
 		f0, f1, f2, f3 := f[IRho].Col(i), f[IMx].Col(i), f[IMr].Col(i), f[IE].Col(i)
 		if viscous {
 			txx, txr, qx := s.Txx.Col(i), s.Txr.Col(i), s.Qx.Col(i)
-			for j := range f0 {
+			for j := j0; j < j1; j++ {
 				p := rho[j] * t[j] / gm.Gamma
 				m := rho[j] * u[j]
 				f0[j] = m
@@ -149,7 +163,7 @@ func FluxX(gm gas.Model, q, w *State, s *Stress, f *State, c0, c1 int, viscous b
 				f3[j] = u[j]*(e[j]+p) - u[j]*txx[j] - v[j]*txr[j] + qx[j]
 			}
 		} else {
-			for j := range f0 {
+			for j := j0; j < j1; j++ {
 				p := rho[j] * t[j] / gm.Gamma
 				m := rho[j] * u[j]
 				f0[j] = m
@@ -165,13 +179,19 @@ func FluxX(gm gas.Model, q, w *State, s *Stress, f *State, c0, c1 int, viscous b
 //
 //	g = (rho*v, rho*u*v - txr, rho*v^2 + p - trr, v*(E+p) - u*txr - v*trr + qr)
 func FluxR(gm gas.Model, r []float64, q, w *State, s *Stress, f *State, c0, c1 int, viscous bool) {
+	FluxRRows(gm, r, q, w, s, f, c0, c1, 0, f[IRho].Nr, viscous)
+}
+
+// FluxRRows is FluxR restricted to rows [j0, j1); the stress tensor
+// must be valid on the same sub-rectangle.
+func FluxRRows(gm gas.Model, r []float64, q, w *State, s *Stress, f *State, c0, c1, j0, j1 int, viscous bool) {
 	for i := c0; i < c1; i++ {
 		rho, u, v, t := w[IRho].Col(i), w[IMx].Col(i), w[IMr].Col(i), w[IE].Col(i)
 		e := q[IE].Col(i)
 		f0, f1, f2, f3 := f[IRho].Col(i), f[IMx].Col(i), f[IMr].Col(i), f[IE].Col(i)
 		if viscous {
 			txr, trr, qr := s.Txr.Col(i), s.Trr.Col(i), s.Qr.Col(i)
-			for j := range f0 {
+			for j := j0; j < j1; j++ {
 				p := rho[j] * t[j] / gm.Gamma
 				m := rho[j] * v[j]
 				rj := r[j]
@@ -181,7 +201,7 @@ func FluxR(gm gas.Model, r []float64, q, w *State, s *Stress, f *State, c0, c1 i
 				f3[j] = rj * (v[j]*(e[j]+p) - u[j]*txr[j] - v[j]*trr[j] + qr[j])
 			}
 		} else {
-			for j := range f0 {
+			for j := j0; j < j1; j++ {
 				p := rho[j] * t[j] / gm.Gamma
 				m := rho[j] * v[j]
 				rj := r[j]
@@ -207,17 +227,22 @@ func MirrorFluxR(f *State) {
 // S/r = (0, 0, (p - tqq)/r, 0), over columns [c0, c1). Only the radial
 // momentum component is nonzero; src receives just that component.
 func Source(gm gas.Model, r []float64, w *State, s *Stress, src *field.Field, c0, c1 int, viscous bool) {
+	SourceRows(gm, r, w, s, src, c0, c1, 0, src.Nr, viscous)
+}
+
+// SourceRows is Source restricted to rows [j0, j1).
+func SourceRows(gm gas.Model, r []float64, w *State, s *Stress, src *field.Field, c0, c1, j0, j1 int, viscous bool) {
 	for i := c0; i < c1; i++ {
 		rho, t := w[IRho].Col(i), w[IE].Col(i)
 		out := src.Col(i)
 		if viscous {
 			tqq := s.Tqq.Col(i)
-			for j := range out {
+			for j := j0; j < j1; j++ {
 				p := rho[j] * t[j] / gm.Gamma
 				out[j] = (p - tqq[j]) / r[j]
 			}
 		} else {
-			for j := range out {
+			for j := j0; j < j1; j++ {
 				p := rho[j] * t[j] / gm.Gamma
 				out[j] = p / r[j]
 			}

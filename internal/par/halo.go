@@ -66,9 +66,11 @@ func newRankHalo(c *msg.Comm, rank, procs, n, nr int, v Version) *rankHalo {
 
 // newRankHalo2D builds the halo of a 2-D rank-grid block: neighbour
 // exchange on interior sides in both directions, physical treatment on
-// domain edges. Exchanges are grouped (the Version 5 shape).
-func newRankHalo2D(c *msg.Comm, d *decomp.Grid2D, rank, n, nr int) *rankHalo {
-	h := &rankHalo{comm: c, n: n, nr: nr, version: V5}
+// domain edges. Exchanges are grouped in both directions (the Version 5
+// message shape, which Version 6 keeps — overlap changes when the
+// Start/Finish halves run, not what they carry).
+func newRankHalo2D(c *msg.Comm, d *decomp.Grid2D, rank, n, nr int, v Version) *rankHalo {
+	h := &rankHalo{comm: c, n: n, nr: nr, version: v}
 	h.left, h.right, h.down, h.up = d.Neighbors(rank)
 	h.edgeLeft = solver.EdgeHalo{Left: h.left < 0}
 	h.edgeRight = solver.EdgeHalo{Right: h.right < 0}
@@ -279,6 +281,20 @@ func (h *rankHalo) FinishR(k solver.Kind, b *flux.State) {
 		h.recvRowsFrom(h.up, k, b, h.nr)
 	} else {
 		h.edgeTop.FillREdges(b)
+	}
+}
+
+// ReceiveR implements solver.Halo: complete only the interior-side
+// receives of one radial exchange. The overlapped operators pair it
+// with an eager FillREdges, whose inputs (owned boundary rows) are
+// unchanged by the exchange — so skipping the edge re-application here
+// drops duplicated work, not information.
+func (h *rankHalo) ReceiveR(k solver.Kind, b *flux.State) {
+	if h.down >= 0 {
+		h.recvRowsFrom(h.down, k, b, -field.Halo)
+	}
+	if h.up >= 0 {
+		h.recvRowsFrom(h.up, k, b, h.nr)
 	}
 }
 

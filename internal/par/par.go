@@ -8,9 +8,12 @@
 //
 //	Version 5: grouped two-column messages, no overlap (the baseline
 //	           the paper settled on).
-//	Version 6: interior computation overlapped with halo messages.
+//	Version 6: interior computation overlapped with halo messages, in
+//	           both sweeps; on the 2-D rank grid (Runner2D) the row
+//	           exchanges overlap the same way (see DESIGN.md §5b).
 //	Version 7: flux columns sent one at a time to reduce burstiness,
-//	           at the cost of twice the startups.
+//	           at the cost of twice the startups (axial-only: the 2-D
+//	           runner rejects it).
 package par
 
 import (

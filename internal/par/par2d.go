@@ -19,8 +19,13 @@ import (
 type Options2D struct {
 	Procs  int // total ranks when Px/Pr are zero
 	Px, Pr int // explicit rank-grid shape (both or neither)
-	Policy solver.HaloPolicy
-	CFL    float64 // 0 means solver.DefaultCFL
+	// Version selects the communication strategy: V5 (grouped, the
+	// default) or V6 (interior computation overlapped with the column
+	// and row exchanges). V7's de-burst flux messages are defined for
+	// the axial decomposition only and are rejected here.
+	Version Version
+	Policy  solver.HaloPolicy
+	CFL     float64 // 0 means solver.DefaultCFL
 }
 
 // Shape resolves the rank grid: explicit Px×Pr, one explicit factor
@@ -78,6 +83,15 @@ func NewRunner2D(cfg jet.Config, g *grid.Grid, opt Options2D) (*Runner2D, error)
 	if err != nil {
 		return nil, err
 	}
+	switch opt.Version {
+	case 0:
+		opt.Version = V5
+	case V5, V6:
+	case V7:
+		return nil, fmt.Errorf("par: Version 7 (de-burst flux messages) is defined for the axial decomposition only, not the 2-D rank grid")
+	default:
+		return nil, fmt.Errorf("par: unknown communication version %d", int(opt.Version))
+	}
 	if opt.CFL == 0 {
 		opt.CFL = solver.DefaultCFL
 	}
@@ -89,11 +103,12 @@ func NewRunner2D(cfg jet.Config, g *grid.Grid, opt Options2D) (*Runner2D, error)
 	for rank := 0; rank < d.Ranks(); rank++ {
 		i0, nxloc, j0, nrloc := d.Block(rank)
 		comm := world.Comm(rank)
-		h := newRankHalo2D(comm, d, rank, nxloc, nrloc)
+		h := newRankHalo2D(comm, d, rank, nxloc, nrloc, opt.Version)
 		sl, err := solver.NewSlabRect(cfg, g, gm, i0, nxloc, j0, nrloc, h, opt.Policy)
 		if err != nil {
 			return nil, err
 		}
+		sl.Overlap = opt.Version == V6
 		sl.InitParallelFlow()
 		if local := sl.StableDt(opt.CFL); local < dt {
 			dt = local

@@ -74,6 +74,47 @@ func TestRunner2DLaggedRuns(t *testing.T) {
 	}
 }
 
+// TestRunner2DVersions: the 2-D runner accepts V5 and V6 (defaulting
+// V5), rejects V7 (de-burst is axial-only) and unknown strategies, and
+// under V6 keeps the exact V5 message budget — the overlap changes when
+// the Start/Finish halves run, not what they carry.
+func TestRunner2DVersions(t *testing.T) {
+	g := grid.MustNew(48, 26, 50, 5)
+	if _, err := NewRunner2D(jet.Paper(), g, Options2D{Px: 2, Pr: 2, Version: V7}); err == nil {
+		t.Error("V7 must be rejected on the 2-D decomposition")
+	}
+	if _, err := NewRunner2D(jet.Paper(), g, Options2D{Px: 2, Pr: 2, Version: Version(9)}); err == nil {
+		t.Error("unknown version must be rejected")
+	}
+	r, err := NewRunner2D(jet.Paper(), g, Options2D{Px: 2, Pr: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Opt.Version != V5 {
+		t.Fatalf("default version %v, want V5", r.Opt.Version)
+	}
+	const steps = 4
+	res5 := r.Run(steps)
+	r6, err := NewRunner2D(jet.Paper(), g, Options2D{Px: 2, Pr: 2, Version: V6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sl := range r6.Slabs {
+		if !sl.Overlap {
+			t.Fatal("V6 must enable the slab overlap path")
+		}
+	}
+	res6 := r6.Run(steps)
+	c5, c6 := res5.TotalComm(), res6.TotalComm()
+	if c5.Startups != c6.Startups || c5.Bytes != c6.Bytes {
+		t.Errorf("V6 budget %+v != V5 budget %+v", c6, c5)
+	}
+	d5, d6 := res5.TotalDir(), res6.TotalDir()
+	if d5 != d6 {
+		t.Errorf("V6 direction split %+v != V5 %+v", d6, d5)
+	}
+}
+
 // TestRunner2DShapeResolution: explicit, derived, and automatic shapes.
 func TestRunner2DShapeResolution(t *testing.T) {
 	g := grid.MustNew(64, 26, 50, 5)

@@ -99,17 +99,25 @@ func CorrectX(v Variant, lam float64, q, qp, fp, qn *flux.State, c0, c1 int) {
 // rows), rinv[j] = 1/r_j, src the source term S_r/r (radial momentum
 // component only), dt the time step, lam = dt/(6 dr).
 func PredictR(v Variant, lam, dt float64, rinv []float64, q, rg, qp *flux.State, src *field.Field, c0, c1 int) {
+	PredictRRows(v, lam, dt, rinv, q, rg, qp, src, c0, c1, 0, q[0].Nr)
+}
+
+// PredictRRows is PredictR restricted to rows [j0, j1) — the
+// sub-rectangle form of the Version-6 overlap, which runs the interior
+// rows while radial-flux ghost rows are still in flight. rg must be
+// valid on rows [j0-2, j1+2).
+func PredictRRows(v Variant, lam, dt float64, rinv []float64, q, rg, qp *flux.State, src *field.Field, c0, c1, j0, j1 int) {
 	for k := 0; k < flux.NVar; k++ {
 		g := rg[k]
 		for i := c0; i < c1; i++ {
 			qc, out := q[k].Col(i), qp[k].Col(i)
 			if v == L1 {
-				for j := range out {
+				for j := j0; j < j1; j++ {
 					d := 7*(g.At(i, j+1)-g.At(i, j)) - (g.At(i, j+2) - g.At(i, j+1))
 					out[j] = qc[j] - lam*d*rinv[j]
 				}
 			} else {
-				for j := range out {
+				for j := j0; j < j1; j++ {
 					d := 7*(g.At(i, j)-g.At(i, j-1)) - (g.At(i, j-1) - g.At(i, j-2))
 					out[j] = qc[j] - lam*d*rinv[j]
 				}
@@ -119,7 +127,7 @@ func PredictR(v Variant, lam, dt float64, rinv []float64, q, rg, qp *flux.State,
 	// Source term: radial momentum only (S/r already divided by r).
 	for i := c0; i < c1; i++ {
 		sc, out := src.Col(i), qp[flux.IMr].Col(i)
-		for j := range out {
+		for j := j0; j < j1; j++ {
 			out[j] += dt * sc[j]
 		}
 	}
@@ -129,17 +137,23 @@ func PredictR(v Variant, lam, dt float64, rinv []float64, q, rg, qp *flux.State,
 // columns [c0, c1) with the bias opposite to the predictor's. srcp is
 // the source term evaluated from the predicted state.
 func CorrectR(v Variant, lam, dt float64, rinv []float64, q, qp, rgp, qn *flux.State, srcp *field.Field, c0, c1 int) {
+	CorrectRRows(v, lam, dt, rinv, q, qp, rgp, qn, srcp, c0, c1, 0, q[0].Nr)
+}
+
+// CorrectRRows is CorrectR restricted to rows [j0, j1). rgp must be
+// valid on rows [j0-2, j1+2).
+func CorrectRRows(v Variant, lam, dt float64, rinv []float64, q, qp, rgp, qn *flux.State, srcp *field.Field, c0, c1, j0, j1 int) {
 	for k := 0; k < flux.NVar; k++ {
 		g := rgp[k]
 		for i := c0; i < c1; i++ {
 			qc, qpc, out := q[k].Col(i), qp[k].Col(i), qn[k].Col(i)
 			if v == L1 { // backward
-				for j := range out {
+				for j := j0; j < j1; j++ {
 					d := 7*(g.At(i, j)-g.At(i, j-1)) - (g.At(i, j-1) - g.At(i, j-2))
 					out[j] = 0.5 * (qc[j] + qpc[j] - lam*d*rinv[j])
 				}
 			} else { // forward
-				for j := range out {
+				for j := j0; j < j1; j++ {
 					d := 7*(g.At(i, j+1)-g.At(i, j)) - (g.At(i, j+2) - g.At(i, j+1))
 					out[j] = 0.5 * (qc[j] + qpc[j] - lam*d*rinv[j])
 				}
@@ -148,7 +162,7 @@ func CorrectR(v Variant, lam, dt float64, rinv []float64, q, qp, rgp, qn *flux.S
 	}
 	for i := c0; i < c1; i++ {
 		sc, out := srcp.Col(i), qn[flux.IMr].Col(i)
-		for j := range out {
+		for j := j0; j < j1; j++ {
 			out[j] += 0.5 * dt * sc[j]
 		}
 	}

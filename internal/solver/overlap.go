@@ -2,78 +2,130 @@ package solver
 
 import (
 	"repro/internal/bc"
+	"repro/internal/field"
 	"repro/internal/flux"
 	"repro/internal/scheme"
 )
 
-// opXOverlap is the paper's Version 6 axial operator: halo sends are
-// initiated first, the interior portion of each loop (which needs no
-// ghost data) runs while messages are in flight, then the exchange is
-// completed and the edge columns are finished. The paper found the gain
-// mostly offset by the extra loop setup and the loss of temporal
-// locality from splitting each sweep — behaviour this implementation
-// shares, since every kernel is invoked twice per stage.
+// This file implements the paper's Version 6: halo sends are initiated
+// first, the interior portion of each loop (which needs no ghost data)
+// runs while messages are in flight, then the exchange is completed and
+// the edges are finished. The paper found the gain mostly offset by the
+// extra loop setup and the loss of temporal locality from splitting
+// each sweep — behaviour this implementation shares, since every kernel
+// is invoked twice per stage.
 //
-// The overlap restructuring is defined for full-height slabs (the
-// paper's axial-only decomposition): radial ghosts are the physical
-// mirror/extrapolation, applied inline. The 2-D decomposition uses the
-// non-overlapped operators.
+// The restructuring is defined for any sub-rectangle slab: each sweep
+// splits into a 2-D interior core plus an edge frame. Columns touching
+// axial ghost data wait for Finish, rows touching in-flight radial
+// ghost rows wait for FinishR; physical radial sides are filled eagerly
+// (the mirror/extrapolation is local), so their edge rows join the
+// core, and the axial-only decomposition degenerates to the paper's
+// full-height column split. All loops — core and frame alike — are
+// dispatched through s.pfor so the overlap composes with the hybrid
+// backend's per-rank DOALL pool.
+
+// coreRows returns the rows of the stress/flux interior core — the
+// rows whose radial ghost dependencies are satisfied before FinishR.
+// A physical side's mirror/extrapolation is applied eagerly (it is
+// local), so its edge row joins the core; an interior side's ghost
+// rows are in flight while the core runs, so its edge row waits in
+// the frame — unless this sweep skips the exchange (exchanging=false,
+// the lagged case), in which case the ghost rows already hold their
+// lagged contents and every row is core.
+func (s *Slab) coreRows(exchanging bool) (lo, hi int) {
+	lo, hi = 0, s.NrLoc
+	if exchanging && !s.Bottom {
+		lo = 1
+	}
+	if exchanging && !s.Top {
+		hi = s.NrLoc - 1
+	}
+	return lo, hi
+}
+
+// opXOverlap is the Version-6 axial operator. Communication pattern and
+// ghost-fill order match opX exactly (sends are merely initiated
+// earlier, and packing reads interior values only), so the result is
+// bitwise identical to the non-overlapped operator.
 func (s *Slab) opXOverlap(v scheme.Variant) {
 	gm, g := s.Gas, s.Grid
 	lam := s.Dt / (6 * g.Dx)
 	visc := s.Cfg.Viscous
-	n := s.NxLoc
+	n, nr := s.NxLoc, s.NrLoc
+	fresh := s.Policy == Fresh
 
 	// Interior column ranges that touch no ghost data: the stress tensor
 	// reaches one column out, the scheme stencil two.
 	s1lo, s1hi := 1, n-1
 	p2lo, p2hi := 2, n-2
+	// The axial sweep exchanges radial ghost rows only under the Fresh
+	// policy; lagged rows are already in place and keep every row core.
+	rlo, rhi := s.coreRows(fresh)
+
+	stressFluxX := func(q, w, f *flux.State, c0, c1, j0, j1 int) {
+		flux.ComputeStressRows(gm, g.Dx, g.Dr, s.R, w, s.S, c0, c1, j0, j1)
+		flux.FluxXRows(gm, q, w, s.S, f, c0, c1, j0, j1, visc)
+	}
+	// frame finishes the edge columns (full height) and, on interior
+	// radial sides under Fresh, the edge rows of the interior columns.
+	frame := func(q, w, f *flux.State) {
+		s.pfor(0, s1lo, func(a, b int) { stressFluxX(q, w, f, a, b, 0, nr) })
+		s.pfor(s1hi, n, func(a, b int) { stressFluxX(q, w, f, a, b, 0, nr) })
+		if rlo > 0 {
+			s.pfor(s1lo, s1hi, func(a, b int) { stressFluxX(q, w, f, a, b, 0, rlo) })
+		}
+		if rhi < nr {
+			s.pfor(s1lo, s1hi, func(a, b int) { stressFluxX(q, w, f, a, b, rhi, nr) })
+		}
+	}
 
 	// Stage A: predictor with overlapped prim and flux exchanges.
-	flux.Primitives(gm, s.Q, s.W, 0, n)
-	radialGhosts(s.W)
+	s.pfor(0, n, func(a, b int) { flux.Primitives(gm, s.Q, s.W, a, b) })
+	s.Halo.FillREdges(s.W) // physical radial ghosts: local, filled eagerly
 	s.Halo.Start(KPrims, s.W)
-	flux.ComputeStress(gm, g.Dx, g.Dr, s.R, s.W, s.S, s1lo, s1hi)
-	flux.FluxX(gm, s.Q, s.W, s.S, s.F, s1lo, s1hi, visc)
+	if fresh {
+		s.Halo.StartR(KPrims, s.W)
+	}
+	s.pfor(s1lo, s1hi, func(a, b int) { stressFluxX(s.Q, s.W, s.F, a, b, rlo, rhi) })
 	s.Halo.Finish(KPrims, s.W)
-	flux.AxisMirrorPrims(s.W)
-	flux.TopExtrapolatePrims(s.W)
-	flux.ComputeStress(gm, g.Dx, g.Dr, s.R, s.W, s.S, 0, s1lo)
-	flux.ComputeStress(gm, g.Dx, g.Dr, s.R, s.W, s.S, s1hi, n)
-	flux.FluxX(gm, s.Q, s.W, s.S, s.F, 0, s1lo, visc)
-	flux.FluxX(gm, s.Q, s.W, s.S, s.F, s1hi, n, visc)
+	if fresh {
+		s.Halo.ReceiveR(KPrims, s.W) // physical sides were filled eagerly
+	}
+	frame(s.Q, s.W, s.F)
 	s.Halo.Start(KFlux, s.F)
-	scheme.PredictX(v, lam, s.Q, s.F, s.QP, p2lo, p2hi)
+	s.pfor(p2lo, p2hi, func(a, b int) { scheme.PredictX(v, lam, s.Q, s.F, s.QP, a, b) })
 	s.Halo.Finish(KFlux, s.F)
-	scheme.PredictX(v, lam, s.Q, s.F, s.QP, 0, p2lo)
-	scheme.PredictX(v, lam, s.Q, s.F, s.QP, p2hi, n)
+	s.pfor(0, p2lo, func(a, b int) { scheme.PredictX(v, lam, s.Q, s.F, s.QP, a, b) })
+	s.pfor(p2hi, n, func(a, b int) { scheme.PredictX(v, lam, s.Q, s.F, s.QP, a, b) })
 	if s.Left {
 		s.In.Apply(s.QP, 0, s.Time+s.Dt)
 	}
 
 	// Stage B: corrector, same structure. As in the non-overlapped
-	// operator, Euler skips the predicted-prims exchange.
-	flux.Primitives(gm, s.QP, s.WP, 0, n)
-	radialGhosts(s.WP)
+	// operator, Euler skips the predicted-prims exchange (and with it
+	// the stress tensor, so the flux runs unsplit).
+	s.pfor(0, n, func(a, b int) { flux.Primitives(gm, s.QP, s.WP, a, b) })
 	if visc {
+		s.Halo.FillREdges(s.WP)
 		s.Halo.Start(KPredPrims, s.WP)
-		flux.ComputeStress(gm, g.Dx, g.Dr, s.R, s.WP, s.S, s1lo, s1hi)
-		flux.FluxX(gm, s.QP, s.WP, s.S, s.FP, s1lo, s1hi, visc)
+		if fresh {
+			s.Halo.StartR(KPredPrims, s.WP)
+		}
+		s.pfor(s1lo, s1hi, func(a, b int) { stressFluxX(s.QP, s.WP, s.FP, a, b, rlo, rhi) })
 		s.Halo.Finish(KPredPrims, s.WP)
-		flux.AxisMirrorPrims(s.WP)
-		flux.TopExtrapolatePrims(s.WP)
-		flux.ComputeStress(gm, g.Dx, g.Dr, s.R, s.WP, s.S, 0, s1lo)
-		flux.ComputeStress(gm, g.Dx, g.Dr, s.R, s.WP, s.S, s1hi, n)
-		flux.FluxX(gm, s.QP, s.WP, s.S, s.FP, 0, s1lo, visc)
-		flux.FluxX(gm, s.QP, s.WP, s.S, s.FP, s1hi, n, visc)
+		if fresh {
+			s.Halo.ReceiveR(KPredPrims, s.WP) // physical sides were filled eagerly
+		}
+		frame(s.QP, s.WP, s.FP)
 	} else {
-		flux.FluxX(gm, s.QP, s.WP, s.S, s.FP, 0, n, visc)
+		s.pfor(0, n, func(a, b int) { flux.FluxX(gm, s.QP, s.WP, s.S, s.FP, a, b, visc) })
 	}
 	s.Halo.Start(KPredFlux, s.FP)
-	scheme.CorrectX(v, lam, s.Q, s.QP, s.FP, s.QN, p2lo, p2hi)
+	s.pfor(p2lo, p2hi, func(a, b int) { scheme.CorrectX(v, lam, s.Q, s.QP, s.FP, s.QN, a, b) })
 	s.Halo.Finish(KPredFlux, s.FP)
-	scheme.CorrectX(v, lam, s.Q, s.QP, s.FP, s.QN, 0, p2lo)
-	scheme.CorrectX(v, lam, s.Q, s.QP, s.FP, s.QN, p2hi, n)
+	s.pfor(0, p2lo, func(a, b int) { scheme.CorrectX(v, lam, s.Q, s.QP, s.FP, s.QN, a, b) })
+	s.pfor(p2hi, n, func(a, b int) { scheme.CorrectX(v, lam, s.Q, s.QP, s.FP, s.QN, a, b) })
 
 	if s.Left {
 		s.In.Apply(s.QN, 0, s.Time+s.Dt)
@@ -83,4 +135,107 @@ func (s *Slab) opXOverlap(v scheme.Variant) {
 	}
 	s.Q, s.QN = s.QN, s.Q
 	s.accountX(visc, n)
+}
+
+// opROverlap is the Version-6 radial operator. The radial direction is
+// the sweep direction, so its prim and flux row exchanges run under
+// either policy and overlap with the interior rows; the axial prim
+// exchanges (Fresh only) overlap with the interior columns. On a
+// full-height slab the row exchanges carry no messages and only the
+// axial overlap remains — the sweep the original Version 6 left fully
+// serialized.
+func (s *Slab) opROverlap(v scheme.Variant) {
+	gm, g := s.Gas, s.Grid
+	lam := s.Dt / (6 * g.Dr)
+	visc := s.Cfg.Viscous
+	n, nr := s.NxLoc, s.NrLoc
+	fresh := s.Policy == Fresh
+
+	// Column core: axial prim exchanges happen only under Fresh; under
+	// Lagged the physical extrapolation is applied eagerly and every
+	// column joins the core.
+	c1lo, c1hi := 0, n
+	if fresh {
+		c1lo, c1hi = 1, n-1
+	}
+	// Row core for the stress/flux loops (ghost rows one out) and for
+	// the scheme loops (radial stencil two out).
+	rlo, rhi := s.coreRows(true)
+	p2lo, p2hi := 2, nr-2
+
+	stressFluxR := func(q, w, f *flux.State, src *field.Field, c0, c1, j0, j1 int) {
+		flux.ComputeStressRows(gm, g.Dx, g.Dr, s.R, w, s.S, c0, c1, j0, j1)
+		flux.FluxRRows(gm, s.R, q, w, s.S, f, c0, c1, j0, j1, visc)
+		flux.SourceRows(gm, s.R, w, s.S, src, c0, c1, j0, j1, visc)
+	}
+	frame := func(q, w, f *flux.State, src *field.Field) {
+		if c1lo > 0 {
+			s.pfor(0, c1lo, func(a, b int) { stressFluxR(q, w, f, src, a, b, 0, nr) })
+			s.pfor(c1hi, n, func(a, b int) { stressFluxR(q, w, f, src, a, b, 0, nr) })
+		}
+		if rlo > 0 {
+			s.pfor(c1lo, c1hi, func(a, b int) { stressFluxR(q, w, f, src, a, b, 0, rlo) })
+		}
+		if rhi < nr {
+			s.pfor(c1lo, c1hi, func(a, b int) { stressFluxR(q, w, f, src, a, b, rhi, nr) })
+		}
+	}
+
+	// Stage A: predictor.
+	s.pfor(0, n, func(a, b int) { flux.Primitives(gm, s.Q, s.W, a, b) })
+	if fresh {
+		s.Halo.Start(KPrimsR, s.W)
+	} else {
+		s.Halo.FillEdges(s.W)
+	}
+	s.Halo.FillREdges(s.W) // physical radial ghosts: local, filled eagerly
+	s.Halo.StartR(KPrimsR, s.W)
+	s.pfor(c1lo, c1hi, func(a, b int) { stressFluxR(s.Q, s.W, s.F, s.Src, a, b, rlo, rhi) })
+	if fresh {
+		s.Halo.Finish(KPrimsR, s.W)
+	}
+	s.Halo.ReceiveR(KPrimsR, s.W) // physical sides were filled eagerly
+	frame(s.Q, s.W, s.F, s.Src)
+	s.Halo.StartR(KFlux, s.F)
+	s.pfor(0, n, func(a, b int) { scheme.PredictRRows(v, lam, s.Dt, s.RInv, s.Q, s.F, s.QP, s.Src, a, b, p2lo, p2hi) })
+	s.Halo.FinishR(KFlux, s.F)
+	s.pfor(0, n, func(a, b int) {
+		scheme.PredictRRows(v, lam, s.Dt, s.RInv, s.Q, s.F, s.QP, s.Src, a, b, 0, p2lo)
+		scheme.PredictRRows(v, lam, s.Dt, s.RInv, s.Q, s.F, s.QP, s.Src, a, b, p2hi, nr)
+	})
+	if s.Left {
+		s.In.Apply(s.QP, 0, s.Time+s.Dt)
+	}
+
+	// Stage B: corrector, same structure.
+	s.pfor(0, n, func(a, b int) { flux.Primitives(gm, s.QP, s.WP, a, b) })
+	if fresh {
+		s.Halo.Start(KPredPrimsR, s.WP)
+	} else {
+		s.Halo.FillEdges(s.WP)
+	}
+	s.Halo.FillREdges(s.WP)
+	s.Halo.StartR(KPredPrimsR, s.WP)
+	s.pfor(c1lo, c1hi, func(a, b int) { stressFluxR(s.QP, s.WP, s.FP, s.SrcP, a, b, rlo, rhi) })
+	if fresh {
+		s.Halo.Finish(KPredPrimsR, s.WP)
+	}
+	s.Halo.ReceiveR(KPredPrimsR, s.WP) // physical sides were filled eagerly
+	frame(s.QP, s.WP, s.FP, s.SrcP)
+	s.Halo.StartR(KPredFlux, s.FP)
+	s.pfor(0, n, func(a, b int) { scheme.CorrectRRows(v, lam, s.Dt, s.RInv, s.Q, s.QP, s.FP, s.QN, s.SrcP, a, b, p2lo, p2hi) })
+	s.Halo.FinishR(KPredFlux, s.FP)
+	s.pfor(0, n, func(a, b int) {
+		scheme.CorrectRRows(v, lam, s.Dt, s.RInv, s.Q, s.QP, s.FP, s.QN, s.SrcP, a, b, 0, p2lo)
+		scheme.CorrectRRows(v, lam, s.Dt, s.RInv, s.Q, s.QP, s.FP, s.QN, s.SrcP, a, b, p2hi, nr)
+	})
+
+	if s.Top {
+		bc.FarFieldR(gm, g.Dr, s.Dt, g.Lr, s.R, s.Q, s.W, s.F, s.Src, s.QN, 0, n)
+	}
+	if s.Left {
+		s.In.Apply(s.QN, 0, s.Time+s.Dt)
+	}
+	s.Q, s.QN = s.QN, s.Q
+	s.accountR(visc, n)
 }

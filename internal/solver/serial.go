@@ -46,6 +46,16 @@ func (h EdgeHalo) FillEdges(b *flux.State) {
 // degenerates to the physical treatment.
 func (h EdgeHalo) FillR(_ Kind, b *flux.State) { h.FillREdges(b) }
 
+// StartR implements Halo; there is nothing to send.
+func (h EdgeHalo) StartR(_ Kind, _ *flux.State) {}
+
+// FinishR implements Halo by applying the physical radial treatment.
+func (h EdgeHalo) FinishR(_ Kind, b *flux.State) { h.FillREdges(b) }
+
+// ReceiveR implements Halo; with no radial neighbours there is nothing
+// to receive.
+func (h EdgeHalo) ReceiveR(_ Kind, _ *flux.State) {}
+
 // FillREdges implements Halo. The axis parity pattern (component IMr
 // odd, the rest even) and the cubic top extrapolation are shared by the
 // primitive and radial-flux bundles, so one treatment serves both (cf.

@@ -91,6 +91,20 @@ type Halo interface {
 	// communication and computation.
 	Start(k Kind, b *flux.State)
 	Finish(k Kind, b *flux.State)
+	// StartR and FinishR split FillR the same way for the radial (row)
+	// exchanges of the 2-D decomposition; FinishR applies the physical
+	// treatment on domain-edge sides. On a full-height slab both sides
+	// are physical, so StartR sends nothing and FinishR degenerates to
+	// FillREdges.
+	StartR(k Kind, b *flux.State)
+	FinishR(k Kind, b *flux.State)
+	// ReceiveR completes only the interior-side receives of StartR,
+	// skipping the physical edge treatment. The overlapped operators
+	// use it: they fill physical radial ghosts eagerly (so those rows
+	// can join the interior core), and the owned rows the treatment
+	// reads have not changed since, so re-applying it in the finish
+	// would be pure duplicated work.
+	ReceiveR(k Kind, b *flux.State)
 }
 
 // HaloPolicy selects the radial-sweep halo treatment (see DESIGN.md §5).
@@ -144,9 +158,11 @@ type Slab struct {
 	In     *bc.Inflow
 	Halo   Halo
 	Policy HaloPolicy
-	// Overlap enables the paper's Version 6: interior stress/flux/update
-	// loops run while halo messages are in flight, at the cost of split
-	// loops (higher setup overhead, reduced temporal locality).
+	// Overlap enables the paper's Version 6 in both sweeps: interior
+	// stress/flux/update loops run while halo messages are in flight, at
+	// the cost of split loops (higher setup overhead, reduced temporal
+	// locality). Defined for any sub-rectangle slab — 2-D blocks overlap
+	// the axial and the radial exchanges alike (see overlap.go).
 	Overlap bool
 	// Pool, when non-nil, parallelizes each column loop across workers —
 	// the shared-memory DOALL model the paper used on the Cray Y-MP.
@@ -292,16 +308,6 @@ func (s *Slab) pfor(lo, hi int, fn func(lo, hi int)) {
 	s.Pool.Split(lo, hi, fn)
 }
 
-// radialGhosts applies axis mirror and far-field extrapolation to a
-// primitive bundle (all columns including axial ghosts) — the physical
-// radial treatment of a full-height slab. Sub-rectangle slabs go
-// through Halo.FillR instead, which applies this treatment only on the
-// physical sides and exchanges ghost rows with neighbours elsewhere.
-func radialGhosts(w *flux.State) {
-	flux.AxisMirrorPrims(w)
-	flux.TopExtrapolatePrims(w)
-}
-
 // opX applies the axial operator (predictor + corrector) with the given
 // variant. Communication pattern: E1 prims, E2 flux, E3 predicted
 // prims, E4 predicted flux — the paper's four grouped N-S exchanges.
@@ -373,6 +379,10 @@ func (s *Slab) opX(v scheme.Variant) {
 // sweep direction, so its exchanges happen under either policy, exactly
 // as the axial exchanges of opX do.
 func (s *Slab) opR(v scheme.Variant) {
+	if s.Overlap {
+		s.opROverlap(v)
+		return
+	}
 	gm, g := s.Gas, s.Grid
 	lam := s.Dt / (6 * g.Dr)
 	visc := s.Cfg.Viscous

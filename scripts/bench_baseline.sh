@@ -7,7 +7,12 @@
 #
 # The baseline captures every benchmark of the root harness (tables,
 # figures, solver kernels, backends, ablations) as one JSON document so
-# future PRs can diff their bench run against the seed. Numbers are
+# future PRs can diff their bench run against the seed. The overlap
+# ablations (BenchmarkAblationOverlap for the axial decomposition,
+# BenchmarkAblationOverlap2D for the 2-D rank grid) report
+# wait-ns/step and startups/step for Version 5 vs Version 6, so the
+# committed baseline records the overlapped vs non-overlapped
+# communication cost of both decompositions. Numbers are
 # host-dependent: compare trends on the same machine, not absolute
 # values across machines.
 set -eu
