@@ -32,6 +32,7 @@ import (
 	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/solver"
+	"repro/internal/stats"
 	"repro/internal/study"
 	"repro/internal/trace"
 )
@@ -196,7 +197,7 @@ func BenchmarkSolverStepSerialEuler(b *testing.B) {
 // construction and the final state gather — amortized at real
 // benchtimes, dominant at -benchtime=1x. Compare against the
 // construction-free BenchmarkSolverStepSerial accordingly.
-func benchBackend(b *testing.B, name string, opts backend.Options) {
+func benchBackend(b *testing.B, name string, opts backend.Options) backend.Result {
 	b.Helper()
 	be, err := backend.Get(name)
 	if err != nil {
@@ -210,6 +211,7 @@ func benchBackend(b *testing.B, name string, opts backend.Options) {
 	if res.Diag.HasNaN {
 		b.Fatal("diverged")
 	}
+	return res
 }
 
 // BenchmarkBackends sweeps every registered backend on the same
@@ -440,6 +442,35 @@ func BenchmarkAblationOverlap2D(b *testing.B) {
 			b.ResetTimer()
 			res := r.Run(b.N)
 			reportCommWait(b, res)
+		})
+	}
+}
+
+// BenchmarkAblationBalance compares the decomposition cost models on
+// the real solver — uniform point counts against the analytic flops
+// profile and the warm-up-measured profile, on the axial and the 2-D
+// decomposition — reporting throughput plus the per-rank busy-time
+// spread (the Figure 13 metric each mode tries to minimize). The
+// measured cases double as the race-instrumented CI smoke: the probe
+// runs a full extra runner before the balanced one.
+func BenchmarkAblationBalance(b *testing.B) {
+	cases := []struct {
+		backend, balance string
+	}{
+		{"mp:v5", "uniform"},
+		{"mp:v5", "flops"},
+		{"mp:v5", "measured"},
+		{"mp2d", "measured"},
+		{"hybrid", "measured"},
+	}
+	for _, c := range cases {
+		b.Run(c.backend+"/"+c.balance, func(b *testing.B) {
+			res := benchBackend(b, c.backend, backend.Options{Procs: 4, Workers: 2, Policy: solver.Lagged, Balance: c.balance})
+			busy := make([]float64, len(res.PerRank))
+			for i, r := range res.PerRank {
+				busy[i] = r.Busy.Seconds()
+			}
+			b.ReportMetric(stats.RelSpread(busy), "busy-spread")
 		})
 	}
 }

@@ -14,6 +14,8 @@
 //	jetsim -backend mp2d:v6 -procs 8 -steps 200    # overlapped 2-D exchanges
 //	jetsim -backend mp2d -version 6 -procs 8       # same, via the version flag
 //	jetsim -backend hybrid -version 6 -procs 4     # overlapped ranks x DOALL
+//	jetsim -backend mp:v5 -procs 8 -balance flops  # cost-weighted decomposition
+//	jetsim -backend mp2d -procs 8 -balance measured # warm-up-measured weights
 //	jetsim -contour -pgm out/jet.pgm
 package main
 
@@ -44,6 +46,7 @@ func main() {
 		px      = flag.Int("px", 0, "axial rank-grid width (mp2d; 0 = auto near-square)")
 		pr      = flag.Int("pr", 0, "radial rank-grid height (mp2d; 0 = auto near-square)")
 		version = flag.Int("version", 0, "communication strategy 5, 6, or 7 (0 = backend default); contradicting a version-pinned backend name is an error")
+		balance = flag.String("balance", "", "decomposition cost model: uniform, flops, or measured (distributed backends; empty = uniform)")
 		fresh   = flag.Bool("fresh", false, "exact halo policy (bitwise serial equivalence)")
 		contour = flag.Bool("contour", false, "print an ASCII contour of axial momentum")
 		pgm     = flag.String("pgm", "", "write axial momentum as a PGM image to this path")
@@ -71,6 +74,7 @@ func main() {
 		Euler: *euler, Nx: *nx, Nr: *nr, Steps: *steps,
 		Backend: *name, Procs: *procs, Workers: *workers, Px: *px, Pr: *pr,
 		Version:    *version,
+		Balance:    *balance,
 		FreshHalos: *fresh,
 	}
 	// The deprecated -mode alias maps onto the legacy Mode selector,

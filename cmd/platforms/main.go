@@ -14,6 +14,7 @@
 //	platforms -backend mp2d        # measured 2-D rank-grid curve
 //	platforms -backend mp2d:v6     # measured overlapped rank-grid curve
 //	platforms -backend hybrid -version 6   # overlap on the measured ranks too
+//	platforms -backend mp:v5 -balance flops # cost-weighted host decomposition
 package main
 
 import (
@@ -50,6 +51,7 @@ func main() {
 		procs   = flag.Int("procs", 0, "run a single processor count (0 = sweep)")
 		chart   = flag.Bool("chart", true, "draw log-scale ASCII chart")
 		real    = flag.String("backend", "", "also measure a real host run through the backend registry: "+strings.Join(backend.Names(), ", "))
+		balance = flag.String("balance", "", "decomposition cost model of the measured host run: uniform, flops, or measured")
 		nx      = flag.Int("nx", 125, "grid for the measured host run (with -backend)")
 		nr      = flag.Int("nr", 50, "grid for the measured host run (with -backend)")
 		steps   = flag.Int("steps", 100, "composite steps for the measured host run (with -backend)")
@@ -120,6 +122,9 @@ func main() {
 		// the 1995 platforms. serial and shm have no message layer, so
 		// for them -version stays what it always was — a co-simulation
 		// parameter — instead of failing the host baseline.
+		// -balance has no co-simulation meaning, so it always reaches
+		// the registry, which rejects it on serial/shm instead of
+		// silently measuring a uniform curve the user did not ask for.
 		hostVersion := *version
 		if *real == "serial" || *real == "shm" {
 			hostVersion = 0
@@ -127,7 +132,7 @@ func main() {
 		for _, np := range counts {
 			run, err := core.NewRun(core.Config{
 				Euler: *euler, Nx: *nx, Nr: *nr, Steps: *steps,
-				Backend: *real, Procs: np, Version: hostVersion,
+				Backend: *real, Procs: np, Version: hostVersion, Balance: *balance,
 			})
 			if err != nil {
 				log.Fatal(err)

@@ -22,7 +22,10 @@
 //
 // Distributed backends additionally take Options.Version: mp2d and
 // hybrid accept the strategies they implement, the version-pinned
-// names (mp:v5/v6/v7, mp2d:v6) reject a contradicting request.
+// names (mp:v5/v6/v7, mp2d:v6) reject a contradicting request. They
+// also take Options.Balance — the decomposition cost model (uniform
+// point counts, the analytic flops profile, or a measured warm-up) —
+// which changes block shapes, never numerics.
 //
 // All backends run the identical slab engine of internal/solver, so
 // under the Fresh halo policy every backend reproduces the serial
@@ -70,6 +73,105 @@ type Options struct {
 	Policy solver.HaloPolicy
 	// CFL overrides the Courant number (0 = solver.DefaultCFL).
 	CFL float64
+	// Balance selects the decomposition cost model of the distributed
+	// backends: BalanceUniform (default) balances point counts,
+	// BalanceFlops the analytic per-column/per-row FLOP profile
+	// (boundary work included), BalanceMeasured a one-step warm-up run
+	// whose busy times become the profile. Whatever the mode, blocks
+	// change shape only — the physics stays bitwise-identical to serial
+	// under the Fresh policy. serial and shm have no decomposition and
+	// reject any non-uniform request.
+	Balance string
+	// ColWeights/RowWeights inject an explicit cost profile directly
+	// (library callers and tests); they require Balance to be empty —
+	// naming a mode and injecting a profile at the same time is an
+	// error, never a silent pick. RowWeights applies only to the
+	// row-decomposing mp2d backends; the axial-only backends reject it
+	// rather than ignore it.
+	ColWeights []float64
+	RowWeights []float64
+}
+
+// Balance modes of Options.Balance.
+const (
+	BalanceUniform  = "uniform"
+	BalanceFlops    = "flops"
+	BalanceMeasured = "measured"
+)
+
+// measuredProbeSteps is the warm-up length of the measured balance
+// mode: one composite step resolves the per-rank busy skew without
+// noticeably delaying the run it balances.
+const measuredProbeSteps = 1
+
+// resolveWeights maps the balance request onto per-column (and, for
+// row-decomposing backends, per-row) cost profiles. nil profiles mean
+// the uniform split. colProbe/rowProbe are the rank counts of the
+// measured warm-up in each direction — the backend's resolved
+// parallel widths, not the raw Procs field, so a shape given as Px/Pr
+// probes at its real resolution. rowProbe zero marks a backend with no
+// radial decomposition, for which an explicit row profile is an error.
+func resolveWeights(name string, cfg jet.Config, g *grid.Grid, o Options, colProbe, rowProbe int) (col, row []float64, err error) {
+	if err := validateBalance(name, o, rowProbe > 0); err != nil {
+		return nil, nil, err
+	}
+	needRows := rowProbe > 0
+	switch {
+	case o.ColWeights != nil || o.RowWeights != nil:
+		return o.ColWeights, o.RowWeights, nil
+	case o.Balance == "" || o.Balance == BalanceUniform:
+		return nil, nil, nil
+	case o.Balance == BalanceFlops:
+		col = solver.ColCostFlops(cfg, g)
+		if needRows {
+			row = solver.RowCostFlops(cfg, g)
+		}
+		return col, row, nil
+	default: // BalanceMeasured; validateBalance excluded everything else
+		col, err = par.MeasuredColWeights(cfg, g, colProbe, measuredProbeSteps)
+		if err != nil {
+			return nil, nil, err
+		}
+		if needRows {
+			row, err = par.MeasuredRowWeights(cfg, g, rowProbe, measuredProbeSteps)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		return col, row, nil
+	}
+}
+
+// validateBalance is the probe-free subset of resolveWeights used by
+// Validate: it checks the mode name, the explicit-profile conflict,
+// and that a row profile only reaches a backend that decomposes rows —
+// all without running the measured warm-up.
+func validateBalance(name string, o Options, needRows bool) error {
+	switch o.Balance {
+	case "", BalanceUniform, BalanceFlops, BalanceMeasured:
+	default:
+		return fmt.Errorf("backend: unknown balance mode %q (have %q, %q, %q)",
+			o.Balance, BalanceUniform, BalanceFlops, BalanceMeasured)
+	}
+	if (o.ColWeights != nil || o.RowWeights != nil) && o.Balance != "" {
+		return fmt.Errorf("backend: %s: explicit ColWeights/RowWeights contradict Balance %q", name, o.Balance)
+	}
+	if o.RowWeights != nil && !needRows {
+		return fmt.Errorf("backend: %s decomposes columns only, a RowWeights profile does not apply", name)
+	}
+	return nil
+}
+
+// rejectBalance is validateBalance for backends with no decomposition:
+// any non-uniform request is an error, mirroring rejectVersion.
+func rejectBalance(name string, o Options) error {
+	if o.Balance != "" && o.Balance != BalanceUniform {
+		return fmt.Errorf("backend: %s has no decomposition, balance mode %q does not apply", name, o.Balance)
+	}
+	if o.ColWeights != nil || o.RowWeights != nil {
+		return fmt.Errorf("backend: %s has no decomposition, explicit cost profiles do not apply", name)
+	}
+	return nil
 }
 
 // cfl resolves the Courant number.

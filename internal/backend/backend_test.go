@@ -17,12 +17,25 @@ func testGrid(t *testing.T) *grid.Grid {
 	return grid.MustNew(64, 24, 50, 5)
 }
 
+// testRamp is the skewed cost profile of the weighted parity sweep: a
+// steep linear ramp that forces visibly uneven block widths.
+func testRamp(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 + 7*float64(i)/float64(n-1)
+	}
+	return w
+}
+
 // parityOptions returns the Options sweep TestBackendParity runs for
 // one backend: every parallel width 1..4, plus — for both mp2d
 // variants — a set of explicit rank-grid shapes that includes
 // non-divisible splits of both nx and nr, plus — for hybrid — the
-// overlapped rank layer (Version 6) on top of the DOALL pool.
-func parityOptions(name string) []Options {
+// overlapped rank layer (Version 6) on top of the DOALL pool, plus —
+// for every distributed backend — cost-weighted decompositions
+// (explicit skewed profiles and the flops/measured balance modes):
+// load balancing must be numerics-neutral, whatever blocks it picks.
+func parityOptions(name string, g *grid.Grid) []Options {
 	var opts []Options
 	for p := 1; p <= 4; p++ {
 		o := Options{Procs: p, Policy: solver.Fresh}
@@ -31,8 +44,10 @@ func parityOptions(name string) []Options {
 		}
 		opts = append(opts, o)
 	}
+	distributed := name != "serial" && name != "shm"
 	if name == "hybrid" {
 		opts = append(opts, Options{Procs: 3, Workers: 2, Version: par.V6, Policy: solver.Fresh})
+		opts = append(opts, Options{Procs: 3, Workers: 2, Version: par.V6, Policy: solver.Fresh, ColWeights: testRamp(g.Nx)})
 	}
 	if name == "mp2d" || name == "mp2d:v6" {
 		// The parity grid is 64x26: px=3 leaves columns 22+21+21 and
@@ -43,6 +58,28 @@ func parityOptions(name string) []Options {
 		for _, sh := range [][2]int{{2, 2}, {3, 2}, {2, 3}, {1, 4}, {4, 1}, {3, 3}, {4, 3}} {
 			opts = append(opts, Options{Px: sh[0], Pr: sh[1], Policy: solver.Fresh})
 		}
+		// Weighted rank grids: both directions skewed at once, on a
+		// shape with remainder blocks in each.
+		opts = append(opts, Options{Px: 3, Pr: 2, Policy: solver.Fresh,
+			ColWeights: testRamp(g.Nx), RowWeights: testRamp(g.Nr)})
+		opts = append(opts, Options{Px: 2, Pr: 3, Policy: solver.Fresh,
+			ColWeights: testRamp(g.Nx), RowWeights: testRamp(g.Nr)})
+	}
+	if distributed {
+		o := Options{Procs: 3, Policy: solver.Fresh, ColWeights: testRamp(g.Nx)}
+		if name == "hybrid" {
+			o.Workers = 2
+		}
+		if name != "mp2d" && name != "mp2d:v6" {
+			opts = append(opts, o)
+		}
+		for _, balance := range []string{BalanceFlops, BalanceMeasured} {
+			b := Options{Procs: 4, Policy: solver.Fresh, Balance: balance}
+			if name == "hybrid" {
+				b.Workers = 2
+			}
+			opts = append(opts, b)
+		}
 	}
 	return opts
 }
@@ -52,6 +89,12 @@ func optionsLabel(o Options) string {
 	v := ""
 	if o.Version != 0 {
 		v = fmt.Sprintf("v%d", int(o.Version))
+	}
+	switch {
+	case o.Balance != "":
+		v += "-" + o.Balance
+	case o.ColWeights != nil || o.RowWeights != nil:
+		v += "-weighted"
 	}
 	if o.Px > 0 || o.Pr > 0 {
 		return fmt.Sprintf("px%dxpr%d%s", o.Px, o.Pr, v)
@@ -66,8 +109,12 @@ func optionsLabel(o Options) string {
 // halo policy every registered backend produces bitwise-identical
 // fields after N composite steps — the same-arithmetic-everywhere
 // property the solver package doc claims — asserted registry-wide over
-// every parallel width 1..4 and, for the 2-D decomposition, over a set
-// of rank-grid shapes including non-divisible nx/nr splits.
+// every parallel width 1..4; for the 2-D decomposition, over a set of
+// rank-grid shapes including non-divisible nx/nr splits; and for every
+// distributed backend, over cost-weighted decompositions (explicit
+// skewed profiles, the analytic flops mode, and the timing-driven
+// measured mode, whose nondeterministic blocks must be just as
+// numerics-neutral).
 func TestBackendParity(t *testing.T) {
 	const steps = 6
 	g := grid.MustNew(64, 26, 50, 5)
@@ -87,7 +134,7 @@ func TestBackendParity(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, o := range parityOptions(name) {
+		for _, o := range parityOptions(name, g) {
 			t.Run(name+"/"+optionsLabel(o), func(t *testing.T) {
 				res, err := b.Run(cfg, g, o, steps)
 				if err != nil {
@@ -221,7 +268,7 @@ func TestVersionSelection(t *testing.T) {
 		{"mp:v5", Options{Procs: 2, Version: par.V6}},
 		{"mp:v6", Options{Procs: 2, Version: par.V5}},
 		{"mp2d:v6", Options{Procs: 2, Version: par.V5}},
-		{"mp2d", Options{Procs: 2, Version: par.V7}},   // de-burst is axial-only
+		{"mp2d", Options{Procs: 2, Version: par.V7}}, // de-burst is axial-only
 		{"mp2d:v6", Options{Procs: 2, Version: par.V7}},
 		{"mp2d", Options{Procs: 2, Version: par.Version(9)}},
 		{"serial", Options{Version: par.V6}},
@@ -238,6 +285,123 @@ func TestVersionSelection(t *testing.T) {
 		if _, err := b.Run(cfg, g, c.o, 1); err == nil {
 			t.Errorf("%s %s: Run accepted an unsupported/contradicting version", c.name, optionsLabel(c.o))
 		}
+	}
+}
+
+// TestBalanceSelection pins the registry-level balance semantics:
+// distributed backends honor Options.Balance and explicit profiles,
+// backends without a decomposition reject them, unknown modes and
+// profile/mode conflicts are errors — never a silent uniform split.
+func TestBalanceSelection(t *testing.T) {
+	g := testGrid(t)
+	cfg := jet.Paper()
+	ok := []struct {
+		name string
+		o    Options
+	}{
+		{"mp:v5", Options{Procs: 3, Balance: BalanceFlops}},
+		{"mp:v5", Options{Procs: 3, Balance: BalanceMeasured}},
+		{"mp:v6", Options{Procs: 3, Balance: BalanceFlops}},
+		{"mp2d", Options{Px: 2, Pr: 2, Balance: BalanceFlops}},
+		{"mp2d:v6", Options{Px: 2, Pr: 2, Balance: BalanceMeasured}},
+		{"hybrid", Options{Procs: 2, Workers: 2, Balance: BalanceMeasured}},
+		{"serial", Options{Balance: BalanceUniform}}, // explicit uniform is a no-op anywhere
+		{"mp:v5", Options{Procs: 3, ColWeights: testRamp(g.Nx)}},
+	}
+	for _, c := range ok {
+		b, err := Get(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(b, cfg, g, c.o); err != nil {
+			t.Errorf("%s %s: unexpected validate error: %v", c.name, optionsLabel(c.o), err)
+			continue
+		}
+		if _, err := b.Run(cfg, g, c.o, 1); err != nil {
+			t.Errorf("%s %s: unexpected run error: %v", c.name, optionsLabel(c.o), err)
+		}
+	}
+	bad := []struct {
+		name string
+		o    Options
+	}{
+		{"serial", Options{Balance: BalanceFlops}},
+		{"shm", Options{Procs: 2, Balance: BalanceMeasured}},
+		{"serial", Options{ColWeights: testRamp(g.Nx)}},
+		{"mp:v5", Options{Procs: 2, Balance: "bogus"}},
+		{"mp:v5", Options{Procs: 2, Balance: BalanceFlops, ColWeights: testRamp(g.Nx)}},
+		{"mp2d", Options{Px: 2, Pr: 2, Balance: "point-count"}},
+		// A row profile on a column-only decomposition must be
+		// rejected, not silently dropped.
+		{"mp:v5", Options{Procs: 2, RowWeights: testRamp(g.Nr)}},
+		{"hybrid", Options{Procs: 2, Workers: 2, RowWeights: testRamp(g.Nr)}},
+	}
+	for _, c := range bad {
+		b, err := Get(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(b, cfg, g, c.o); err == nil {
+			t.Errorf("%s %s: Validate accepted an unsupported balance request", c.name, optionsLabel(c.o))
+		}
+		if _, err := b.Run(cfg, g, c.o, 1); err == nil {
+			t.Errorf("%s %s: Run accepted an unsupported balance request", c.name, optionsLabel(c.o))
+		}
+	}
+	// A profile of the wrong length passes the cheap Validate (which
+	// never materializes weights) but must fail in Run.
+	b, err := Get("mp:v5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Run(cfg, g, Options{Procs: 2, ColWeights: []float64{1, 2, 3}}, 1); err == nil {
+		t.Error("mp:v5 accepted a 3-entry profile on a 64-column grid")
+	}
+}
+
+// TestMeasuredBalanceProbesResolvedShape guards the warm-up probe
+// resolution: a rank grid given only as Px/Pr (Procs zero) must probe
+// at px axial and pr radial ranks — probing at the unset Procs would
+// silently degrade measured balance to the uniform split.
+func TestMeasuredBalanceProbesResolvedShape(t *testing.T) {
+	g := grid.MustNew(64, 26, 50, 5)
+	o, err := mp2dBackend{}.options2D(jet.Paper(), g, Options{Px: 2, Pr: 2, Balance: BalanceMeasured})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.ColWeights == nil {
+		t.Error("measured balance with Px=2 produced no column profile (probe ran at 1 rank?)")
+	}
+	if o.RowWeights == nil {
+		t.Error("measured balance with Pr=2 produced no row profile (probe ran at 1 rank?)")
+	}
+}
+
+// TestWeightedRunShiftsWork: an explicit increasing cost profile must
+// actually move columns — the cheap end gets wider blocks, visible as
+// monotonically more per-rank flops on rank 0 than on the last rank.
+func TestWeightedRunShiftsWork(t *testing.T) {
+	b, err := Get("mp:v5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := testGrid(t)
+	uni, err := b.Run(jet.Paper(), g, Options{Procs: 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wgt, err := b.Run(jet.Paper(), g, Options{Procs: 4, ColWeights: testRamp(g.Nx)}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wgt.PerRank[0].Flops <= uni.PerRank[0].Flops {
+		t.Errorf("rank 0 should own more columns under an increasing profile: %g <= %g",
+			wgt.PerRank[0].Flops, uni.PerRank[0].Flops)
+	}
+	last := len(wgt.PerRank) - 1
+	if wgt.PerRank[last].Flops >= uni.PerRank[last].Flops {
+		t.Errorf("last rank should own fewer columns under an increasing profile: %g >= %g",
+			wgt.PerRank[last].Flops, uni.PerRank[last].Flops)
 	}
 }
 

@@ -137,26 +137,23 @@ func TestGoldenFields(t *testing.T) {
 	}
 }
 
-// TestGoldenOverlappedVariants extends the checksum net to the
-// Version-6 overlap: on the golden configurations, the overlapped 2-D
-// backend (across rank-grid shapes) and the overlapped hybrid backend
-// must reproduce the serial field bits exactly under the Fresh policy.
-// The serial reference is computed live, so — unlike the committed
-// amd64 goldens — this holds on any architecture: both runs are the
-// same binary doing the same arithmetic.
-func TestGoldenOverlappedVariants(t *testing.T) {
+// goldenVariant is one backend/options pair checked against the live
+// serial reference by assertGoldenVariants.
+type goldenVariant struct {
+	backend string
+	opts    Options
+}
+
+// assertGoldenVariants runs every variant on every golden
+// configuration and asserts its gathered fields and time step match
+// the live serial reference bitwise. Unlike the committed amd64
+// goldens this holds on any architecture: both runs are the same
+// binary doing the same arithmetic.
+func assertGoldenVariants(t *testing.T, variants func(c goldenCase) []goldenVariant) {
+	t.Helper()
 	ser, err := Get("serial")
 	if err != nil {
 		t.Fatal(err)
-	}
-	variants := []struct {
-		backend string
-		opts    Options
-	}{
-		{"mp2d:v6", Options{Px: 2, Pr: 2, Policy: solver.Fresh}},
-		{"mp2d:v6", Options{Px: 1, Pr: 3, Policy: solver.Fresh}},
-		{"mp2d:v6", Options{Px: 3, Pr: 2, Policy: solver.Fresh}},
-		{"hybrid", Options{Procs: 3, Workers: 2, Version: par.V6, Policy: solver.Fresh}},
 	}
 	for name, c := range goldenCases() {
 		cfg := jet.Paper()
@@ -169,7 +166,7 @@ func TestGoldenOverlappedVariants(t *testing.T) {
 			t.Fatalf("%s: serial: %v", name, err)
 		}
 		refSum := fieldChecksum(ref.Fields)
-		for _, v := range variants {
+		for _, v := range variants(c) {
 			b, err := Get(v.backend)
 			if err != nil {
 				t.Fatal(err)
@@ -187,4 +184,38 @@ func TestGoldenOverlappedVariants(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestGoldenWeightedVariants extends the checksum net to cost-weighted
+// decompositions: skewed explicit profiles (both decompositions,
+// grouped and overlapped exchanges) and the analytic flops mode must
+// reproduce the serial field bits exactly under the Fresh policy —
+// load balancing moves block edges, never arithmetic.
+func TestGoldenWeightedVariants(t *testing.T) {
+	assertGoldenVariants(t, func(c goldenCase) []goldenVariant {
+		return []goldenVariant{
+			{"mp:v5", Options{Procs: 3, Policy: solver.Fresh, ColWeights: testRamp(c.Nx)}},
+			{"mp:v6", Options{Procs: 3, Policy: solver.Fresh, ColWeights: testRamp(c.Nx)}},
+			{"mp2d", Options{Px: 2, Pr: 2, Policy: solver.Fresh, ColWeights: testRamp(c.Nx), RowWeights: testRamp(c.Nr)}},
+			{"mp2d:v6", Options{Px: 2, Pr: 2, Policy: solver.Fresh, ColWeights: testRamp(c.Nx), RowWeights: testRamp(c.Nr)}},
+			{"hybrid", Options{Procs: 3, Workers: 2, Policy: solver.Fresh, ColWeights: testRamp(c.Nx)}},
+			{"mp:v5", Options{Procs: 4, Policy: solver.Fresh, Balance: BalanceFlops}},
+			{"mp2d", Options{Px: 2, Pr: 2, Policy: solver.Fresh, Balance: BalanceFlops}},
+		}
+	})
+}
+
+// TestGoldenOverlappedVariants extends the checksum net to the
+// Version-6 overlap: the overlapped 2-D backend (across rank-grid
+// shapes) and the overlapped hybrid backend must reproduce the serial
+// field bits exactly under the Fresh policy.
+func TestGoldenOverlappedVariants(t *testing.T) {
+	assertGoldenVariants(t, func(goldenCase) []goldenVariant {
+		return []goldenVariant{
+			{"mp2d:v6", Options{Px: 2, Pr: 2, Policy: solver.Fresh}},
+			{"mp2d:v6", Options{Px: 1, Pr: 3, Policy: solver.Fresh}},
+			{"mp2d:v6", Options{Px: 3, Pr: 2, Policy: solver.Fresh}},
+			{"hybrid", Options{Procs: 3, Workers: 2, Version: par.V6, Policy: solver.Fresh}},
+		}
+	})
 }

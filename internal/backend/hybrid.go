@@ -47,10 +47,13 @@ func (b hybridBackend) version(opts Options) (par.Version, error) {
 	return resolveVersion("hybrid", opts, par.V5, 0, par.V5, par.V6, par.V7)
 }
 
-// Validate checks the version request and the axial decomposition
-// without building the ranks.
+// Validate checks the version request, the balance mode, and the axial
+// decomposition without building the ranks.
 func (b hybridBackend) Validate(_ jet.Config, g *grid.Grid, opts Options) error {
 	if _, err := b.version(opts); err != nil {
+		return err
+	}
+	if err := validateBalance("hybrid", opts, false); err != nil {
 		return err
 	}
 	_, err := decomp.Axial(g.Nx, opts.procs())
@@ -62,11 +65,16 @@ func (b hybridBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int
 	if err != nil {
 		return Result{}, err
 	}
+	colw, _, err := resolveWeights("hybrid", cfg, g, opts, opts.procs(), 0)
+	if err != nil {
+		return Result{}, err
+	}
 	r, err := par.NewRunner(cfg, g, par.Options{
-		Procs:   opts.procs(),
-		Version: v,
-		Policy:  opts.Policy,
-		CFL:     opts.CFL,
+		Procs:      opts.procs(),
+		Version:    v,
+		Policy:     opts.Policy,
+		CFL:        opts.CFL,
+		ColWeights: colw,
 	})
 	if err != nil {
 		return Result{}, err

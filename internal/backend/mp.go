@@ -25,11 +25,14 @@ type mpBackend struct {
 
 func (b mpBackend) Name() string { return fmt.Sprintf("mp:v%d", int(b.version)) }
 
-// Validate checks the axial decomposition and the version request
-// (the name pins the strategy; a contradicting Options.Version is an
-// error) without building the ranks.
+// Validate checks the axial decomposition, the version request (the
+// name pins the strategy; a contradicting Options.Version is an
+// error), and the balance mode without building the ranks.
 func (b mpBackend) Validate(_ jet.Config, g *grid.Grid, opts Options) error {
 	if _, err := resolveVersion(b.Name(), opts, b.version, b.version, b.version); err != nil {
+		return err
+	}
+	if err := validateBalance(b.Name(), opts, false); err != nil {
 		return err
 	}
 	_, err := decomp.Axial(g.Nx, opts.procs())
@@ -41,11 +44,16 @@ func (b mpBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int) (R
 	if err != nil {
 		return Result{}, err
 	}
+	colw, _, err := resolveWeights(b.Name(), cfg, g, opts, opts.procs(), 0)
+	if err != nil {
+		return Result{}, err
+	}
 	r, err := par.NewRunner(cfg, g, par.Options{
-		Procs:   opts.procs(),
-		Version: v,
-		Policy:  opts.Policy,
-		CFL:     opts.CFL,
+		Procs:      opts.procs(),
+		Version:    v,
+		Policy:     opts.Policy,
+		CFL:        opts.CFL,
+		ColWeights: colw,
 	})
 	if err != nil {
 		return Result{}, err

@@ -51,25 +51,44 @@ func (b mp2dBackend) version(opts Options) (par.Version, error) {
 // passes through raw: zero means "derive from the shape" (or one rank
 // when no shape is given either), while an explicit value that
 // contradicts an explicit shape must reach the runner's error check.
-func (b mp2dBackend) options2D(opts Options) (par.Options2D, error) {
+// The balance request resolves into per-column and per-row profiles —
+// the 2-D decomposition weights both directions, and the measured
+// warm-up probes each at the resolved rank-grid resolution (px axial
+// ranks, pr radial ranks), so a shape given as Px/Pr alone still
+// measures at its real width.
+func (b mp2dBackend) options2D(cfg jet.Config, g *grid.Grid, opts Options) (par.Options2D, error) {
 	v, err := b.version(opts)
+	if err != nil {
+		return par.Options2D{}, err
+	}
+	px, pr, err := par.Options2D{Procs: opts.Procs, Px: opts.Px, Pr: opts.Pr}.Shape(g)
+	if err != nil {
+		return par.Options2D{}, err
+	}
+	colw, roww, err := resolveWeights(b.Name(), cfg, g, opts, px, pr)
 	return par.Options2D{
-		Procs:   opts.Procs,
-		Px:      opts.Px,
-		Pr:      opts.Pr,
-		Version: v,
-		Policy:  opts.Policy,
-		CFL:     opts.CFL,
+		Procs:      opts.Procs,
+		Px:         opts.Px,
+		Pr:         opts.Pr,
+		Version:    v,
+		Policy:     opts.Policy,
+		CFL:        opts.CFL,
+		ColWeights: colw,
+		RowWeights: roww,
 	}, err
 }
 
-// Validate checks the version request, the rank-grid shape, and both
-// block decompositions without building the ranks.
+// Validate checks the version request, the balance mode, the rank-grid
+// shape, and both block decompositions without building the ranks (and
+// without running the measured warm-up probe).
 func (b mp2dBackend) Validate(_ jet.Config, g *grid.Grid, opts Options) error {
-	o, err := b.options2D(opts)
-	if err != nil {
+	if _, err := b.version(opts); err != nil {
 		return err
 	}
+	if err := validateBalance(b.Name(), opts, true); err != nil {
+		return err
+	}
+	o := par.Options2D{Procs: opts.Procs, Px: opts.Px, Pr: opts.Pr}
 	px, pr, err := o.Shape(g)
 	if err != nil {
 		return err
@@ -79,7 +98,7 @@ func (b mp2dBackend) Validate(_ jet.Config, g *grid.Grid, opts Options) error {
 }
 
 func (b mp2dBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int) (Result, error) {
-	o, err := b.options2D(opts)
+	o, err := b.options2D(cfg, g, opts)
 	if err != nil {
 		return Result{}, err
 	}

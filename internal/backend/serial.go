@@ -16,14 +16,20 @@ type serialBackend struct{}
 
 func (serialBackend) Name() string { return "serial" }
 
-// Validate rejects a communication-version request: there is nothing
-// to communicate.
+// Validate rejects a communication-version or balance request: there
+// is nothing to communicate and nothing to decompose.
 func (serialBackend) Validate(_ jet.Config, _ *grid.Grid, opts Options) error {
-	return rejectVersion("serial", opts)
+	if err := rejectVersion("serial", opts); err != nil {
+		return err
+	}
+	return rejectBalance("serial", opts)
 }
 
 func (serialBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int) (Result, error) {
 	if err := rejectVersion("serial", opts); err != nil {
+		return Result{}, err
+	}
+	if err := rejectBalance("serial", opts); err != nil {
 		return Result{}, err
 	}
 	s, err := solver.NewSerialCFL(cfg, g, opts.cfl())

@@ -17,14 +17,20 @@ type shmBackend struct{}
 
 func (shmBackend) Name() string { return "shm" }
 
-// Validate rejects a communication-version request: the DOALL pool has
-// no message layer.
+// Validate rejects a communication-version or balance request: the
+// DOALL pool has no message layer and no rank decomposition.
 func (shmBackend) Validate(_ jet.Config, _ *grid.Grid, opts Options) error {
-	return rejectVersion("shm", opts)
+	if err := rejectVersion("shm", opts); err != nil {
+		return err
+	}
+	return rejectBalance("shm", opts)
 }
 
 func (shmBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int) (Result, error) {
 	if err := rejectVersion("shm", opts); err != nil {
+		return Result{}, err
+	}
+	if err := rejectBalance("shm", opts); err != nil {
 		return Result{}, err
 	}
 	workers := opts.procs()

@@ -87,6 +87,12 @@ type Config struct {
 	// registry, which rejects contradictions (e.g. Backend "mp:v5" with
 	// Version 6) and unimplemented strategies instead of ignoring it.
 	Version int
+	// Balance selects the decomposition cost model of the distributed
+	// backends: "uniform" (default, balanced point counts), "flops"
+	// (analytic per-column/per-row FLOP profile), or "measured" (a
+	// one-step warm-up run whose busy times become the profile). Load
+	// balancing changes which points a rank owns, never the numerics.
+	Balance string
 	// FreshHalos selects the exact-halo policy (bitwise serial
 	// equivalence) instead of the paper's lagged message budget.
 	FreshHalos bool
@@ -199,6 +205,7 @@ func NewRun(c Config) (*Run, error) {
 		Pr:      c.Pr,
 		Version: par.Version(c.Version),
 		Policy:  policy,
+		Balance: c.Balance,
 	}
 	if err := backend.Validate(be, c.jetConfig(), g, opts); err != nil {
 		return nil, err

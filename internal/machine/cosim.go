@@ -73,7 +73,11 @@ type cosim struct {
 const v6BusyPenalty = 1.04
 
 // newCosim builds rank programs from the decomposition and the exchange
-// schedule of internal/par.
+// schedule of internal/par. The decomposition may be cost-weighted:
+// each rank's compute time scales with its owned share of the
+// characterization's per-column cost profile (uniform when nil), so
+// the co-simulated busy times reproduce the Figure 13 skew — and its
+// cure when the same profile feeds decomp.WeightedAxial.
 func newCosim(p Platform, ch trace.Characterization, d *decomp.Decomposition, commVersion, steps int) *cosim {
 	hostF := p.LibHostFactor
 	if hostF == 0 {
@@ -92,8 +96,8 @@ func newCosim(p Platform, ch trace.Characterization, d *decomp.Decomposition, co
 	eff := p.EffMFLOPS(ch) * 1e6
 	msgBytes := ch.MessageBytes()
 	for r := 0; r < d.P; r++ {
-		_, ncols := d.Range(r)
-		flopsPerStep := ch.FlopsPerPoint * float64(ncols*ch.Nr)
+		i0, ncols := d.Range(r)
+		flopsPerStep := ch.FlopsPerPoint * ch.BlockCost(i0, ncols) * float64(ch.Nr)
 		computeSec := flopsPerStep / eff
 		if commVersion == 6 {
 			computeSec *= v6BusyPenalty

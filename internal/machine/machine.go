@@ -97,9 +97,33 @@ func (p Platform) Simulate(ch trace.Characterization, procs, commVersion int) (O
 }
 
 // SimulateSteps is Simulate with explicit event-simulated step count.
+// It runs the paper's uniform axial decomposition; SimulateDecomp
+// accepts a caller-built (possibly cost-weighted) decomposition.
 func (p Platform) SimulateSteps(ch trace.Characterization, procs, commVersion, simSteps int) (Outcome, error) {
+	if procs < 1 {
+		return Outcome{}, fmt.Errorf("machine: %s supports 1..%d processors, got %d", p.Name, p.MaxProcs, procs)
+	}
+	d, err := decomp.Axial(ch.Nx, procs)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return p.SimulateDecomp(ch, d, commVersion, simSteps)
+}
+
+// SimulateDecomp co-simulates the characterization on an explicit
+// axial decomposition — typically decomp.WeightedAxial over the same
+// per-column cost profile as ch.ColCost, the predicted counterpart of
+// a measured load-balanced run.
+func (p Platform) SimulateDecomp(ch trace.Characterization, d *decomp.Decomposition, commVersion, simSteps int) (Outcome, error) {
+	procs := d.P
 	if procs < 1 || procs > p.MaxProcs {
 		return Outcome{}, fmt.Errorf("machine: %s supports 1..%d processors, got %d", p.Name, p.MaxProcs, procs)
+	}
+	if d.Nx != ch.Nx {
+		return Outcome{}, fmt.Errorf("machine: decomposition covers %d columns, characterization has %d", d.Nx, ch.Nx)
+	}
+	if ch.ColCost != nil && len(ch.ColCost) != ch.Nx {
+		return Outcome{}, fmt.Errorf("machine: %d-entry cost profile for %d columns", len(ch.ColCost), ch.Nx)
 	}
 	if p.Vec != nil {
 		return p.simulateVector(ch, procs), nil
@@ -117,10 +141,6 @@ func (p Platform) SimulateSteps(ch trace.Characterization, procs, commVersion, s
 		sec := ch.TotalFlops() / (p.EffMFLOPS(ch) * 1e6)
 		return Outcome{Platform: p.Name, Procs: 1, Seconds: sec, BusySeconds: sec,
 			PerRank: []RankOutcome{{Busy: sec}}}, nil
-	}
-	d, err := decomp.Axial(ch.Nx, procs)
-	if err != nil {
-		return Outcome{}, err
 	}
 	cs := newCosim(p, ch, d, commVersion, simSteps)
 	cs.run()

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/decomp"
 	"repro/internal/trace"
 )
 
@@ -69,6 +70,53 @@ func TestValidation(t *testing.T) {
 	}
 	if _, err := T3D.Simulate(ch, 4, 9); err == nil {
 		t.Error("unknown communication version must error")
+	}
+	bad := ch
+	bad.ColCost = trace.RampCost(128, 4) // wrong length for Nx=250
+	if _, err := T3D.Simulate(bad, 4, 5); err == nil {
+		t.Error("cost profile shorter than the grid must error, not panic downstream")
+	}
+	d, err := decomp.Axial(200, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := T3D.SimulateDecomp(ch, d, 5, 10); err == nil {
+		t.Error("decomposition narrower than the characterization must error")
+	}
+}
+
+// TestSimulateDecompWeighted: a cost-weighted decomposition over the
+// characterization's own skewed profile must flatten the co-simulated
+// busy times relative to the uniform split.
+func TestSimulateDecompWeighted(t *testing.T) {
+	ch := trace.PaperNS()
+	ch.ColCost = trace.RampCost(ch.Nx, 4)
+	du, err := decomp.Axial(ch.Nx, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw, err := decomp.WeightedAxial(ch.Nx, 8, ch.ColCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread := func(d *decomp.Decomposition) float64 {
+		o, err := SPMPL.SimulateDecomp(ch, d, 5, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mn, mx := o.PerRank[0].Busy, o.PerRank[0].Busy
+		for _, r := range o.PerRank {
+			if r.Busy < mn {
+				mn = r.Busy
+			}
+			if r.Busy > mx {
+				mx = r.Busy
+			}
+		}
+		return (mx - mn) / mx
+	}
+	if su, sw := spread(du), spread(dw); sw >= su {
+		t.Errorf("weighted spread %g not below uniform %g", sw, su)
 	}
 }
 

@@ -78,6 +78,90 @@ func TestRadialExchangeSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestWeightedExchangeSteadyStateAllocs extends the allocation-free
+// guarantee to cost-weighted (non-uniform width) slabs on both
+// decompositions. The staging buffers are sized per rank at
+// construction from that rank's own extent, so unequal neighbours
+// exchange without growing anything: axial neighbours share Nr (column
+// messages are equal-sized however uneven the widths), and radially
+// stacked blocks share Nx (row messages likewise).
+func TestWeightedExchangeSteadyStateAllocs(t *testing.T) {
+	// Axial: a skewed profile makes rank 0 wide and rank 1 narrow.
+	const nx, nr = 16, 12
+	ramp := make([]float64, nx)
+	for i := range ramp {
+		ramp[i] = 1 + 6*float64(i)/float64(nx-1)
+	}
+	d, err := decomp.WeightedAxial(nx, 2, ramp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0, w1 := d.Widths()[0], d.Widths()[1]
+	if w0 == w1 {
+		t.Fatalf("profile did not skew the split: widths %v", d.Widths())
+	}
+	w := msg.NewWorld(2)
+	h0 := newRankHalo(w.Comm(0), 0, 2, w0, nr, V5)
+	h1 := newRankHalo(w.Comm(1), 1, 2, w1, nr, V5)
+	b0 := flux.NewState(w0, nr)
+	b1 := flux.NewState(w1, nr)
+	for k := range b0 {
+		b0[k].FillAll(1)
+		b1[k].FillAll(2)
+	}
+	exchange := func() {
+		h0.Start(solver.KPrims, b0)
+		h1.Start(solver.KPrims, b1)
+		h0.Finish(solver.KPrims, b0)
+		h1.Finish(solver.KPrims, b1)
+	}
+	exchange() // prime the message-layer free list
+	if b0[0].At(w0, 0) != 2 || b1[0].At(-1, 0) != 1 {
+		t.Fatal("weighted axial exchange did not deliver neighbour columns")
+	}
+	if allocs := testing.AllocsPerRun(50, exchange); allocs != 0 {
+		t.Errorf("steady-state weighted axial exchange allocates %.1f times, want 0", allocs)
+	}
+
+	// Radial: a skewed row profile stacks a tall block under a short one.
+	const gnr = 24
+	rowRamp := make([]float64, gnr)
+	for j := range rowRamp {
+		rowRamp[j] = 1 + 6*float64(j)/float64(gnr-1)
+	}
+	g2, err := decomp.WeightedGrid2D(nx, gnr, 1, 2, nil, rowRamp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, nr0 := g2.Block(0)
+	_, _, _, nr1 := g2.Block(1)
+	if nr0 == nr1 {
+		t.Fatalf("row profile did not skew the split: heights %d, %d", nr0, nr1)
+	}
+	w2 := msg.NewWorld(2)
+	g0 := newRankHalo2D(w2.Comm(0), g2, 0, nx, nr0, V5)
+	g1 := newRankHalo2D(w2.Comm(1), g2, 1, nx, nr1, V5)
+	c0 := flux.NewState(nx, nr0)
+	c1 := flux.NewState(nx, nr1)
+	for k := range c0 {
+		c0[k].FillAll(1)
+		c1[k].FillAll(2)
+	}
+	rowExchange := func() {
+		g0.StartR(solver.KPrims, c0)
+		g1.StartR(solver.KPrims, c1)
+		g0.FinishR(solver.KPrims, c0)
+		g1.FinishR(solver.KPrims, c1)
+	}
+	rowExchange()
+	if c0[0].At(0, nr0) != 2 || c1[0].At(0, -1) != 1 {
+		t.Fatal("weighted radial exchange did not deliver neighbour rows")
+	}
+	if allocs := testing.AllocsPerRun(50, rowExchange); allocs != 0 {
+		t.Errorf("steady-state weighted radial exchange allocates %.1f times, want 0", allocs)
+	}
+}
+
 // TestOverlappedExchangeSteadyStateAllocs covers the Version-6 schedule
 // on a 2-D block: both directions' sends initiated up front
 // (Start/StartR), receives completed later (Finish/FinishR) — the

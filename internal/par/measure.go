@@ -1,0 +1,81 @@
+package par
+
+import (
+	"repro/internal/decomp"
+	"repro/internal/grid"
+	"repro/internal/jet"
+	"repro/internal/solver"
+)
+
+// Measured cost profiles: the optional warm-up source behind the
+// "measured" balance mode. A short run on a *uniform* decomposition
+// yields per-rank busy times; spreading each rank's busy time evenly
+// over its owned indices gives a piecewise-constant per-index cost
+// profile that decomp.WeightedAxial/WeightedRadial can re-balance. The
+// profile only steers which indices a rank owns — the physics is
+// partition-independent — so timer noise can cost efficiency, never
+// correctness.
+
+// busyWeights converts per-rank busy times into a per-index profile,
+// or nil when the probe carried no usable signal (a rank's busy time
+// rounded to zero, or a single-rank probe).
+func busyWeights(d *decomp.Decomposition, res *Result) []float64 {
+	if d.P < 2 {
+		return nil
+	}
+	w := make([]float64, d.Nx)
+	for r := 0; r < d.P; r++ {
+		busy := res.Ranks[r].Busy.Seconds()
+		if busy <= 0 {
+			return nil
+		}
+		i0, n := d.Range(r)
+		per := busy / float64(n)
+		for i := i0; i < i0+n; i++ {
+			w[i] = per
+		}
+	}
+	return w
+}
+
+// MeasuredColWeights runs a steps-long warm-up on a uniform axial
+// decomposition of up to procs ranks and returns the per-column cost
+// profile its busy times imply. nil (uniform) when the probe cannot
+// resolve a profile.
+func MeasuredColWeights(cfg jet.Config, g *grid.Grid, procs, steps int) ([]float64, error) {
+	probe := procs
+	if m := g.Nx / decomp.MinWidth; probe > m {
+		probe = m
+	}
+	if probe < 2 {
+		return nil, nil
+	}
+	if steps < 1 {
+		steps = 1
+	}
+	r, err := NewRunner(cfg, g, Options{Procs: probe, Policy: solver.Lagged})
+	if err != nil {
+		return nil, err
+	}
+	return busyWeights(r.Dec, r.Run(steps)), nil
+}
+
+// MeasuredRowWeights is the radial analog: a 1-by-pr rank-grid warm-up
+// whose per-rank busy times become a per-row cost profile.
+func MeasuredRowWeights(cfg jet.Config, g *grid.Grid, procs, steps int) ([]float64, error) {
+	probe := procs
+	if m := g.Nr / decomp.MinHeight; probe > m {
+		probe = m
+	}
+	if probe < 2 {
+		return nil, nil
+	}
+	if steps < 1 {
+		steps = 1
+	}
+	r, err := NewRunner2D(cfg, g, Options2D{Px: 1, Pr: probe, Policy: solver.Lagged})
+	if err != nil {
+		return nil, err
+	}
+	return busyWeights(r.Dec.R, r.Run(steps)), nil
+}

@@ -48,6 +48,13 @@ type Options struct {
 	Version Version
 	Policy  solver.HaloPolicy
 	CFL     float64 // 0 means solver.DefaultCFL
+	// ColWeights is an optional per-column cost profile (len Grid.Nx):
+	// the decomposition minimizes the maximum block cost instead of
+	// balancing point counts (decomp.WeightedAxial). nil keeps the
+	// uniform split. Weighting changes which columns a rank owns, never
+	// the arithmetic — under the Fresh policy every profile reproduces
+	// the serial fields bitwise.
+	ColWeights []float64
 }
 
 // RankStats reports one rank's measured execution profile.
@@ -140,7 +147,7 @@ func NewRunner(cfg jet.Config, g *grid.Grid, opt Options) (*Runner, error) {
 	if opt.CFL == 0 {
 		opt.CFL = solver.DefaultCFL
 	}
-	d, err := decomp.Axial(g.Nx, opt.Procs)
+	d, err := decomp.WeightedAxial(g.Nx, opt.Procs, opt.ColWeights)
 	if err != nil {
 		return nil, err
 	}

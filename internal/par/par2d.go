@@ -26,6 +26,12 @@ type Options2D struct {
 	Version Version
 	Policy  solver.HaloPolicy
 	CFL     float64 // 0 means solver.DefaultCFL
+	// ColWeights/RowWeights are optional per-column and per-row cost
+	// profiles; either direction weighted independently
+	// (decomp.WeightedGrid2D), nil keeping that direction's uniform
+	// split. Numerics-neutral exactly as par.Options.ColWeights.
+	ColWeights []float64
+	RowWeights []float64
 }
 
 // Shape resolves the rank grid: explicit Px×Pr, one explicit factor
@@ -79,7 +85,7 @@ func NewRunner2D(cfg jet.Config, g *grid.Grid, opt Options2D) (*Runner2D, error)
 	if err != nil {
 		return nil, err
 	}
-	d, err := decomp.NewGrid2D(g.Nx, g.Nr, px, pr)
+	d, err := decomp.WeightedGrid2D(g.Nx, g.Nr, px, pr, opt.ColWeights, opt.RowWeights)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,66 @@
+package solver
+
+import (
+	"repro/internal/bc"
+	"repro/internal/flux"
+	"repro/internal/grid"
+	"repro/internal/jet"
+	"repro/internal/scheme"
+)
+
+// Analytic cost profiles for the cost-weighted decompositions of
+// internal/decomp: flops per composite step attributed per column and
+// per row, from the same kernel counts accountX/accountR accumulate.
+// Interior points all cost the same; the skew comes from the boundary
+// work — the characteristic outflow column on the right edge and the
+// far-field row at the top — which the paper's Figure 13 busy times
+// fold into whichever rank owns those points.
+
+// pointFlops returns the per-point flops of one composite step (one
+// axial plus one radial operator), mirroring accountX + accountR.
+func pointFlops(visc bool) float64 {
+	fx := 2 * float64(flux.FlopsPrims)
+	if visc {
+		fx += 2 * float64(flux.FlopsStress+flux.FlopsFluxXVisc)
+	} else {
+		fx += 2 * float64(flux.FlopsFluxXInvisc)
+	}
+	fx += float64(scheme.FlopsPredictX + scheme.FlopsCorrectX)
+	fr := 2 * float64(flux.FlopsPrims+flux.FlopsSource)
+	if visc {
+		fr += 2 * float64(flux.FlopsStress+flux.FlopsFluxRVisc)
+	} else {
+		fr += 2 * float64(flux.FlopsFluxRInvisc)
+	}
+	fr += float64(scheme.FlopsPredictR + scheme.FlopsCorrectR)
+	return fx + fr
+}
+
+// ColCostFlops returns the analytic per-column cost profile of one
+// composite step on g: interior columns cost pointFlops per row plus
+// the far-field characteristic point at the top; the rightmost column
+// additionally carries the outflow characteristic treatment of every
+// row.
+func ColCostFlops(cfg jet.Config, g *grid.Grid) []float64 {
+	base := pointFlops(cfg.Viscous) * float64(g.Nr)
+	w := make([]float64, g.Nx)
+	for i := range w {
+		w[i] = base + float64(bc.FlopsCharPoint) // top far-field point
+	}
+	w[g.Nx-1] += float64(bc.FlopsCharPoint) * float64(g.Nr)
+	return w
+}
+
+// RowCostFlops returns the analytic per-row cost profile of one
+// composite step on g: every row carries the outflow characteristic
+// point of the right edge, and the top row the far-field treatment of
+// every column.
+func RowCostFlops(cfg jet.Config, g *grid.Grid) []float64 {
+	base := pointFlops(cfg.Viscous) * float64(g.Nx)
+	w := make([]float64, g.Nr)
+	for j := range w {
+		w[j] = base + float64(bc.FlopsCharPoint) // right outflow point
+	}
+	w[g.Nr-1] += float64(bc.FlopsCharPoint) * float64(g.Nx)
+	return w
+}

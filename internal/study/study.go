@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"repro/internal/cpu"
+	"repro/internal/decomp"
 	"repro/internal/grid"
 	"repro/internal/jet"
 	"repro/internal/kernels"
@@ -337,4 +338,46 @@ func Fig13() ([]float64, error) {
 		out[i] = r.Busy
 	}
 	return out, nil
+}
+
+// Fig13SkewRatio is the per-column cost skew of the weighted-balance
+// study: a linear ramp whose last column costs 4x the first — the
+// shape a refined shear layer or a boundary-heavy scheme produces.
+const Fig13SkewRatio = 4.0
+
+// Fig13Skewed replays the Figure 13 scenario on a skewed per-column
+// cost profile at procs processors: the same SP co-simulation run
+// twice, once on the paper's uniform point-count decomposition and
+// once on the cost-weighted decomposition built from the identical
+// profile. Balanced point counts no longer balance busy times; the
+// weighted split restores the paper's near-flat Figure 13.
+func Fig13Skewed(procs int) (uniform, weighted []float64, err error) {
+	ch := trace.PaperNS()
+	ch.ColCost = trace.RampCost(ch.Nx, Fig13SkewRatio)
+	run := func(d *decomp.Decomposition) ([]float64, error) {
+		o, err := machine.SPMPL.SimulateDecomp(ch, d, 5, machine.DefaultSimSteps)
+		if err != nil {
+			return nil, err
+		}
+		busy := make([]float64, len(o.PerRank))
+		for i, r := range o.PerRank {
+			busy[i] = r.Busy
+		}
+		return busy, nil
+	}
+	du, err := decomp.Axial(ch.Nx, procs)
+	if err != nil {
+		return nil, nil, err
+	}
+	if uniform, err = run(du); err != nil {
+		return nil, nil, err
+	}
+	dw, err := decomp.WeightedAxial(ch.Nx, procs, ch.ColCost)
+	if err != nil {
+		return nil, nil, err
+	}
+	if weighted, err = run(dw); err != nil {
+		return nil, nil, err
+	}
+	return uniform, weighted, nil
 }

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -150,6 +151,29 @@ func TestFig13Shape(t *testing.T) {
 	for i, b := range busy {
 		if b <= 0 {
 			t.Fatalf("proc %d busy %g", i, b)
+		}
+	}
+}
+
+// TestFig13SkewedSpread pins the load-balancing acceptance bar: on a
+// skewed per-column cost profile at 8 and 16 ranks, the cost-weighted
+// decomposition cuts the co-simulated busy-time spread by at least 2x
+// against the uniform split (the real gain is closer to 10x; the
+// weighted runs themselves stay bitwise-identical to serial, which
+// TestBackendParity asserts separately).
+func TestFig13SkewedSpread(t *testing.T) {
+	for _, procs := range []int{8, 16} {
+		uniform, weighted, err := Fig13Skewed(procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(uniform) != procs || len(weighted) != procs {
+			t.Fatalf("procs=%d: got %d uniform / %d weighted ranks", procs, len(uniform), len(weighted))
+		}
+		su, sw := stats.RelSpread(uniform), stats.RelSpread(weighted)
+		t.Logf("procs=%d: spread %.1f%% uniform -> %.1f%% weighted", procs, su*100, sw*100)
+		if sw*2 > su {
+			t.Errorf("procs=%d: weighted spread %.3f not at least 2x below uniform %.3f", procs, sw, su)
 		}
 	}
 }

@@ -88,6 +88,43 @@ type Characterization struct {
 	// Per internal-rank, per time step, per neighbour direction:
 	ExchangesPerStep int // grouped sends to one neighbour (4 N-S, 3 Euler)
 	ColVarsPerStep   int // column-variables sent to one neighbour (16 N-S, 12 Euler)
+	// ColCost is an optional per-column relative cost profile (len Nx,
+	// mean ~1); nil means uniform. The co-simulator scales each rank's
+	// flops by its owned share of the profile, and
+	// decomp.WeightedAxial consumes the same profile to balance it —
+	// the Figure 13 busy-time skew and its cure, driven by one vector.
+	ColCost []float64
+}
+
+// BlockCost returns the summed relative cost of columns [i0, i0+n).
+// With a nil profile every column costs 1, so it degenerates to n and
+// FlopsPerPoint keeps its uniform per-point meaning.
+func (ch Characterization) BlockCost(i0, n int) float64 {
+	if ch.ColCost == nil {
+		return float64(n)
+	}
+	c := 0.0
+	for _, w := range ch.ColCost[i0 : i0+n] {
+		c += w
+	}
+	return c
+}
+
+// RampCost returns a linearly increasing per-column profile from 1 to
+// ratio, normalized to mean 1 so the characterization's total flops
+// are unchanged — a synthetic Figure 13 stressor.
+func RampCost(nx int, ratio float64) []float64 {
+	w := make([]float64, nx)
+	sum := 0.0
+	for i := range w {
+		w[i] = 1 + (ratio-1)*float64(i)/float64(nx-1)
+		sum += w[i]
+	}
+	mean := sum / float64(nx)
+	for i := range w {
+		w[i] /= mean
+	}
+	return w
 }
 
 // PaperNS returns the Navier-Stokes characterization of Table 1.
