@@ -475,6 +475,81 @@ func BenchmarkAblationBalance(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationReduce is the reduction-cadence ablation: the same
+// parallel run with the convergence monitor off and at cadences 1, 2,
+// 5, and 10, reporting the collective's startup budget per step and
+// the slowest rank's receive-blocked time — the cost the amortized
+// cadence exists to shrink (reduce global collectives, the dominant
+// scaling term). The cosim cases price the same cadences on the shared
+// Ethernet at 12 processors, where log2(P) serialized small-message
+// rounds hurt most.
+func BenchmarkAblationReduce(b *testing.B) {
+	// Each iteration marches a fixed 10 steps, so every cadence in the
+	// sweep hits at least one monitored step even at -benchtime=1x and
+	// the committed baseline tracks the amortized collective cost.
+	const stepsPerIter = 10
+	for _, k := range []int{0, 1, 2, 5, 10} {
+		b.Run(fmt.Sprintf("mp:v5/every%d", k), func(b *testing.B) {
+			r, err := par.NewRunner(jet.Paper(), benchGrid(), par.Options{Procs: 4, Policy: solver.Lagged})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			res := r.RunControlled(stepsPerIter*b.N, solver.Control{ReduceEvery: k})
+			reportCommWait(b, res)
+			b.ReportMetric(float64(res.TotalDir().Reduce.Startups)/float64(res.Steps), "reduce-startups/step")
+		})
+	}
+	ch := trace.PaperNS()
+	for _, k := range []int{1, 10} {
+		b.Run(fmt.Sprintf("cosim-ethernet/every%d", k), func(b *testing.B) {
+			chk := ch
+			chk.ReduceEvery = k
+			var sec float64
+			for i := 0; i < b.N; i++ {
+				o, err := machine.LACE560Ethernet.Simulate(chk, 12, 5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sec = o.Seconds
+			}
+			b.ReportMetric(sec, "sim-seconds@P12")
+		})
+	}
+	// Converged runs through the registry: a full tolerance-stopped run
+	// per iteration on the converging-jet scenario, with the collective
+	// amortized (ReduceEvery > 1). These double as the race-instrumented
+	// CI smoke of the reduce + halo schedule on both decompositions.
+	convCfg := study.ConvergedConfig()
+	for _, c := range []struct {
+		name string
+		opts backend.Options
+	}{
+		{"mp2d", backend.Options{Px: 2, Pr: 2, StopTol: 9e-3, ReduceEvery: 2}},
+		{"hybrid", backend.Options{Procs: 2, Workers: 2, StopTol: 9e-3, ReduceEvery: 2}},
+	} {
+		b.Run(c.name+"/converged", func(b *testing.B) {
+			be, err := backend.Get(c.name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g := grid.MustNew(64, 26, 50, 5)
+			steps := 0
+			for i := 0; i < b.N; i++ {
+				res, err := be.Run(convCfg, g, c.opts, 400)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Converged {
+					b.Fatalf("did not converge within 400 steps")
+				}
+				steps = res.Steps
+			}
+			b.ReportMetric(float64(steps), "steps-to-tol")
+		})
+	}
+}
+
 // BenchmarkAblationCacheGeometry sweeps the T3D node across cache
 // geometries — the paper's central "proper cache design" lesson.
 func BenchmarkAblationCacheGeometry(b *testing.B) {

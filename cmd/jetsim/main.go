@@ -16,6 +16,8 @@
 //	jetsim -backend hybrid -version 6 -procs 4     # overlapped ranks x DOALL
 //	jetsim -backend mp:v5 -procs 8 -balance flops  # cost-weighted decomposition
 //	jetsim -backend mp2d -procs 8 -balance measured # warm-up-measured weights
+//	jetsim -tol 1e-4 -steps 5000                   # stop when converged
+//	jetsim -backend mp2d -procs 8 -tol 1e-4 -reduce-every 10  # amortized collective
 //	jetsim -contour -pgm out/jet.pgm
 package main
 
@@ -47,6 +49,8 @@ func main() {
 		pr      = flag.Int("pr", 0, "radial rank-grid height (mp2d; 0 = auto near-square)")
 		version = flag.Int("version", 0, "communication strategy 5, 6, or 7 (0 = backend default); contradicting a version-pinned backend name is an error")
 		balance = flag.String("balance", "", "decomposition cost model: uniform, flops, or measured (distributed backends; empty = uniform)")
+		tol     = flag.Float64("tol", 0, "stop tolerance on the global L2 residual (0 = march -steps fixed)")
+		reduce  = flag.Int("reduce-every", 0, "residual-reduction cadence in steps (0 = every step when -tol is set)")
 		fresh   = flag.Bool("fresh", false, "exact halo policy (bitwise serial equivalence)")
 		contour = flag.Bool("contour", false, "print an ASCII contour of axial momentum")
 		pgm     = flag.String("pgm", "", "write axial momentum as a PGM image to this path")
@@ -73,9 +77,11 @@ func main() {
 	cfg := core.Config{
 		Euler: *euler, Nx: *nx, Nr: *nr, Steps: *steps,
 		Backend: *name, Procs: *procs, Workers: *workers, Px: *px, Pr: *pr,
-		Version:    *version,
-		Balance:    *balance,
-		FreshHalos: *fresh,
+		Version:     *version,
+		Balance:     *balance,
+		FreshHalos:  *fresh,
+		StopTol:     *tol,
+		ReduceEvery: *reduce,
 	}
 	// The deprecated -mode alias maps onto the legacy Mode selector,
 	// whose resolution (including "mp" + -version → mp:vN) lives in one
@@ -119,11 +125,24 @@ func main() {
 	d := res.Diag
 	fmt.Printf("mass=%.6f energy=%.6f max|v|=%.4g minRho=%.4g minP=%.4g\n",
 		d.Mass, d.Energy, d.MaxV, d.MinRho, d.MinP)
+	if n := len(res.Residuals); n > 0 {
+		last := res.Residuals[n-1]
+		if res.Converged {
+			fmt.Printf("converged at step %d: residual %.4g <= tol %.4g\n", res.Steps, last.Residual, *tol)
+		} else {
+			every := *reduce
+			if every == 0 {
+				every = 1 // the controller's default when only -tol is set
+			}
+			fmt.Printf("residual %.4g after %d steps (monitored every %d)\n", last.Residual, res.Steps, every)
+		}
+	}
 	if res.Comm.Startups > 0 {
 		fmt.Printf("comm: %d startups, %.2f MB sent\n", res.Comm.Startups, float64(res.Comm.Bytes)/1e6)
-		if dir := res.CommDir; dir.Radial.Startups > 0 {
+		if dir := res.CommDir; dir.Radial.Startups > 0 || dir.Reduce.Startups > 0 {
 			fmt.Printf("  axial:  %8d startups %8.2f MB\n", dir.Axial.Startups, float64(dir.Axial.Bytes)/1e6)
 			fmt.Printf("  radial: %8d startups %8.2f MB\n", dir.Radial.Startups, float64(dir.Radial.Bytes)/1e6)
+			fmt.Printf("  reduce: %8d startups %8.2f MB\n", dir.Reduce.Startups, float64(dir.Reduce.Bytes)/1e6)
 		}
 		for _, rs := range res.PerRank {
 			fmt.Printf("  rank %2d: busy=%-10s wait=%-10s %8d startups %8.2f MB %12.3g flops\n",

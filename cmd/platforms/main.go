@@ -15,6 +15,8 @@
 //	platforms -backend mp2d:v6     # measured overlapped rank-grid curve
 //	platforms -backend hybrid -version 6   # overlap on the measured ranks too
 //	platforms -backend mp:v5 -balance flops # cost-weighted host decomposition
+//	platforms -reduce-every 10              # cost the convergence collective
+//	platforms -backend mp2d -tol 1e-4 -reduce-every 10  # converged host run
 package main
 
 import (
@@ -52,6 +54,8 @@ func main() {
 		chart   = flag.Bool("chart", true, "draw log-scale ASCII chart")
 		real    = flag.String("backend", "", "also measure a real host run through the backend registry: "+strings.Join(backend.Names(), ", "))
 		balance = flag.String("balance", "", "decomposition cost model of the measured host run: uniform, flops, or measured")
+		tol     = flag.Float64("tol", 0, "stop tolerance of the measured host run (0 = fixed -steps)")
+		reduce  = flag.Int("reduce-every", 0, "global-reduction cadence in steps: costs the collective on the co-simulated platforms and monitors the measured host run")
 		nx      = flag.Int("nx", 125, "grid for the measured host run (with -backend)")
 		nr      = flag.Int("nr", 50, "grid for the measured host run (with -backend)")
 		steps   = flag.Int("steps", 100, "composite steps for the measured host run (with -backend)")
@@ -62,6 +66,11 @@ func main() {
 	if *euler {
 		ch = trace.PaperEuler()
 	}
+	// The co-simulated platforms pay for the reduction cadence (the
+	// collective-latency term of a convergence-controlled run); the
+	// tolerance itself only applies to the measured host run, since the
+	// co-simulation replays a schedule, not physics.
+	ch.ReduceEvery = *reduce
 	// The co-simulation needs a concrete strategy; the measured host run
 	// passes the raw flag through so 0 stays "backend default" (and a
 	// pinned backend name like mp:v6 is not contradicted).
@@ -133,6 +142,7 @@ func main() {
 			run, err := core.NewRun(core.Config{
 				Euler: *euler, Nx: *nx, Nr: *nr, Steps: *steps,
 				Backend: *real, Procs: np, Version: hostVersion, Balance: *balance,
+				StopTol: *tol, ReduceEvery: *reduce,
 			})
 			if err != nil {
 				log.Fatal(err)

@@ -90,6 +90,26 @@ type Options struct {
 	// rather than ignore it.
 	ColWeights []float64
 	RowWeights []float64
+	// StopTol, when positive, turns the run into a convergence-
+	// controlled one: it stops at the first monitored step whose
+	// global L2 residual (RMS rate of change of the conserved state)
+	// is at or below the tolerance, instead of marching the full step
+	// count. Every backend honors it — distributed backends combine
+	// per-slab partials through the allocation-free allreduce of
+	// internal/par — and under the Fresh policy every backend stops on
+	// the same step with bitwise-identical fields. (One caveat: the
+	// residual is a tree sum whose grouping follows the decomposition,
+	// so decompositions can disagree by ~1 ulp; a tolerance placed
+	// within that margin of a monitored residual could stop one
+	// backend a cadence later than another.)
+	StopTol float64
+	// ReduceEvery is the monitoring cadence in composite steps: the
+	// residual sum and the global-dt max-reduction run every
+	// ReduceEvery-th step, amortizing the collective. Zero means every
+	// step when StopTol is set, and no monitoring at all otherwise.
+	// Monitored runs also refresh the global CFL-stable dt from the
+	// max-reduction at the same cadence.
+	ReduceEvery int
 }
 
 // Balance modes of Options.Balance.
@@ -174,6 +194,21 @@ func rejectBalance(name string, o Options) error {
 	return nil
 }
 
+// resolveControl maps the convergence-control request onto the
+// solver's Control, rejecting nonsense values. Every backend supports
+// convergence control (a serial slab's partial sums are already
+// global), so unlike versions and balance modes there is nothing to
+// reject per backend — only to validate.
+func resolveControl(name string, o Options) (solver.Control, error) {
+	if o.StopTol < 0 {
+		return solver.Control{}, fmt.Errorf("backend: %s: negative stop tolerance %g", name, o.StopTol)
+	}
+	if o.ReduceEvery < 0 {
+		return solver.Control{}, fmt.Errorf("backend: %s: negative reduction cadence %d", name, o.ReduceEvery)
+	}
+	return solver.Control{StopTol: o.StopTol, ReduceEvery: o.ReduceEvery, CFL: o.cfl()}, nil
+}
+
 // cfl resolves the Courant number.
 func (o Options) cfl() float64 {
 	if o.CFL == 0 {
@@ -241,10 +276,16 @@ type Result struct {
 	Backend string
 	Procs   int // ranks (mp, hybrid) or workers (shm), 1 for serial
 	Workers int // per-rank DOALL workers (hybrid), 0 otherwise
-	Steps   int
-	Dt      float64
-	Elapsed time.Duration
-	Diag    solver.Diagnostics
+	// Steps is the number of composite steps actually run — fewer
+	// than requested when StopTol stopped the run early.
+	Steps int
+	Dt    float64
+	// Converged reports that the run stopped on StopTol; Residuals is
+	// the monitored convergence history (empty without monitoring).
+	Converged bool
+	Residuals []solver.ResidualPoint
+	Elapsed   time.Duration
+	Diag      solver.Diagnostics
 	// Px, Pr is the rank-grid shape (mp2d), 0 otherwise.
 	Px, Pr int
 	// Comm aggregates the message-layer counters (mp, mp2d, hybrid).

@@ -56,6 +56,9 @@ func (b hybridBackend) Validate(_ jet.Config, g *grid.Grid, opts Options) error 
 	if err := validateBalance("hybrid", opts, false); err != nil {
 		return err
 	}
+	if _, err := resolveControl("hybrid", opts); err != nil {
+		return err
+	}
 	_, err := decomp.Axial(g.Nx, opts.procs())
 	return err
 }
@@ -66,6 +69,10 @@ func (b hybridBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int
 		return Result{}, err
 	}
 	colw, _, err := resolveWeights("hybrid", cfg, g, opts, opts.procs(), 0)
+	if err != nil {
+		return Result{}, err
+	}
+	ctl, err := resolveControl("hybrid", opts)
 	if err != nil {
 		return Result{}, err
 	}
@@ -90,19 +97,21 @@ func (b hybridBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int
 			p.Close()
 		}
 	}()
-	pr := r.Run(steps)
+	pr := r.RunControlled(steps, ctl)
 	res := Result{
-		Backend: "hybrid",
-		Procs:   pr.Procs,
-		Workers: workers,
-		Steps:   steps,
-		Dt:      pr.Dt,
-		Elapsed: pr.Elapsed,
-		Diag:    pr.Diag,
-		Comm:    pr.TotalComm(),
-		CommDir: pr.TotalDir(),
-		PerRank: pr.Ranks,
-		Fields:  r.GatherState(),
+		Backend:   "hybrid",
+		Procs:     pr.Procs,
+		Workers:   workers,
+		Steps:     pr.Steps,
+		Dt:        pr.Dt,
+		Converged: pr.Converged,
+		Residuals: pr.Residuals,
+		Elapsed:   pr.Elapsed,
+		Diag:      pr.Diag,
+		Comm:      pr.TotalComm(),
+		CommDir:   pr.TotalDir(),
+		PerRank:   pr.Ranks,
+		Fields:    r.GatherState(),
 	}
 	return res, nil
 }

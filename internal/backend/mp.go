@@ -35,6 +35,9 @@ func (b mpBackend) Validate(_ jet.Config, g *grid.Grid, opts Options) error {
 	if err := validateBalance(b.Name(), opts, false); err != nil {
 		return err
 	}
+	if _, err := resolveControl(b.Name(), opts); err != nil {
+		return err
+	}
 	_, err := decomp.Axial(g.Nx, opts.procs())
 	return err
 }
@@ -48,6 +51,10 @@ func (b mpBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int) (R
 	if err != nil {
 		return Result{}, err
 	}
+	ctl, err := resolveControl(b.Name(), opts)
+	if err != nil {
+		return Result{}, err
+	}
 	r, err := par.NewRunner(cfg, g, par.Options{
 		Procs:      opts.procs(),
 		Version:    v,
@@ -58,18 +65,20 @@ func (b mpBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int) (R
 	if err != nil {
 		return Result{}, err
 	}
-	pr := r.Run(steps)
+	pr := r.RunControlled(steps, ctl)
 	res := Result{
-		Backend: b.Name(),
-		Procs:   pr.Procs,
-		Steps:   steps,
-		Dt:      pr.Dt,
-		Elapsed: pr.Elapsed,
-		Diag:    pr.Diag,
-		Comm:    pr.TotalComm(),
-		CommDir: pr.TotalDir(),
-		PerRank: pr.Ranks,
-		Fields:  r.GatherState(),
+		Backend:   b.Name(),
+		Procs:     pr.Procs,
+		Steps:     pr.Steps,
+		Dt:        pr.Dt,
+		Converged: pr.Converged,
+		Residuals: pr.Residuals,
+		Elapsed:   pr.Elapsed,
+		Diag:      pr.Diag,
+		Comm:      pr.TotalComm(),
+		CommDir:   pr.TotalDir(),
+		PerRank:   pr.Ranks,
+		Fields:    r.GatherState(),
 	}
 	return res, nil
 }

@@ -88,6 +88,9 @@ func (b mp2dBackend) Validate(_ jet.Config, g *grid.Grid, opts Options) error {
 	if err := validateBalance(b.Name(), opts, true); err != nil {
 		return err
 	}
+	if _, err := resolveControl(b.Name(), opts); err != nil {
+		return err
+	}
 	o := par.Options2D{Procs: opts.Procs, Px: opts.Px, Pr: opts.Pr}
 	px, pr, err := o.Shape(g)
 	if err != nil {
@@ -102,24 +105,30 @@ func (b mp2dBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int) 
 	if err != nil {
 		return Result{}, err
 	}
+	ctl, err := resolveControl(b.Name(), opts)
+	if err != nil {
+		return Result{}, err
+	}
 	r, err := par.NewRunner2D(cfg, g, o)
 	if err != nil {
 		return Result{}, err
 	}
-	pr := r.Run(steps)
+	pr := r.RunControlled(steps, ctl)
 	res := Result{
-		Backend: b.Name(),
-		Procs:   pr.Procs,
-		Px:      r.Opt.Px,
-		Pr:      r.Opt.Pr,
-		Steps:   steps,
-		Dt:      pr.Dt,
-		Elapsed: pr.Elapsed,
-		Diag:    pr.Diag,
-		Comm:    pr.TotalComm(),
-		CommDir: pr.TotalDir(),
-		PerRank: pr.Ranks,
-		Fields:  r.GatherState(),
+		Backend:   b.Name(),
+		Procs:     pr.Procs,
+		Px:        r.Opt.Px,
+		Pr:        r.Opt.Pr,
+		Steps:     pr.Steps,
+		Dt:        pr.Dt,
+		Converged: pr.Converged,
+		Residuals: pr.Residuals,
+		Elapsed:   pr.Elapsed,
+		Diag:      pr.Diag,
+		Comm:      pr.TotalComm(),
+		CommDir:   pr.TotalDir(),
+		PerRank:   pr.Ranks,
+		Fields:    r.GatherState(),
 	}
 	return res, nil
 }

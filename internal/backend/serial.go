@@ -22,7 +22,11 @@ func (serialBackend) Validate(_ jet.Config, _ *grid.Grid, opts Options) error {
 	if err := rejectVersion("serial", opts); err != nil {
 		return err
 	}
-	return rejectBalance("serial", opts)
+	if err := rejectBalance("serial", opts); err != nil {
+		return err
+	}
+	_, err := resolveControl("serial", opts)
+	return err
 }
 
 func (serialBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int) (Result, error) {
@@ -32,20 +36,26 @@ func (serialBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int) 
 	if err := rejectBalance("serial", opts); err != nil {
 		return Result{}, err
 	}
+	ctl, err := resolveControl("serial", opts)
+	if err != nil {
+		return Result{}, err
+	}
 	s, err := solver.NewSerialCFL(cfg, g, opts.cfl())
 	if err != nil {
 		return Result{}, err
 	}
 	start := time.Now()
-	s.Run(steps)
+	cr := s.RunControlled(steps, ctl)
 	elapsed := time.Since(start)
 	return Result{
-		Backend: "serial",
-		Procs:   1,
-		Steps:   steps,
-		Dt:      s.Dt,
-		Elapsed: elapsed,
-		Diag:    s.Diagnose(),
-		Fields:  gatherSlab(g, s.Q),
+		Backend:   "serial",
+		Procs:     1,
+		Steps:     cr.Steps,
+		Dt:        s.Dt,
+		Converged: cr.Converged,
+		Residuals: cr.Residuals,
+		Elapsed:   elapsed,
+		Diag:      s.Diagnose(),
+		Fields:    gatherSlab(g, s.Q),
 	}, nil
 }

@@ -23,7 +23,11 @@ func (shmBackend) Validate(_ jet.Config, _ *grid.Grid, opts Options) error {
 	if err := rejectVersion("shm", opts); err != nil {
 		return err
 	}
-	return rejectBalance("shm", opts)
+	if err := rejectBalance("shm", opts); err != nil {
+		return err
+	}
+	_, err := resolveControl("shm", opts)
+	return err
 }
 
 func (shmBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int) (Result, error) {
@@ -31,6 +35,10 @@ func (shmBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int) (Re
 		return Result{}, err
 	}
 	if err := rejectBalance("shm", opts); err != nil {
+		return Result{}, err
+	}
+	ctl, err := resolveControl("shm", opts)
+	if err != nil {
 		return Result{}, err
 	}
 	workers := opts.procs()
@@ -43,15 +51,17 @@ func (shmBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int) (Re
 		s.Dt = s.StableDt(opts.CFL)
 	}
 	start := time.Now()
-	s.Run(steps)
+	cr := s.RunControlled(steps, ctl)
 	elapsed := time.Since(start)
 	return Result{
-		Backend: "shm",
-		Procs:   workers,
-		Steps:   steps,
-		Dt:      s.Dt,
-		Elapsed: elapsed,
-		Diag:    s.Diagnose(),
-		Fields:  gatherSlab(g, s.Q),
+		Backend:   "shm",
+		Procs:     workers,
+		Steps:     cr.Steps,
+		Dt:        s.Dt,
+		Converged: cr.Converged,
+		Residuals: cr.Residuals,
+		Elapsed:   elapsed,
+		Diag:      s.Diagnose(),
+		Fields:    gatherSlab(g, s.Q),
 	}, nil
 }

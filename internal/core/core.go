@@ -96,6 +96,18 @@ type Config struct {
 	// FreshHalos selects the exact-halo policy (bitwise serial
 	// equivalence) instead of the paper's lagged message budget.
 	FreshHalos bool
+	// StopTol, when positive, makes the run convergence-controlled:
+	// it stops at the first monitored step whose global L2 residual
+	// (RMS rate of change of the conserved state) falls to the
+	// tolerance, instead of marching the fixed Steps count — the
+	// paper's runs march to a converged state, not to a step budget.
+	// Result.Steps then reports the steps actually run.
+	StopTol float64
+	// ReduceEvery is the residual-monitoring cadence in composite
+	// steps: the global reduction (residual sum + CFL-stable dt max)
+	// runs every ReduceEvery-th step, amortizing the collective. Zero
+	// means every step when StopTol is set, no monitoring otherwise.
+	ReduceEvery int
 	// Jet overrides the physical configuration (default jet.Paper()).
 	Jet *jet.Config
 }
@@ -156,18 +168,41 @@ func (c Config) jetConfig() jet.Config {
 
 // Result reports a completed run.
 type Result struct {
-	Backend  string
-	Mode     Mode
-	Procs    int
-	Px, Pr   int // rank-grid shape (mp2d), 0 otherwise
-	Steps    int
-	Dt       float64
-	Elapsed  time.Duration
-	Diag     solver.Diagnostics
-	Comm     trace.Counters    // aggregate communication (mp, mp2d, hybrid)
-	CommDir  trace.DirCounters // Comm split by exchange direction (mp2d)
-	PerRank  []par.RankStats   // per-rank profile (mp, mp2d, hybrid)
-	Momentum [][]float64       // axial momentum field rho*u
+	Backend string
+	// Mode is the execution style of the backend that actually ran —
+	// derived from the resolved registry name, so an explicit Backend
+	// like "mp2d" reports MessagePassing even though the legacy Mode
+	// field was never set.
+	Mode   Mode
+	Procs  int
+	Px, Pr int // rank-grid shape (mp2d), 0 otherwise
+	// Steps is the number of composite steps actually run — fewer
+	// than Config.Steps when StopTol stopped the run early.
+	Steps int
+	Dt    float64
+	// Converged reports an early stop on StopTol; Residuals is the
+	// monitored convergence history (step, L2 residual).
+	Converged bool
+	Residuals []solver.ResidualPoint
+	Elapsed   time.Duration
+	Diag      solver.Diagnostics
+	Comm      trace.Counters    // aggregate communication (mp, mp2d, hybrid)
+	CommDir   trace.DirCounters // Comm split by exchange class (mp2d, reductions)
+	PerRank   []par.RankStats   // per-rank profile (mp, mp2d, hybrid)
+	Momentum  [][]float64       // axial momentum field rho*u
+}
+
+// modeOf derives the reported execution mode from a resolved registry
+// name: the serial slab, the DOALL pool, or anything that exchanges
+// messages (mp, mp2d, and the hybrid ranks × DOALL composition).
+func modeOf(backendName string) Mode {
+	switch backendName {
+	case "serial":
+		return Serial
+	case "shm":
+		return SharedMemory
+	}
+	return MessagePassing
 }
 
 // Run is a configured solver run bound to a registry backend.
@@ -181,6 +216,12 @@ type Run struct {
 // NewRun validates the configuration, resolves the backend from the
 // registry, and checks the decomposition.
 func NewRun(c Config) (*Run, error) {
+	if c.Procs == 0 && (c.Px > 0) != (c.Pr > 0) {
+		// A half-specified rank grid with no total width has no
+		// defensible resolution: refusing beats silently collapsing
+		// the run to one rank.
+		return nil, fmt.Errorf("core: half-specified rank grid (Px=%d, Pr=%d) with Procs unset; set both axes, or one axis plus Procs", c.Px, c.Pr)
+	}
 	c = c.withDefaults()
 	g, err := grid.New(c.Nx, c.Nr, 50, 5)
 	if err != nil {
@@ -199,13 +240,15 @@ func NewRun(c Config) (*Run, error) {
 		policy = solver.Fresh
 	}
 	opts := backend.Options{
-		Procs:   c.Procs,
-		Workers: c.Workers,
-		Px:      c.Px,
-		Pr:      c.Pr,
-		Version: par.Version(c.Version),
-		Policy:  policy,
-		Balance: c.Balance,
+		Procs:       c.Procs,
+		Workers:     c.Workers,
+		Px:          c.Px,
+		Pr:          c.Pr,
+		Version:     par.Version(c.Version),
+		Policy:      policy,
+		Balance:     c.Balance,
+		StopTol:     c.StopTol,
+		ReduceEvery: c.ReduceEvery,
 	}
 	if err := backend.Validate(be, c.jetConfig(), g, opts); err != nil {
 		return nil, err
@@ -227,22 +270,24 @@ func (r *Run) Execute() (*Result, error) {
 		return nil, err
 	}
 	res := &Result{
-		Backend:  br.Backend,
-		Mode:     c.Mode,
-		Procs:    br.Procs,
-		Px:       br.Px,
-		Pr:       br.Pr,
-		Steps:    c.Steps,
-		Dt:       br.Dt,
-		Elapsed:  br.Elapsed,
-		Diag:     br.Diag,
-		Comm:     br.Comm,
-		CommDir:  br.CommDir,
-		PerRank:  br.PerRank,
-		Momentum: br.Momentum(),
+		Backend:   br.Backend,
+		Mode:      modeOf(br.Backend),
+		Procs:     br.Procs,
+		Px:        br.Px,
+		Pr:        br.Pr,
+		Steps:     br.Steps,
+		Dt:        br.Dt,
+		Converged: br.Converged,
+		Residuals: br.Residuals,
+		Elapsed:   br.Elapsed,
+		Diag:      br.Diag,
+		Comm:      br.Comm,
+		CommDir:   br.CommDir,
+		PerRank:   br.PerRank,
+		Momentum:  br.Momentum(),
 	}
 	if res.Diag.HasNaN {
-		return res, fmt.Errorf("core: run diverged (NaN after %d steps)", c.Steps)
+		return res, fmt.Errorf("core: run diverged (NaN after %d steps)", br.Steps)
 	}
 	return res, nil
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/jet"
+	"repro/internal/study"
 )
 
 func small() Config {
@@ -173,6 +174,87 @@ func TestVersionReachesRegistry(t *testing.T) {
 	}
 	if got := run.Backend().Name(); got != "mp:v6" {
 		t.Errorf("legacy mode resolved %q, want mp:v6", got)
+	}
+}
+
+// TestModeReportsResolvedBackend is the regression test for the Mode
+// reporting bug: Execute used to echo Config.Mode (zero = Serial) even
+// when Config.Backend named a parallel backend. The reported mode must
+// derive from the backend that actually ran.
+func TestModeReportsResolvedBackend(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want Mode
+	}{
+		{Config{Nx: 64, Nr: 24, Steps: 2, Backend: "mp2d", Procs: 4}, MessagePassing},
+		{Config{Nx: 64, Nr: 24, Steps: 2, Backend: "hybrid", Procs: 2, Workers: 2}, MessagePassing},
+		{Config{Nx: 64, Nr: 24, Steps: 2, Backend: "shm", Procs: 2}, SharedMemory},
+		{Config{Nx: 64, Nr: 24, Steps: 2, Backend: "serial"}, Serial},
+		{Config{Nx: 64, Nr: 24, Steps: 2, Mode: SharedMemory, Procs: 2}, SharedMemory},
+	}
+	for _, c := range cases {
+		run, err := NewRun(c.cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", c.cfg, err)
+		}
+		res, err := run.Execute()
+		if err != nil {
+			t.Fatalf("%+v: %v", c.cfg, err)
+		}
+		if res.Mode != c.want {
+			t.Errorf("backend %q reported mode %v, want %v", res.Backend, res.Mode, c.want)
+		}
+	}
+}
+
+// TestHalfSpecifiedRankGrid is the regression test for the silent
+// 1-rank collapse: one rank-grid axis without the other and without
+// Procs must be an error, not a serial run in disguise.
+func TestHalfSpecifiedRankGrid(t *testing.T) {
+	for _, cfg := range []Config{
+		{Nx: 64, Nr: 24, Backend: "mp2d", Px: 2},
+		{Nx: 64, Nr: 24, Backend: "mp2d", Px: 1},
+		{Nx: 64, Nr: 24, Backend: "mp2d", Pr: 2},
+	} {
+		if _, err := NewRun(cfg); err == nil {
+			t.Errorf("Px=%d Pr=%d Procs=0: want half-specified-grid error", cfg.Px, cfg.Pr)
+		}
+	}
+	// One axis plus an explicit total stays valid (the other axis is
+	// derived), as does a full shape with no total.
+	for _, cfg := range []Config{
+		{Nx: 64, Nr: 24, Steps: 1, Backend: "mp2d", Px: 2, Procs: 4},
+		{Nx: 64, Nr: 24, Steps: 1, Backend: "mp2d", Px: 2, Pr: 2},
+	} {
+		if _, err := NewRun(cfg); err != nil {
+			t.Errorf("Px=%d Pr=%d Procs=%d: unexpected error %v", cfg.Px, cfg.Pr, cfg.Procs, err)
+		}
+	}
+}
+
+// TestConvergedRunReportsActualSteps: with a tolerance, Result.Steps
+// must be the steps actually run, with the residual history attached —
+// the other half of the reporting-bug satellite.
+func TestConvergedRunReportsActualSteps(t *testing.T) {
+	jc := study.ConvergedConfig()
+	c := Config{Nx: 64, Nr: 26, Steps: 400, Backend: "mp:v5", Procs: 3,
+		StopTol: 9e-3, ReduceEvery: 5, Jet: &jc}
+	run, err := NewRun(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := run.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Steps >= 400 || res.Steps == 0 {
+		t.Fatalf("converged run reported steps=%d converged=%v", res.Steps, res.Converged)
+	}
+	if len(res.Residuals) == 0 || res.Residuals[len(res.Residuals)-1].Step != res.Steps {
+		t.Fatalf("residual history %v does not end at the stop step %d", res.Residuals, res.Steps)
+	}
+	if res.CommDir.Reduce.Startups == 0 {
+		t.Fatal("no reduce-class traffic recorded")
 	}
 }
 

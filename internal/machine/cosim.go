@@ -2,6 +2,7 @@ package machine
 
 import (
 	"repro/internal/decomp"
+	"repro/internal/msg"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -26,12 +27,23 @@ type op struct {
 
 // rank is one simulated processor's state machine.
 type rank struct {
-	id   int
-	prog []op // one step's program, repeated
-	pc   int
-	step int
-	busy float64
-	wait float64
+	id    int
+	prog  []op // one step's program, repeated
+	rprog []op // global-reduction collectives, appended on monitored steps
+	// inReduce marks that pc indexes rprog instead of prog.
+	inReduce bool
+	pc       int
+	step     int
+	busy     float64
+	wait     float64
+}
+
+// cur returns the program pc currently indexes.
+func (r *rank) cur() []op {
+	if r.inReduce {
+		return r.rprog
+	}
+	return r.prog
 }
 
 // pendingRecv is a posted receive waiting for data.
@@ -129,9 +141,41 @@ func newCosim(p Platform, ch trace.Characterization, d *decomp.Decomposition, co
 				prog = appendRecvs(prog, left, right, msgBytes, parts)
 			}
 		}
-		cs.ranks = append(cs.ranks, &rank{id: r, prog: prog})
+		cs.ranks = append(cs.ranks, &rank{id: r, prog: prog, rprog: reduceProg(ch, d.P, r)})
 	}
 	return cs
+}
+
+// reduceProg builds the collective program one monitored step appends:
+// trace.ReducesPerMonitor recursive-doubling allreduces, each following
+// the identical msg.ReducePlan schedule the real collective of
+// internal/par runs, with trace.ReduceBytes scalar payloads. The
+// messages ride the same library and network models as the halo
+// exchanges, so the co-simulated platforms pay the collective-latency
+// term — log2(P) serialized small-message rounds — that dominates the
+// reduction cost on high-latency interconnects.
+func reduceProg(ch trace.Characterization, procs, rank int) []op {
+	if ch.ReduceEvery <= 0 || procs < 2 {
+		return nil
+	}
+	plan := msg.ReducePlan(procs, rank)
+	var prog []op
+	for i := 0; i < trace.ReducesPerMonitor; i++ {
+		for _, st := range plan {
+			if st.Send {
+				prog = append(prog, op{kind: opSend, peer: st.Partner, bytes: trace.ReduceBytes})
+			}
+			if st.Recv {
+				prog = append(prog, op{kind: opRecv, peer: st.Partner, bytes: trace.ReduceBytes})
+			}
+		}
+	}
+	return prog
+}
+
+// monitored reports whether the collective runs after the given step.
+func (cs *cosim) monitored(step int) bool {
+	return cs.ch.ReduceEvery > 0 && (step+1)%cs.ch.ReduceEvery == 0
 }
 
 func appendSends(prog []op, left, right, bytes, parts int) []op {
@@ -184,17 +228,25 @@ func (cs *cosim) run() {
 	cs.eng.Run()
 }
 
-// advance interprets r's program until it blocks or finishes.
+// advance interprets r's program until it blocks or finishes. Each
+// step runs the per-step program, then — on monitored steps — the
+// collective program, before the step counter advances.
 func (cs *cosim) advance(r *rank) {
 	for {
-		if r.pc == len(r.prog) {
+		if r.pc == len(r.cur()) {
+			if !r.inReduce && len(r.rprog) > 0 && cs.monitored(r.step) {
+				r.inReduce = true
+				r.pc = 0
+				continue
+			}
+			r.inReduce = false
 			r.pc = 0
 			r.step++
 			if r.step == cs.steps {
 				return
 			}
 		}
-		o := r.prog[r.pc]
+		o := r.cur()[r.pc]
 		switch o.kind {
 		case opCompute:
 			r.pc++

@@ -175,3 +175,64 @@ func TestPerRankCount(t *testing.T) {
 		t.Fatalf("%d per-rank outcomes", len(o.PerRank))
 	}
 }
+
+// TestReduceCollectiveCosting: a characterization with a reduction
+// cadence must cost more than the collective-free schedule, a finer
+// cadence more than a coarser one, and the whole term must scale with
+// the interconnect's small-message latency (Ethernet pays more for
+// log2(P) serialized rounds than the SP switch).
+func TestReduceCollectiveCosting(t *testing.T) {
+	base := trace.PaperNS()
+	every := func(k int) trace.Characterization {
+		ch := base
+		ch.ReduceEvery = k
+		return ch
+	}
+	for _, p := range []Platform{LACE560Ethernet, SPMPL} {
+		none, err := p.Simulate(base, 8, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coarse, err := p.Simulate(every(10), 8, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fine, err := p.Simulate(every(1), 8, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(fine.Seconds > coarse.Seconds && coarse.Seconds > none.Seconds) {
+			t.Errorf("%s: cadence cost not ordered: none %.4g, every10 %.4g, every1 %.4g",
+				p.Name, none.Seconds, coarse.Seconds, fine.Seconds)
+		}
+	}
+	// Relative collective overhead at cadence 1: the shared Ethernet
+	// must pay a larger share than the SP's scalable switch.
+	ethNone, _ := LACE560Ethernet.Simulate(base, 8, 5)
+	ethFine, _ := LACE560Ethernet.Simulate(every(1), 8, 5)
+	spNone, _ := SPMPL.Simulate(base, 8, 5)
+	spFine, _ := SPMPL.Simulate(every(1), 8, 5)
+	ethShare := ethFine.Seconds/ethNone.Seconds - 1
+	spShare := spFine.Seconds/spNone.Seconds - 1
+	if ethShare <= spShare {
+		t.Errorf("Ethernet collective share %.3f not above SP share %.3f", ethShare, spShare)
+	}
+}
+
+// TestReduceCostingSingleProc: one processor has no collective to pay
+// for; the schedule must be unaffected by the cadence.
+func TestReduceCostingSingleProc(t *testing.T) {
+	ch := trace.PaperNS()
+	a, err := SPMPL.Simulate(ch, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.ReduceEvery = 1
+	b, err := SPMPL.Simulate(ch, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Seconds != b.Seconds {
+		t.Fatalf("single-proc seconds moved with the cadence: %g vs %g", a.Seconds, b.Seconds)
+	}
+}

@@ -1,0 +1,95 @@
+package msg
+
+// ReducePlan computes the message schedule of one rank's participation
+// in a recursive-doubling allreduce over a world of `size` ranks. The
+// plan is pure topology — which partner to talk to, in which order,
+// with which tag — so the same schedule drives the real collective of
+// internal/par and the co-simulated collective of internal/machine,
+// keeping the modeled cost tied to the code that actually runs.
+//
+// The algorithm is the classic three-phase reduction tree:
+//
+//  1. Fold: with size not a power of two, the first 2*rem ranks pair
+//     up (rem = size - 2^floor(log2 size)); odd ranks send their value
+//     to the even partner and sit out the exchange rounds.
+//  2. Exchange: the remaining 2^k participants run k rounds of
+//     pairwise exchange (partner = rank XOR 2^round), each combining
+//     the received subtree with its own.
+//  3. Unfold: the folded ranks receive the finished result.
+//
+// Every participant combines subtree values in ascending rank order
+// (ReduceStep.RecvLower tells the caller whether the received subtree
+// precedes its own), so all ranks evaluate the identical reduction
+// tree and finish with bitwise-equal results — the property the
+// convergence controller's stop decision depends on.
+type ReduceStep struct {
+	// Partner is the rank to exchange with.
+	Partner int
+	// Send/Recv select the actions of this step (both for an exchange
+	// round, one for the fold/unfold phases).
+	Send, Recv bool
+	// Combine marks a received value that joins the reduction;
+	// without it the received value replaces the local one (unfold).
+	Combine bool
+	// RecvLower reports that the received subtree covers lower ranks
+	// than the local one (combine received-first for a canonical
+	// evaluation order).
+	RecvLower bool
+	// Tag disambiguates the phases on one directed pair: 0 for the
+	// fold, 1+round for each exchange round, and a final value for the
+	// unfold. Both partners of a step compute the same tag.
+	Tag int
+}
+
+// ReducePlan returns rank's schedule in a world of size ranks. A
+// single-rank world reduces to nothing.
+func ReducePlan(size, rank int) []ReduceStep {
+	if size < 1 || rank < 0 || rank >= size {
+		panic("msg: invalid reduce plan geometry")
+	}
+	pof2 := 1
+	rounds := 0
+	for pof2*2 <= size {
+		pof2 *= 2
+		rounds++
+	}
+	rem := size - pof2
+	unfoldTag := 1 + rounds
+
+	var plan []ReduceStep
+	newRank := -1 // rank id within the power-of-two exchange group
+	switch {
+	case rank < 2*rem && rank%2 == 1:
+		// Folded out: contribute, then wait for the finished result.
+		return []ReduceStep{
+			{Partner: rank - 1, Send: true, Tag: 0},
+			{Partner: rank - 1, Recv: true, Tag: unfoldTag},
+		}
+	case rank < 2*rem:
+		plan = append(plan, ReduceStep{Partner: rank + 1, Recv: true, Combine: true, Tag: 0})
+		newRank = rank / 2
+	default:
+		newRank = rank - rem
+	}
+	old := func(nr int) int {
+		if nr < rem {
+			return nr * 2
+		}
+		return nr + rem
+	}
+	for round, mask := 0, 1; mask < pof2; round, mask = round+1, mask*2 {
+		pn := newRank ^ mask
+		plan = append(plan, ReduceStep{
+			Partner:   old(pn),
+			Send:      true,
+			Recv:      true,
+			Combine:   true,
+			RecvLower: pn < newRank,
+			Tag:       1 + round,
+		})
+	}
+	if rank < 2*rem {
+		plan = append(plan, ReduceStep{Partner: rank + 1, Send: true, Tag: unfoldTag})
+	}
+	return plan
+}

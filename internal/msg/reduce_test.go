@@ -1,0 +1,96 @@
+package msg
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestReducePlanMatched checks the structural protocol invariant for
+// every world size the solver uses: each send in some rank's plan has
+// exactly one matching receive (same directed pair, same tag) in the
+// partner's plan, so the FIFO-tag-checked message layer can never
+// deadlock or misdeliver a collective.
+func TestReducePlanMatched(t *testing.T) {
+	for size := 1; size <= 9; size++ {
+		t.Run(fmt.Sprintf("size%d", size), func(t *testing.T) {
+			type edge struct {
+				from, to, tag int
+			}
+			sends := map[edge]int{}
+			recvs := map[edge]int{}
+			for r := 0; r < size; r++ {
+				for _, st := range ReducePlan(size, r) {
+					if st.Partner == r || st.Partner < 0 || st.Partner >= size {
+						t.Fatalf("rank %d: partner %d out of range", r, st.Partner)
+					}
+					if st.Send {
+						sends[edge{r, st.Partner, st.Tag}]++
+					}
+					if st.Recv {
+						recvs[edge{st.Partner, r, st.Tag}]++
+					}
+				}
+			}
+			if len(sends) != len(recvs) {
+				t.Fatalf("%d send edges vs %d recv edges", len(sends), len(recvs))
+			}
+			for e, n := range sends {
+				if recvs[e] != n {
+					t.Errorf("edge %v: %d sends, %d recvs", e, n, recvs[e])
+				}
+			}
+		})
+	}
+}
+
+// TestReducePlanShape pins the tree geometry: a single rank reduces to
+// nothing, a power-of-two world runs exactly log2(p) exchange rounds
+// per rank, and a non-power world folds its remainder ranks in and out
+// (two steps each) while the rest pay one extra fold receive.
+func TestReducePlanShape(t *testing.T) {
+	if got := ReducePlan(1, 0); len(got) != 0 {
+		t.Fatalf("size-1 plan has %d steps, want 0", len(got))
+	}
+	for _, size := range []int{2, 4, 8} {
+		rounds := 0
+		for p := 1; p < size; p *= 2 {
+			rounds++
+		}
+		for r := 0; r < size; r++ {
+			plan := ReducePlan(size, r)
+			if len(plan) != rounds {
+				t.Errorf("size %d rank %d: %d steps, want %d exchange rounds", size, r, len(plan), rounds)
+			}
+			for _, st := range plan {
+				if !st.Send || !st.Recv || !st.Combine {
+					t.Errorf("size %d rank %d: exchange step %+v must send+recv+combine", size, r, st)
+				}
+			}
+		}
+	}
+	// size 3: rank 1 folds out (send, then final recv), ranks 0 and 2
+	// run the 2-rank exchange.
+	plan1 := ReducePlan(3, 1)
+	if len(plan1) != 2 || !plan1[0].Send || plan1[0].Recv || !plan1[1].Recv || plan1[1].Combine {
+		t.Fatalf("size-3 rank-1 fold plan wrong: %+v", plan1)
+	}
+}
+
+// TestReducePlanCombineOrder checks the canonical evaluation order:
+// whenever a rank combines a received subtree, RecvLower is set
+// exactly when the partner's subtree covers lower ranks — the property
+// that makes every rank evaluate the identical reduction tree.
+func TestReducePlanCombineOrder(t *testing.T) {
+	for size := 2; size <= 9; size++ {
+		for r := 0; r < size; r++ {
+			for _, st := range ReducePlan(size, r) {
+				if !st.Combine || !st.Send {
+					continue // fold-in combines are checked by value tests in internal/par
+				}
+				if got, want := st.RecvLower, st.Partner < r; got != want {
+					t.Errorf("size %d rank %d partner %d: RecvLower %v, want %v", size, r, st.Partner, got, want)
+				}
+			}
+		}
+	}
+}

@@ -162,6 +162,39 @@ func TestWeightedExchangeSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestAllreduceSteadyStateAllocs locks in the allocation-free
+// collective: the reduce plan and staging live in the reducer, payload
+// buffers recycle through the world's free list, so a steady-state
+// allreduce allocates nothing — on the power-of-two topology and the
+// folded-remainder one alike. Peer ranks run in background goroutines
+// matching collectives forever; AllocsPerRun counts process-wide
+// mallocs, so their loops must be (and are) allocation-free too.
+func TestAllreduceSteadyStateAllocs(t *testing.T) {
+	for _, p := range []int{2, 3, 4} {
+		t.Run(fmt.Sprintf("procs%d", p), func(t *testing.T) {
+			w := msg.NewWorld(p)
+			red0 := newReducer(w.Comm(0))
+			for r := 1; r < p; r++ {
+				red := newReducer(w.Comm(r))
+				go func(r int) {
+					for {
+						red.Sum(float64(r))
+						red.Max(float64(r))
+					}
+				}(r)
+			}
+			collective := func() {
+				red0.Sum(1)
+				red0.Max(1)
+			}
+			collective() // prime the message-layer free list
+			if allocs := testing.AllocsPerRun(50, collective); allocs != 0 {
+				t.Errorf("steady-state allreduce allocates %.1f times, want 0", allocs)
+			}
+		})
+	}
+}
+
 // TestOverlappedExchangeSteadyStateAllocs covers the Version-6 schedule
 // on a 2-D block: both directions' sends initiated up front
 // (Start/StartR), receives completed later (Finish/FinishR) — the

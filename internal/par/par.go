@@ -72,12 +72,18 @@ type RankStats struct {
 
 // Result summarizes a parallel run.
 type Result struct {
+	// Steps is the number of composite steps actually run (fewer than
+	// requested when convergence control stopped early).
 	Steps   int
 	Procs   int
 	Dt      float64
 	Elapsed time.Duration
 	Ranks   []RankStats
 	Diag    solver.Diagnostics
+	// Converged and Residuals report the convergence controller of
+	// RunControlled (empty for a plain fixed-step Run).
+	Converged bool
+	Residuals []solver.ResidualPoint
 }
 
 // TotalComm aggregates the per-rank communication counters.
@@ -129,6 +135,7 @@ type Runner struct {
 	Slabs []*solver.Slab
 	comms []*msg.Comm
 	halos []*rankHalo
+	reds  []*reducer
 }
 
 // NewRunner decomposes the grid, builds one slab per rank, and computes
@@ -171,6 +178,7 @@ func NewRunner(cfg jet.Config, g *grid.Grid, opt Options) (*Runner, error) {
 		r.Slabs = append(r.Slabs, sl)
 		r.comms = append(r.comms, comm)
 		r.halos = append(r.halos, h)
+		r.reds = append(r.reds, newReducer(comm))
 	}
 	for _, sl := range r.Slabs {
 		sl.Dt = dt
@@ -181,37 +189,52 @@ func NewRunner(cfg jet.Config, g *grid.Grid, opt Options) (*Runner, error) {
 // Run advances all ranks by n composite steps concurrently and returns
 // the measured profile.
 func (r *Runner) Run(n int) *Result {
+	return r.RunControlled(n, solver.Control{})
+}
+
+// RunControlled is Run under residual-driven convergence control: each
+// rank executes the solver's controlled step loop with this runner's
+// allreduce as the global reduction, so every rank sees the identical
+// residual and refreshed dt and all ranks stop on the same step. A
+// zero Control reproduces the plain fixed-step Run exactly.
+func (r *Runner) RunControlled(n int, ctl solver.Control) *Result {
+	if ctl.CFL == 0 {
+		ctl.CFL = r.Opt.CFL
+	}
 	var wg sync.WaitGroup
 	totals := make([]time.Duration, len(r.Slabs))
+	runs := make([]solver.ConvergedRun, len(r.Slabs))
 	start := time.Now()
 	for i, sl := range r.Slabs {
 		wg.Add(1)
 		go func(i int, sl *solver.Slab) {
 			defer wg.Done()
 			t0 := time.Now()
-			for s := 0; s < n; s++ {
-				sl.Advance()
-			}
+			runs[i] = sl.RunControlled(n, ctl, r.reds[i])
 			totals[i] = time.Since(t0)
 		}(i, sl)
 	}
 	wg.Wait()
 	res := &Result{
-		Steps:   n,
-		Procs:   r.Opt.Procs,
-		Dt:      r.Slabs[0].Dt,
-		Elapsed: time.Since(start),
+		Steps:     runs[0].Steps,
+		Procs:     r.Opt.Procs,
+		Dt:        r.Slabs[0].Dt,
+		Elapsed:   time.Since(start),
+		Converged: runs[0].Converged,
+		Residuals: runs[0].Residuals,
 	}
 	res.Diag = r.Diagnose()
 	for i, sl := range r.Slabs {
 		c := r.comms[i]
+		dir := r.halos[i].dir
+		dir.Reduce = r.reds[i].T
 		res.Ranks = append(res.Ranks, RankStats{
 			Rank:  i,
 			Busy:  totals[i] - c.WaitTime,
 			Wait:  c.WaitTime,
 			Total: totals[i],
 			Comm:  c.Counters,
-			Dir:   r.halos[i].dir,
+			Dir:   dir,
 			Flops: sl.T.Flops,
 		})
 	}

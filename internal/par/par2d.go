@@ -76,6 +76,7 @@ type Runner2D struct {
 	Slabs []*solver.Slab
 	comms []*msg.Comm
 	halos []*rankHalo
+	reds  []*reducer
 }
 
 // NewRunner2D decomposes the grid in both directions, builds one slab
@@ -122,6 +123,7 @@ func NewRunner2D(cfg jet.Config, g *grid.Grid, opt Options2D) (*Runner2D, error)
 		r.Slabs = append(r.Slabs, sl)
 		r.comms = append(r.comms, comm)
 		r.halos = append(r.halos, h)
+		r.reds = append(r.reds, newReducer(comm))
 	}
 	for _, sl := range r.Slabs {
 		sl.Dt = dt
@@ -132,37 +134,51 @@ func NewRunner2D(cfg jet.Config, g *grid.Grid, opt Options2D) (*Runner2D, error)
 // Run advances all ranks by n composite steps concurrently and returns
 // the measured profile.
 func (r *Runner2D) Run(n int) *Result {
+	return r.RunControlled(n, solver.Control{})
+}
+
+// RunControlled is Run under residual-driven convergence control; the
+// allreduce runs over the flat rank numbering, so the collective is
+// identical for every rank-grid shape. A zero Control reproduces the
+// plain fixed-step Run exactly.
+func (r *Runner2D) RunControlled(n int, ctl solver.Control) *Result {
+	if ctl.CFL == 0 {
+		ctl.CFL = r.Opt.CFL
+	}
 	var wg sync.WaitGroup
 	totals := make([]time.Duration, len(r.Slabs))
+	runs := make([]solver.ConvergedRun, len(r.Slabs))
 	start := time.Now()
 	for i, sl := range r.Slabs {
 		wg.Add(1)
 		go func(i int, sl *solver.Slab) {
 			defer wg.Done()
 			t0 := time.Now()
-			for s := 0; s < n; s++ {
-				sl.Advance()
-			}
+			runs[i] = sl.RunControlled(n, ctl, r.reds[i])
 			totals[i] = time.Since(t0)
 		}(i, sl)
 	}
 	wg.Wait()
 	res := &Result{
-		Steps:   n,
-		Procs:   r.Opt.Procs,
-		Dt:      r.Slabs[0].Dt,
-		Elapsed: time.Since(start),
+		Steps:     runs[0].Steps,
+		Procs:     r.Opt.Procs,
+		Dt:        r.Slabs[0].Dt,
+		Elapsed:   time.Since(start),
+		Converged: runs[0].Converged,
+		Residuals: runs[0].Residuals,
 	}
 	res.Diag = r.Diagnose()
 	for i, sl := range r.Slabs {
 		c := r.comms[i]
+		dir := r.halos[i].dir
+		dir.Reduce = r.reds[i].T
 		res.Ranks = append(res.Ranks, RankStats{
 			Rank:  i,
 			Busy:  totals[i] - c.WaitTime,
 			Wait:  c.WaitTime,
 			Total: totals[i],
 			Comm:  c.Counters,
-			Dir:   r.halos[i].dir,
+			Dir:   dir,
 			Flops: sl.T.Flops,
 		})
 	}

@@ -1,0 +1,87 @@
+package par
+
+import (
+	"repro/internal/msg"
+	"repro/internal/trace"
+)
+
+// reducer is one rank's allocation-free allreduce endpoint: a
+// recursive-doubling reduction (msg.ReducePlan) over the message
+// layer. The plan and the staging buffer are built at construction, so
+// a steady-state collective allocates nothing; payload buffers recycle
+// through the message world's free list exactly as halo exchanges do.
+//
+// Every rank combines subtree values in the plan's canonical order and
+// therefore finishes with the bitwise-identical result — the property
+// that lets each rank take the convergence controller's stop decision
+// independently without drifting apart.
+//
+// A reducer implements solver.Reduction.
+type reducer struct {
+	comm *msg.Comm
+	plan []msg.ReduceStep
+	val  [1]float64 // operand staging (scalar collectives)
+	buf  [1]float64 // receive staging
+	// T accumulates this rank's collective traffic, the Reduce class
+	// of trace.DirCounters.
+	T trace.Counters
+}
+
+// reduceTagBase offsets collective tags above the halo tag space
+// (solver kinds × message parts stay well below it), so a protocol
+// slip between the two schedules panics on the tag check instead of
+// silently mixing payloads.
+const reduceTagBase = 64
+
+func newReducer(c *msg.Comm) *reducer {
+	return &reducer{comm: c, plan: msg.ReducePlan(c.Size(), c.Rank())}
+}
+
+// combineFn folds the received subtree value into the local one; lo
+// precedes hi in rank order.
+type combineFn func(lo, hi float64) float64
+
+func combineSum(lo, hi float64) float64 { return lo + hi }
+
+func combineMax(lo, hi float64) float64 {
+	if hi > lo {
+		return hi
+	}
+	return lo
+}
+
+// allreduce runs the plan on the scalar in r.val[0].
+func (r *reducer) allreduce(f combineFn) {
+	for _, st := range r.plan {
+		if st.Send {
+			r.T.AddMessage(8 * len(r.val))
+			r.comm.Send(st.Partner, msg.Tag(reduceTagBase+st.Tag), r.val[:])
+		}
+		if st.Recv {
+			r.T.Startups++
+			r.comm.Recv(st.Partner, msg.Tag(reduceTagBase+st.Tag), r.buf[:])
+			switch {
+			case !st.Combine:
+				r.val[0] = r.buf[0] // unfold: the finished result
+			case st.RecvLower:
+				r.val[0] = f(r.buf[0], r.val[0])
+			default:
+				r.val[0] = f(r.val[0], r.buf[0])
+			}
+		}
+	}
+}
+
+// Sum implements solver.Reduction: the global sum of every rank's x.
+func (r *reducer) Sum(x float64) float64 {
+	r.val[0] = x
+	r.allreduce(combineSum)
+	return r.val[0]
+}
+
+// Max implements solver.Reduction: the global max of every rank's x.
+func (r *reducer) Max(x float64) float64 {
+	r.val[0] = x
+	r.allreduce(combineMax)
+	return r.val[0]
+}

@@ -1,0 +1,123 @@
+package par
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/msg"
+)
+
+// runAllreduce executes one collective concurrently on every rank of a
+// fresh world and returns the per-rank results.
+func runAllreduce(p int, in []float64, op func(r *reducer, x float64) float64) []float64 {
+	w := msg.NewWorld(p)
+	out := make([]float64, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		red := newReducer(w.Comm(r))
+		wg.Add(1)
+		go func(r int, red *reducer) {
+			defer wg.Done()
+			out[r] = op(red, in[r])
+		}(r, red)
+	}
+	wg.Wait()
+	return out
+}
+
+// TestAllreduceParity checks the collective against the serial fold on
+// every world size the backend sweep uses and beyond (1..9 covers the
+// power-of-two, folded-remainder, and singleton topologies). With
+// exactly representable inputs the sum is associative, so every world
+// size must reproduce the serial left-fold bitwise; Max is exact for
+// any input. In all cases every rank must finish with the bitwise-
+// identical value — the convergence controller's per-rank stop
+// decisions depend on it.
+func TestAllreduceParity(t *testing.T) {
+	for p := 1; p <= 9; p++ {
+		t.Run(fmt.Sprintf("procs%d", p), func(t *testing.T) {
+			// Exactly representable values: halves sum without rounding.
+			in := make([]float64, p)
+			serial := 0.0
+			for r := range in {
+				in[r] = float64(r+1) + 0.5
+				serial += in[r]
+			}
+			got := runAllreduce(p, in, (*reducer).Sum)
+			for r, g := range got {
+				if g != serial {
+					t.Errorf("sum: rank %d got %g, serial fold %g", r, g, serial)
+				}
+			}
+
+			// Max is exact for arbitrary floats.
+			rng := rand.New(rand.NewSource(int64(p)))
+			maxIn := make([]float64, p)
+			want := math.Inf(-1)
+			for r := range maxIn {
+				maxIn[r] = rng.NormFloat64()
+				if maxIn[r] > want {
+					want = maxIn[r]
+				}
+			}
+			gotMax := runAllreduce(p, maxIn, (*reducer).Max)
+			for r, g := range gotMax {
+				if g != want {
+					t.Errorf("max: rank %d got %g, want %g", r, g, want)
+				}
+			}
+
+			// Arbitrary floats: the tree association may differ from the
+			// serial fold by rounding, but all ranks must agree bitwise
+			// and stay within a few ulps of the fold.
+			sumIn := make([]float64, p)
+			fold := 0.0
+			for r := range sumIn {
+				sumIn[r] = rng.NormFloat64() * math.Ldexp(1, rng.Intn(20)-10)
+				fold += sumIn[r]
+			}
+			gotSum := runAllreduce(p, sumIn, (*reducer).Sum)
+			for r, g := range gotSum {
+				if g != gotSum[0] {
+					t.Errorf("sum: rank %d got %x, rank 0 got %x — ranks must agree bitwise", r, math.Float64bits(g), math.Float64bits(gotSum[0]))
+				}
+			}
+			if rel := math.Abs(gotSum[0]-fold) / math.Max(math.Abs(fold), 1e-300); rel > 1e-13 {
+				t.Errorf("sum: tree result %g vs serial fold %g (rel %g)", gotSum[0], fold, rel)
+			}
+		})
+	}
+}
+
+// TestAllreduceCounters checks the collective's traffic accounting:
+// the reducer's Reduce-class counters must mirror the message layer's
+// own counts (sends as startups+bytes, receives as startups), so
+// DirCounters.Total still reconciles with the aggregate Comm counters.
+func TestAllreduceCounters(t *testing.T) {
+	const p = 4
+	w := msg.NewWorld(p)
+	reds := make([]*reducer, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		reds[r] = newReducer(w.Comm(r))
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			reds[r].Sum(1)
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < p; r++ {
+		c := w.Comm(r).Counters
+		if reds[r].T.Startups != c.Startups || reds[r].T.Bytes != c.Bytes {
+			t.Errorf("rank %d: reducer counted %v, message layer %v", r, reds[r].T, c)
+		}
+		// log2(4) = 2 rounds, each one send + one recv: 4 startups.
+		if reds[r].T.Startups != 4 {
+			t.Errorf("rank %d: %d startups for one 4-rank collective, want 4", r, reds[r].T.Startups)
+		}
+	}
+}

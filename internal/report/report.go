@@ -22,15 +22,23 @@ type Table struct {
 // AddRow appends a formatted row.
 func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
 
-// Render writes the table to w.
+// Render writes the table to w. Rows may be ragged: a row with more
+// cells than headers gets unlabeled columns sized to its cells rather
+// than an index panic, and a short row leaves its tail columns empty.
 func (t *Table) Render(w io.Writer) {
-	widths := make([]int, len(t.Headers))
+	ncol := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	widths := make([]int, ncol)
 	for i, h := range t.Headers {
 		widths[i] = len(h)
 	}
 	for _, r := range t.Rows {
 		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}

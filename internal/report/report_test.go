@@ -74,3 +74,30 @@ func TestLogChartEmpty(t *testing.T) {
 		t.Fatal("empty chart should say so")
 	}
 }
+
+// TestRenderRaggedRows is the regression test for the widths panic: a
+// row with more cells than headers used to index widths out of range
+// in Render. Extra cells get unlabeled columns; short rows are legal
+// too.
+func TestRenderRaggedRows(t *testing.T) {
+	tb := Table{
+		Title:   "ragged",
+		Headers: []string{"a", "b"},
+		Rows: [][]string{
+			{"1", "2", "extra-wide-cell"},
+			{"only"},
+			{"x", "y"},
+		},
+	}
+	var sb strings.Builder
+	tb.Render(&sb) // must not panic
+	out := sb.String()
+	if !strings.Contains(out, "extra-wide-cell") || !strings.Contains(out, "only") {
+		t.Fatalf("ragged cells missing from output:\n%s", out)
+	}
+	var csv strings.Builder
+	tb.RenderCSV(&csv) // must not panic either
+	if !strings.Contains(csv.String(), "extra-wide-cell") {
+		t.Fatalf("ragged cell missing from CSV:\n%s", csv.String())
+	}
+}

@@ -117,5 +117,13 @@ func (s *Solver) Run(n int) {
 	}
 }
 
+// RunControlled advances up to n composite steps under residual-driven
+// convergence control. The single slab spans the domain (the DOALL
+// pool splits loops, not ownership), so its partial sums are already
+// global and no cross-rank reduction is needed.
+func (s *Solver) RunControlled(n int, ctl solver.Control) solver.ConvergedRun {
+	return s.Slab.RunControlled(n, ctl, nil)
+}
+
 // Close releases the worker pool.
 func (s *Solver) Close() { s.pool.Close() }

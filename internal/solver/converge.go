@@ -1,0 +1,179 @@
+package solver
+
+import (
+	"math"
+
+	"repro/internal/flux"
+)
+
+// Control configures residual-driven convergence control: monitor the
+// global L2 residual every ReduceEvery composite steps (amortizing the
+// collective, the low-communication-overhead cadence of Xie et al.),
+// refresh the CFL-stable global time step from a max-reduction at the
+// same cadence, and stop once the residual drops to StopTol.
+type Control struct {
+	// StopTol, when positive, stops the run at the first monitored
+	// step whose residual is at or below it. Zero monitors without
+	// stopping (when ReduceEvery is set) or disables monitoring
+	// entirely (when it is not).
+	StopTol float64
+	// ReduceEvery is the monitoring cadence in composite steps. Zero
+	// with a positive StopTol means every step; zero without a StopTol
+	// disables monitoring.
+	ReduceEvery int
+	// CFL is the Courant number of the time-step refresh (0 =
+	// DefaultCFL). It should match the number the run was built with.
+	CFL float64
+}
+
+// withDefaults resolves the zero values.
+func (c Control) withDefaults() Control {
+	if c.StopTol > 0 && c.ReduceEvery == 0 {
+		c.ReduceEvery = 1
+	}
+	if c.CFL == 0 {
+		c.CFL = DefaultCFL
+	}
+	return c
+}
+
+// Enabled reports whether the control monitors anything.
+func (c Control) Enabled() bool { return c.withDefaults().ReduceEvery > 0 }
+
+// ResidualPoint is one monitored sample of the convergence history.
+type ResidualPoint struct {
+	// Step is the composite step the sample was taken after (1-based).
+	Step int
+	// Residual is sqrt(sum (dq)^2 / (points*NVar)) / dt over that
+	// step: the RMS rate of change of the conserved state, the L2
+	// norm a steady state drives to zero.
+	Residual float64
+}
+
+// ConvergedRun reports a convergence-controlled run.
+type ConvergedRun struct {
+	// Steps is the number of composite steps actually run (== the
+	// request unless the residual hit the tolerance first).
+	Steps int
+	// Converged reports that StopTol stopped the run early.
+	Converged bool
+	// Residuals is the monitored history, one point per reduced step.
+	Residuals []ResidualPoint
+}
+
+// Reduction is the global-reduction hook of a convergence-controlled
+// run: Sum combines the per-slab partial residuals, Max the per-slab
+// stability rates. A serial (single-slab) run passes nil — its partial
+// sums are already global. Parallel ranks pass their allreduce, whose
+// result must be identical on every rank: the stop decision is taken
+// independently per rank and all ranks must agree.
+type Reduction interface {
+	Sum(x float64) float64
+	Max(x float64) float64
+}
+
+// snapshotState copies Q into the residual snapshot buffer, allocated
+// lazily on the first monitored step and reused afterwards.
+func (s *Slab) snapshotState() {
+	if s.q0 == nil {
+		s.q0 = flux.NewState(s.NxLoc, s.NrLoc)
+	}
+	for k := 0; k < flux.NVar; k++ {
+		s.q0[k].CopyFrom(s.Q[k])
+	}
+}
+
+// residualPartial returns the sum over owned points of the squared
+// state delta since the last snapshot, all components. The summation
+// order is fixed (column-major, components innermost) so a given
+// decomposition reproduces the same partial bitwise on every run.
+func (s *Slab) residualPartial() float64 {
+	sum := 0.0
+	for c := 0; c < s.NxLoc; c++ {
+		var cols, cols0 [flux.NVar][]float64
+		for k := 0; k < flux.NVar; k++ {
+			cols[k] = s.Q[k].Col(c)
+			cols0[k] = s.q0[k].Col(c)
+		}
+		for j := 0; j < s.NrLoc; j++ {
+			for k := 0; k < flux.NVar; k++ {
+				d := cols[k][j] - cols0[k][j]
+				sum += d * d
+			}
+		}
+	}
+	return sum
+}
+
+// MaxRate returns the slab-local maximum stability rate (advective
+// plus viscous), the quantity the CFL-stable time step divides:
+// StableDt(cfl) == cfl / MaxRate(). Max-reducing it across slabs gives
+// the global rate exactly — max is associative and commutative in
+// floating point — so a refreshed global dt is bitwise-identical
+// however the domain is decomposed.
+func (s *Slab) MaxRate() float64 {
+	gm := s.Gas
+	g := s.Grid
+	nuFac := gm.Mu * math.Max(4.0/3.0, gm.Gamma/gm.Pr)
+	invD2 := 1/(g.Dx*g.Dx) + 1/(g.Dr*g.Dr)
+	maxRate := 0.0
+	flux.Primitives(gm, s.Q, s.W, 0, s.NxLoc)
+	for c := 0; c < s.NxLoc; c++ {
+		rho, u, v, T := s.W[flux.IRho].Col(c), s.W[flux.IMx].Col(c), s.W[flux.IMr].Col(c), s.W[flux.IE].Col(c)
+		for j := range rho {
+			cs := math.Sqrt(T[j])
+			rate := (math.Abs(u[j])+cs)/g.Dx + (math.Abs(v[j])+cs)/g.Dr + 2*nuFac/rho[j]*invD2
+			if rate > maxRate {
+				maxRate = rate
+			}
+		}
+	}
+	return maxRate
+}
+
+// RunControlled advances up to n composite steps under the given
+// convergence control. Every ReduceEvery-th step it computes the
+// global L2 residual of that step's state delta (partial sums combined
+// through red) and refreshes the global CFL-stable dt from a
+// max-reduction, then stops once the residual reaches StopTol. With a
+// zero Control it is exactly n plain Advance calls.
+//
+// All ranks of a parallel run execute this loop independently; the
+// reduction hands every rank the bitwise-identical residual and rate,
+// so they take the same stop decision on the same step.
+func (s *Slab) RunControlled(n int, ctl Control, red Reduction) ConvergedRun {
+	ctl = ctl.withDefaults()
+	var out ConvergedRun
+	if ctl.ReduceEvery > 0 {
+		out.Residuals = make([]ResidualPoint, 0, n/ctl.ReduceEvery+1)
+	}
+	points := s.Grid.Nx * s.Grid.Nr
+	for i := 0; i < n; i++ {
+		monitor := ctl.ReduceEvery > 0 && (i+1)%ctl.ReduceEvery == 0
+		if monitor {
+			s.snapshotState()
+		}
+		dt := s.Dt
+		s.Advance()
+		out.Steps++
+		if !monitor {
+			continue
+		}
+		sum := s.residualPartial()
+		if red != nil {
+			sum = red.Sum(sum)
+		}
+		res := math.Sqrt(sum/float64(points*flux.NVar)) / dt
+		out.Residuals = append(out.Residuals, ResidualPoint{Step: out.Steps, Residual: res})
+		if ctl.StopTol > 0 && res <= ctl.StopTol {
+			out.Converged = true
+			break
+		}
+		rate := s.MaxRate()
+		if red != nil {
+			rate = red.Max(rate)
+		}
+		s.Dt = ctl.CFL / rate
+	}
+	return out
+}

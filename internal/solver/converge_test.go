@@ -1,0 +1,137 @@
+package solver
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/jet"
+)
+
+// convergingConfig is the unexcited viscous jet, which relaxes to a
+// steady state instead of shedding instability waves (the paper's
+// production case is deliberately unsteady).
+func convergingConfig() jet.Config {
+	cfg := jet.Paper()
+	cfg.Eps = 0
+	cfg.Reynolds = 500
+	return cfg
+}
+
+func TestControlDefaults(t *testing.T) {
+	if (Control{}).Enabled() {
+		t.Fatal("zero control must be disabled")
+	}
+	c := Control{StopTol: 1e-4}.withDefaults()
+	if c.ReduceEvery != 1 || c.CFL != DefaultCFL {
+		t.Fatalf("defaults: %+v", c)
+	}
+	if !(Control{ReduceEvery: 7}).Enabled() {
+		t.Fatal("monitor-only control must be enabled")
+	}
+}
+
+// TestRunControlledZeroIsRun: a zero control reproduces the plain
+// fixed-step run bitwise — the monitoring machinery must be pay-only-
+// if-used.
+func TestRunControlledZeroIsRun(t *testing.T) {
+	g := grid.MustNew(64, 24, 50, 5)
+	a, err := NewSerial(jet.Paper(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSerial(jet.Paper(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Run(8)
+	cr := b.RunControlled(8, Control{})
+	if cr.Steps != 8 || cr.Converged || len(cr.Residuals) != 0 {
+		t.Fatalf("zero control produced %+v", cr)
+	}
+	for k := range a.Q {
+		if !a.Q[k].Equal(b.Q[k]) {
+			t.Fatalf("component %d differs between Run and zero-control RunControlled", k)
+		}
+	}
+}
+
+// TestRunControlledStops: the controller stops at the first monitored
+// step at or below tolerance and reports the history up to it.
+func TestRunControlledStops(t *testing.T) {
+	g := grid.MustNew(64, 32, 50, 5)
+	s, err := NewSerial(convergingConfig(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := s.RunControlled(2000, Control{StopTol: 9e-3, ReduceEvery: 10})
+	if !cr.Converged || cr.Steps == 2000 {
+		t.Fatalf("did not converge: %+v", cr)
+	}
+	if cr.Steps%10 != 0 {
+		t.Fatalf("stop step %d not on the cadence", cr.Steps)
+	}
+	last := cr.Residuals[len(cr.Residuals)-1]
+	if last.Step != cr.Steps || last.Residual > 9e-3 {
+		t.Fatalf("last sample %+v vs stop step %d", last, cr.Steps)
+	}
+	for _, p := range cr.Residuals[:len(cr.Residuals)-1] {
+		if p.Residual <= 9e-3 {
+			t.Fatalf("sample %+v was already below tolerance but the run went on", p)
+		}
+	}
+}
+
+// TestDtRefresh: monitored runs refresh the global CFL-stable dt from
+// the max-reduction; on a relaxing flow the stability rate changes, so
+// dt must move away from the construction-time value, and StableDt
+// must agree with cfl/MaxRate by construction.
+func TestDtRefresh(t *testing.T) {
+	g := grid.MustNew(64, 32, 50, 5)
+	s, err := NewSerial(convergingConfig(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.StableDt(0.4), 0.4/s.MaxRate(); got != want {
+		t.Fatalf("StableDt %g != cfl/MaxRate %g", got, want)
+	}
+	dt0 := s.Dt
+	s.RunControlled(200, Control{ReduceEvery: 50})
+	if s.Dt == dt0 {
+		t.Fatalf("dt %g unchanged after 4 monitored refreshes", s.Dt)
+	}
+	if s.Dt <= 0 || s.Dt > 2*dt0 {
+		t.Fatalf("refreshed dt %g implausible vs initial %g", s.Dt, dt0)
+	}
+}
+
+// TestResidualMonotoneDecay pins the physics the convergence
+// controller exists for, on the paper's own 250x100 grid: past the
+// initial acoustic transient the unexcited viscous jet's residual
+// decays monotonically toward the steady state. The first 300 steps
+// carry startup waves bouncing through the fine grid and are skipped.
+func TestResidualMonotoneDecay(t *testing.T) {
+	g := grid.MustNew(250, 100, 50, 5)
+	s, err := NewSerial(convergingConfig(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := s.RunControlled(600, Control{ReduceEvery: 50})
+	if s.Diagnose().HasNaN {
+		t.Fatal("paper-grid run produced NaN")
+	}
+	var tail []ResidualPoint
+	for _, p := range cr.Residuals {
+		if p.Step >= 300 {
+			tail = append(tail, p)
+		}
+	}
+	if len(tail) < 5 {
+		t.Fatalf("only %d post-transient samples", len(tail))
+	}
+	for i := 1; i < len(tail); i++ {
+		if tail[i].Residual >= tail[i-1].Residual {
+			t.Errorf("residual rose from %g (step %d) to %g (step %d)",
+				tail[i-1].Residual, tail[i-1].Step, tail[i].Residual, tail[i].Step)
+		}
+	}
+}

@@ -102,3 +102,10 @@ func (s *Serial) Run(n int) {
 		s.Advance()
 	}
 }
+
+// RunControlled advances up to n composite steps under residual-driven
+// convergence control. The single slab spans the domain, so its
+// partial sums are already the global reduction (nil Reduction).
+func (s *Serial) RunControlled(n int, ctl Control) ConvergedRun {
+	return s.Slab.RunControlled(n, ctl, nil)
+}

@@ -180,6 +180,10 @@ type Slab struct {
 	// momBuf backs AxialMomentum's returned columns, allocated once and
 	// reused across calls.
 	momBuf []float64
+
+	// q0 is the residual snapshot of the convergence monitor (see
+	// converge.go), allocated lazily on the first monitored step.
+	q0 *flux.State
 }
 
 // NewSlab builds a slab owning global columns [i0, i0+nxloc) of g,
@@ -248,25 +252,10 @@ func (s *Slab) InitParallelFlow() {
 	}
 }
 
-// StableDt returns the slab-local CFL-stable time step.
+// StableDt returns the slab-local CFL-stable time step, cfl over the
+// maximum stability rate of the owned points (see MaxRate).
 func (s *Slab) StableDt(cfl float64) float64 {
-	gm := s.Gas
-	g := s.Grid
-	nuFac := gm.Mu * math.Max(4.0/3.0, gm.Gamma/gm.Pr)
-	invD2 := 1/(g.Dx*g.Dx) + 1/(g.Dr*g.Dr)
-	maxRate := 0.0
-	flux.Primitives(gm, s.Q, s.W, 0, s.NxLoc)
-	for c := 0; c < s.NxLoc; c++ {
-		rho, u, v, T := s.W[flux.IRho].Col(c), s.W[flux.IMx].Col(c), s.W[flux.IMr].Col(c), s.W[flux.IE].Col(c)
-		for j := range rho {
-			cs := math.Sqrt(T[j])
-			rate := (math.Abs(u[j])+cs)/g.Dx + (math.Abs(v[j])+cs)/g.Dr + 2*nuFac/rho[j]*invD2
-			if rate > maxRate {
-				maxRate = rate
-			}
-		}
-	}
-	return cfl / maxRate
+	return cfl / s.MaxRate()
 }
 
 // variantFor returns the operator variant for a composite step index

@@ -50,7 +50,9 @@ func (s *Series) MinY() (x, y float64) {
 }
 
 // Speedup returns the series s(1)/s(p) against p, using the first point
-// as the baseline.
+// as the baseline. A zero baseline or a zero sample has no meaningful
+// speedup; those points carry NaN rather than the +Inf/NaN artifacts a
+// raw division would emit into tables and charts.
 func (s *Series) Speedup() Series {
 	out := Series{Name: s.Name + " speedup"}
 	if len(s.Y) == 0 {
@@ -58,6 +60,10 @@ func (s *Series) Speedup() Series {
 	}
 	base := s.Y[0]
 	for i := range s.X {
+		if base == 0 || s.Y[i] == 0 {
+			out.Add(s.X[i], math.NaN())
+			continue
+		}
 		out.Add(s.X[i], base/s.Y[i])
 	}
 	return out
@@ -75,10 +81,15 @@ func (s *Series) Monotone() bool {
 
 // Crossover returns the smallest X at which a.Y < b.Y given that a
 // starts above b, or 0 if they never cross. Both series must share X.
+// With either series empty there is no overlap to compare: the result
+// is NaN, distinguishable from the valid "never crossed" 0.
 func Crossover(a, b Series) float64 {
 	n := a.Len()
 	if b.Len() < n {
 		n = b.Len()
+	}
+	if n == 0 {
+		return math.NaN()
 	}
 	for i := 0; i < n; i++ {
 		if a.X[i] != b.X[i] {

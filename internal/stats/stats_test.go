@@ -89,3 +89,34 @@ func TestScalarStats(t *testing.T) {
 		t.Fatal("empty stats should be NaN")
 	}
 }
+
+// TestSpeedupZeroGuards is the regression test for the +Inf/NaN
+// artifacts: a zero baseline or zero sample yields NaN points instead
+// of infinities leaking into tables and charts.
+func TestSpeedupZeroGuards(t *testing.T) {
+	zBase := seriesOf("zb", 1, 0, 2, 5)
+	sp := zBase.Speedup()
+	if !math.IsNaN(sp.Y[0]) || !math.IsNaN(sp.Y[1]) {
+		t.Fatalf("zero baseline should yield NaN points, got %v", sp.Y)
+	}
+	zSample := seriesOf("zs", 1, 10, 2, 0, 4, 5)
+	sp = zSample.Speedup()
+	if sp.Y[0] != 1 || !math.IsNaN(sp.Y[1]) || sp.Y[2] != 2 {
+		t.Fatalf("zero sample handling wrong: %v", sp.Y)
+	}
+	if got := (&Series{}).Speedup(); got.Len() != 0 {
+		t.Fatalf("empty speedup should be empty, got %v", got)
+	}
+}
+
+// TestCrossoverEmptySeries: with nothing to compare, Crossover returns
+// NaN — distinguishable from the valid "never crossed" zero.
+func TestCrossoverEmptySeries(t *testing.T) {
+	if got := Crossover(Series{}, Series{}); !math.IsNaN(got) {
+		t.Fatalf("empty crossover = %g, want NaN", got)
+	}
+	a := seriesOf("a", 1, 10)
+	if got := Crossover(a, Series{}); !math.IsNaN(got) {
+		t.Fatalf("half-empty crossover = %g, want NaN", got)
+	}
+}

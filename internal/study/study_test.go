@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/machine"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -189,5 +190,28 @@ func TestTable1ReportRenders(t *testing.T) {
 		if !strings.Contains(sb.String(), want) {
 			t.Errorf("missing %q", want)
 		}
+	}
+}
+
+// TestConvergedScenario pins the convergence-control study: the
+// converging-jet scenario stops well before the step cap, and the
+// co-simulated converged schedule beats the fixed one on the SP even
+// paying for its collectives.
+func TestConvergedScenario(t *testing.T) {
+	fixed, conv, steps, err := ConvergedSpeedup(machine.SPMPL, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps >= ConvergedMaxSteps || steps == 0 {
+		t.Fatalf("scenario stopped at step %d of %d", steps, ConvergedMaxSteps)
+	}
+	if conv >= fixed {
+		t.Fatalf("converged schedule %.4g s not below fixed %.4g s", conv, fixed)
+	}
+	// The speedup tracks the convergence fraction to first order; the
+	// collective must not eat more than a third of it.
+	frac := float64(steps) / float64(ConvergedMaxSteps)
+	if conv > fixed*frac*1.33 {
+		t.Errorf("collective overhead implausibly large: conv %.4g vs fixed*frac %.4g", conv, fixed*frac)
 	}
 }

@@ -33,31 +33,37 @@ func (c Counters) String() string {
 	return fmt.Sprintf("%.3g flops, %d startups, %.3g MB", c.Flops, c.Startups, float64(c.Bytes)/1e6)
 }
 
-// DirCounters splits a rank's message accounting by exchange direction,
+// DirCounters splits a rank's message accounting by exchange class,
 // extending the paper's Table 1 budget (which is purely axial — the
 // decomposition of Section 5 has no radial neighbours) to the 2-D rank
-// grid, whose blocks also trade ghost rows with down/up neighbours.
+// grid, whose blocks also trade ghost rows with down/up neighbours,
+// and to the global-reduction collectives of the convergence
+// controller, whose recursive-doubling messages follow the rank
+// topology rather than the grid.
 type DirCounters struct {
 	Axial  Counters // ghost-column exchanges with left/right neighbours
 	Radial Counters // ghost-row exchanges with down/up neighbours
+	Reduce Counters // allreduce collectives (residual sum, global-dt max)
 }
 
 // Merge adds other into d.
 func (d *DirCounters) Merge(other DirCounters) {
 	d.Axial.Merge(other.Axial)
 	d.Radial.Merge(other.Radial)
+	d.Reduce.Merge(other.Reduce)
 }
 
-// Total returns the direction-summed counters.
+// Total returns the class-summed counters.
 func (d DirCounters) Total() Counters {
 	var t Counters
 	t.Merge(d.Axial)
 	t.Merge(d.Radial)
+	t.Merge(d.Reduce)
 	return t
 }
 
 func (d DirCounters) String() string {
-	return fmt.Sprintf("axial[%v] radial[%v]", d.Axial, d.Radial)
+	return fmt.Sprintf("axial[%v] radial[%v] reduce[%v]", d.Axial, d.Radial, d.Reduce)
 }
 
 // PaperFlopsPerPoint returns the paper's Table 1 workload density in
@@ -94,7 +100,23 @@ type Characterization struct {
 	// decomp.WeightedAxial consumes the same profile to balance it —
 	// the Figure 13 busy-time skew and its cure, driven by one vector.
 	ColCost []float64
+	// ReduceEvery, when positive, adds the convergence controller's
+	// global-reduction collectives every ReduceEvery steps: the
+	// co-simulator appends ReducesPerMonitor recursive-doubling
+	// allreduces (msg.ReducePlan topology, ReduceBytes payload each) to
+	// the monitored steps, so the co-simulated platforms pay the
+	// collective-latency term of a residual-controlled run. Zero means
+	// a fixed-step run with no collectives.
+	ReduceEvery int
 }
+
+// ReducesPerMonitor is the number of allreduce collectives one
+// monitored step issues: the residual sum and the global-dt max.
+const ReducesPerMonitor = 2
+
+// ReduceBytes is the payload of one allreduce message: a single
+// float64 scalar.
+const ReduceBytes = 8
 
 // BlockCost returns the summed relative cost of columns [i0, i0+n).
 // With a nil profile every column costs 1, so it degenerates to n and

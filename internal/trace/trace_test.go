@@ -82,3 +82,23 @@ func TestDirCounters(t *testing.T) {
 		t.Fatalf("total %+v", tot)
 	}
 }
+
+// TestDirCountersReduce: the collective class must merge and total
+// alongside the grid directions — Total() is what reconciles against
+// the message layer's aggregate counters, reduce traffic included.
+func TestDirCountersReduce(t *testing.T) {
+	var d DirCounters
+	d.Axial.AddMessage(100)
+	d.Reduce.AddMessage(8)
+	d.Reduce.Startups++ // the matching receive
+	var e DirCounters
+	e.Reduce.AddMessage(8)
+	d.Merge(e)
+	if d.Reduce.Startups != 3 || d.Reduce.Bytes != 16 {
+		t.Fatalf("reduce %+v", d.Reduce)
+	}
+	tot := d.Total()
+	if tot.Startups != 4 || tot.Bytes != 116 {
+		t.Fatalf("total %+v", tot)
+	}
+}
