@@ -14,6 +14,7 @@ package repro_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -30,6 +31,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/msg"
 	"repro/internal/par"
+	"repro/internal/shm"
 	"repro/internal/sim"
 	"repro/internal/solver"
 	"repro/internal/stats"
@@ -230,6 +232,54 @@ func BenchmarkSolverStepParallel8(b *testing.B) {
 	benchBackend(b, "mp:v5", backend.Options{Procs: 8})
 }
 
+// BenchmarkSolverStepLarge is the big-grid tier: composite steps on
+// grids far past last-level cache (2000x1000 is ~0.5 GB of state,
+// 4000x2000 four times that), where the fused cache-blocked kernels do
+// the work the paper sized its Table 2 grids for. Construction and the
+// first step (inflow memoization) run outside the timer, so the loop
+// measures the steady state — expected 0 allocs/op. The shm case pins
+// the best parallel backend on the same grid: the DOALL pool shares the
+// arena, so it adds no message traffic.
+func BenchmarkSolverStepLarge(b *testing.B) {
+	sizes := [][2]int{{2000, 1000}, {4000, 2000}}
+	for _, sz := range sizes {
+		nx, nr := sz[0], sz[1]
+		b.Run(fmt.Sprintf("serial-%dx%d", nx, nr), func(b *testing.B) {
+			if testing.Short() {
+				b.Skip("large grid")
+			}
+			s, err := solver.NewSerial(jet.Paper(), grid.MustNew(nx, nr, 50, 5))
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.Advance()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Advance()
+			}
+			b.ReportMetric(float64(nx*nr*b.N)/b.Elapsed().Seconds()/1e6, "Mpoints/s")
+		})
+	}
+	b.Run("shm-2000x1000", func(b *testing.B) {
+		if testing.Short() {
+			b.Skip("large grid")
+		}
+		s, err := shm.NewSolver(jet.Paper(), grid.MustNew(2000, 1000, 50, 5), runtime.NumCPU())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		s.Advance()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Advance()
+		}
+		b.ReportMetric(float64(2000*1000*b.N)/b.Elapsed().Seconds()/1e6, "Mpoints/s")
+	})
+}
+
 // Benchmark2DShapes sweeps rank-grid shapes of the 2-D decomposition at
 // a fixed rank count, axial-only through square: the halo-surface
 // trade the mp2d backend exists to make (per-rank perimeter
@@ -287,6 +337,11 @@ func BenchmarkHaloExchange(b *testing.B) {
 	fa := field.New(32, 100)
 	fb := field.New(32, 100)
 	buf := make([]float64, 2*100)
+	// Prime the world's payload free list so the measured loop exercises
+	// the steady state (the first send allocates the recycled payload).
+	a.Send(1, 0, buf)
+	c.Recv(0, 0, buf)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fa.PackCols(30, 2, buf)

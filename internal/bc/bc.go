@@ -27,27 +27,50 @@ import (
 )
 
 // Inflow prescribes the excited-jet state on a column of the state
-// bundle. The profile arrays are precomputed per radial node.
+// bundle. The profile arrays are precomputed per radial node, and the
+// assembled conserved column is memoized per time value: the split
+// operators apply the same boundary state to the predicted and
+// corrected bundles (and to both sweeps of a composite step), so only
+// the first application per time level evaluates the eigenfunction.
 type Inflow struct {
-	eig *jet.Eigenfunction
-	r   []float64 // radial coordinates
-	gm  gas.Model
+	prof *jet.InflowProfile
+	gm   gas.Model
+
+	prim  []gas.Primitive        // scratch primitive column
+	col   [flux.NVar][]float64   // memoized conserved column
+	lastT float64
+	valid bool
 }
 
 // NewInflow builds the inflow condition for radial nodes r.
 func NewInflow(cfg jet.Config, gm gas.Model, r []float64) *Inflow {
-	return &Inflow{eig: jet.NewEigenfunction(cfg, gm.Gamma), r: r, gm: gm}
+	in := &Inflow{
+		prof: jet.NewEigenfunction(cfg, gm.Gamma).Profile(r),
+		gm:   gm,
+		prim: make([]gas.Primitive, len(r)),
+	}
+	for k := range in.col {
+		in.col[k] = make([]float64, len(r))
+	}
+	return in
 }
 
 // Apply writes the inflow state at time t into local column c of q.
 func (in *Inflow) Apply(q *flux.State, c int, t float64) {
-	for j, r := range in.r {
-		w := in.eig.InflowState(r, t)
-		cq := in.gm.ToConserved(w)
-		q[flux.IRho].Set(c, j, cq.Rho)
-		q[flux.IMx].Set(c, j, cq.Mx)
-		q[flux.IMr].Set(c, j, cq.Mr)
-		q[flux.IE].Set(c, j, cq.E)
+	if !in.valid || t != in.lastT {
+		in.prof.Column(t, in.prim)
+		for j, w := range in.prim {
+			cq := in.gm.ToConserved(w)
+			in.col[flux.IRho][j] = cq.Rho
+			in.col[flux.IMx][j] = cq.Mx
+			in.col[flux.IMr][j] = cq.Mr
+			in.col[flux.IE][j] = cq.E
+		}
+		in.lastT, in.valid = t, true
+	}
+	n := len(in.prim)
+	for k := 0; k < flux.NVar; k++ {
+		copy(q[k].Col(c)[:n], in.col[k])
 	}
 }
 

@@ -52,6 +52,16 @@ func (f *Field) Col(i int) []float64 {
 	return f.data[base : base+f.Nr]
 }
 
+// ColGhost returns the full storage column i including the radial ghost
+// rows: index j+Halo addresses interior row j, so indices 0..Halo-1 are
+// the below-axis ghosts and len-Halo..len-1 the far-field ghosts. Ghost
+// columns are legal. The hot-path kernels use it to walk radial stencils
+// over one flat slice instead of per-point idx() arithmetic.
+func (f *Field) ColGhost(i int) []float64 {
+	base := (i + Halo) * f.rowLen
+	return f.data[base : base+f.rowLen : base+f.rowLen]
+}
+
 // Fill sets every interior point to v (ghosts untouched).
 func (f *Field) Fill(v float64) {
 	for i := 0; i < f.Nx; i++ {

@@ -1,0 +1,61 @@
+package field
+
+import "fmt"
+
+// Set is a structure-of-arrays bundle: n same-geometry fields backed by
+// one contiguous arena allocation. The paper's Version 5 collapsed
+// COMMON blocks so the working set of a sweep sits in as few distinct
+// memory regions as possible; Set is the same idea for the solver's
+// variable bundles — the conserved state, the primitive state, and the
+// stress tensor each become a single arena instead of a handful of
+// independently-allocated fields scattered across the heap. Component k
+// occupies arena[k*Stride() : (k+1)*Stride()), so adjacent components
+// of a bundle are adjacent in memory and a multi-million-point slab
+// costs one allocation per bundle instead of one per field.
+type Set struct {
+	N      int // number of fields
+	Nx, Nr int // interior geometry shared by every field
+
+	stride int // allocated float64s per field
+	arena  []float64
+	fields []Field
+}
+
+// NewSet allocates a zeroed arena holding n fields of an nx-by-nr
+// interior (plus the usual Halo ghosts on all sides).
+func NewSet(n, nx, nr int) *Set {
+	if n <= 0 {
+		panic(fmt.Sprintf("field: invalid set size %d", n))
+	}
+	if nx <= 0 || nr <= 0 {
+		panic(fmt.Sprintf("field: invalid size %dx%d", nx, nr))
+	}
+	rl := nr + 2*Halo
+	stride := (nx + 2*Halo) * rl
+	s := &Set{
+		N: n, Nx: nx, Nr: nr,
+		stride: stride,
+		arena:  make([]float64, n*stride),
+		fields: make([]Field, n),
+	}
+	for k := range s.fields {
+		s.fields[k] = Field{
+			Nx: nx, Nr: nr, rowLen: rl,
+			// Full-slice bounds so no field can grow into its neighbour.
+			data: s.arena[k*stride : (k+1)*stride : (k+1)*stride],
+		}
+	}
+	return s
+}
+
+// Field returns component k. The pointer is stable for the lifetime of
+// the set and its data aliases the shared arena.
+func (s *Set) Field(k int) *Field { return &s.fields[k] }
+
+// Stride returns the number of float64s each component occupies in the
+// arena (interior plus ghosts).
+func (s *Set) Stride() int { return s.stride }
+
+// Arena returns the backing storage of all components, ghosts included.
+// Component k is Arena()[k*Stride() : (k+1)*Stride()].
+func (s *Set) Arena() []float64 { return s.arena }

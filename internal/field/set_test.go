@@ -1,0 +1,59 @@
+package field
+
+import "testing"
+
+func TestSetContiguousLayout(t *testing.T) {
+	const n, nx, nr = 4, 6, 5
+	s := NewSet(n, nx, nr)
+	if got := len(s.Arena()); got != n*s.Stride() {
+		t.Fatalf("arena length %d, want %d", got, n*s.Stride())
+	}
+	for k := 0; k < n; k++ {
+		f := s.Field(k)
+		if f.Nx != nx || f.Nr != nr {
+			t.Fatalf("field %d geometry %dx%d", k, f.Nx, f.Nr)
+		}
+		f.Set(0, 0, float64(k+1))
+	}
+	// The interior origin of component k lands at the arena offset of
+	// that component's slice: one arena, no independent allocations.
+	for k := 0; k < n; k++ {
+		off := k*s.Stride() + Halo*(nr+2*Halo) + Halo
+		if s.Arena()[off] != float64(k+1) {
+			t.Errorf("component %d origin not at arena offset %d", k, off)
+		}
+	}
+	// Writes through one component must not leak into its neighbour.
+	s.Field(1).FillAll(7)
+	if s.Field(0).At(nx+Halo-1, nr+Halo-1) == 7 || s.Field(2).At(-Halo, -Halo) == 7 {
+		t.Error("FillAll leaked across component boundary")
+	}
+}
+
+func TestColGhostMatchesAt(t *testing.T) {
+	f := New(5, 4)
+	v := 0.0
+	for i := -Halo; i < f.Nx+Halo; i++ {
+		for j := -Halo; j < f.Nr+Halo; j++ {
+			v++
+			f.Set(i, j, v)
+		}
+	}
+	for i := -Halo; i < f.Nx+Halo; i++ {
+		col := f.ColGhost(i)
+		if len(col) != f.Nr+2*Halo {
+			t.Fatalf("ColGhost(%d) length %d", i, len(col))
+		}
+		for j := -Halo; j < f.Nr+Halo; j++ {
+			if col[j+Halo] != f.At(i, j) {
+				t.Fatalf("ColGhost(%d)[%d] = %g, At = %g", i, j+Halo, col[j+Halo], f.At(i, j))
+			}
+		}
+	}
+	// Appending to a ghost column must not clobber the next column.
+	before := f.At(1, -Halo)
+	_ = append(f.ColGhost(0), 99)
+	if f.At(1, -Halo) != before {
+		t.Error("ColGhost capacity leaks into the next column")
+	}
+}

@@ -28,11 +28,15 @@ const (
 // operator where it varies.
 type State = [NVar]*field.Field
 
-// NewState allocates a zeroed variable bundle for an nx-by-nr slab.
+// NewState allocates a zeroed variable bundle for an nx-by-nr slab. The
+// components share one contiguous field.Set arena (SoA layout), so a
+// bundle is a single allocation and adjacent components are adjacent in
+// memory.
 func NewState(nx, nr int) *State {
+	set := field.NewSet(NVar, nx, nr)
 	var s State
 	for k := range s {
-		s[k] = field.New(nx, nr)
+		s[k] = set.Field(k)
 	}
 	return &s
 }
@@ -43,12 +47,14 @@ type Stress struct {
 	Qx, Qr             *field.Field
 }
 
-// NewStress allocates stress workspace for an nx-by-nr slab.
+// NewStress allocates stress workspace for an nx-by-nr slab, all six
+// components in one contiguous field.Set arena.
 func NewStress(nx, nr int) *Stress {
+	set := field.NewSet(6, nx, nr)
 	return &Stress{
-		Txx: field.New(nx, nr), Trr: field.New(nx, nr),
-		Tqq: field.New(nx, nr), Txr: field.New(nx, nr),
-		Qx: field.New(nx, nr), Qr: field.New(nx, nr),
+		Txx: set.Field(0), Trr: set.Field(1),
+		Tqq: set.Field(2), Txr: set.Field(3),
+		Qx: set.Field(4), Qr: set.Field(5),
 	}
 }
 
@@ -58,8 +64,43 @@ func NewStress(nx, nr int) *Stress {
 func Primitives(gm gas.Model, q, w *State, c0, c1 int) {
 	gm1 := gm.Gamma - 1
 	for i := c0; i < c1; i++ {
-		rho, mx, mr, e := q[IRho].Col(i), q[IMx].Col(i), q[IMr].Col(i), q[IE].Col(i)
-		wr, wu, wv, wt := w[IRho].Col(i), w[IMx].Col(i), w[IMr].Col(i), w[IE].Col(i)
+		rho := q[IRho].Col(i)
+		// Pin every companion column to len(rho) so the compiler proves
+		// all eight accesses in bounds once per column (see DESIGN.md,
+		// bounds-check elimination).
+		n := len(rho)
+		mx, mr, e := q[IMx].Col(i)[:n], q[IMr].Col(i)[:n], q[IE].Col(i)[:n]
+		wr, wu, wv := w[IRho].Col(i)[:n], w[IMx].Col(i)[:n], w[IMr].Col(i)[:n]
+		wt := w[IE].Col(i)[:n]
+		for j := range rho {
+			r := rho[j]
+			u := mx[j] / r
+			v := mr[j] / r
+			p := gm1 * (e[j] - 0.5*r*(u*u+v*v))
+			wr[j] = r
+			wu[j] = u
+			wv[j] = v
+			wt[j] = gm.Gamma * p / r
+		}
+	}
+}
+
+// PrimitivesRect fills w from q over columns [c0, c1), rows [j0, j1),
+// with the same per-point arithmetic as Primitives. The solver's fused
+// corrector uses it to re-establish the primitive bundle everywhere a
+// boundary condition rewrote the state after the full-column pass.
+func PrimitivesRect(gm gas.Model, q, w *State, c0, c1, j0, j1 int) {
+	if j0 < 0 || j1 <= j0 {
+		return
+	}
+	gm1 := gm.Gamma - 1
+	m := j1 - j0
+	for i := c0; i < c1; i++ {
+		rho := q[IRho].Col(i)[j0 : j0+m]
+		mx, mr := q[IMx].Col(i)[j0:j0+m], q[IMr].Col(i)[j0:j0+m]
+		e := q[IE].Col(i)[j0 : j0+m]
+		wr, wu := w[IRho].Col(i)[j0:j0+m], w[IMx].Col(i)[j0:j0+m]
+		wv, wt := w[IMr].Col(i)[j0:j0+m], w[IE].Col(i)[j0:j0+m]
 		for j := range rho {
 			r := rho[j]
 			u := mx[j] / r

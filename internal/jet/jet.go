@@ -178,3 +178,65 @@ func (e *Eigenfunction) InflowState(r, t float64) gas.Primitive {
 		P:   1/e.gamma + dp,
 	}
 }
+
+// InflowProfile caches the r-dependent factors of InflowState for a
+// fixed set of radial nodes, so evaluating an inflow column costs one
+// cos/sin pair plus a handful of multiplies per node instead of the
+// tanh/exp transcendentals of the mean profile and envelope. Every
+// cached factor is the exact float the per-point path computes (same
+// expressions, same association order), so Column is bitwise identical
+// to calling InflowState per node.
+type InflowProfile struct {
+	omega, gamma, invGamma float64
+	meanU, meanT, invT     []float64 // mean profile per node
+	ampU, ampV, ampP       []float64 // eps * envelope amplitude groupings
+}
+
+// Profile precomputes the inflow factors at radial nodes r.
+func (e *Eigenfunction) Profile(r []float64) *InflowProfile {
+	cfg := e.cfg
+	uc := cfg.UCenter()
+	p := &InflowProfile{
+		omega:    cfg.Omega(),
+		gamma:    e.gamma,
+		invGamma: 1 / e.gamma,
+		meanU:    make([]float64, len(r)),
+		meanT:    make([]float64, len(r)),
+		invT:     make([]float64, len(r)),
+		ampU:     make([]float64, len(r)),
+		ampV:     make([]float64, len(r)),
+		ampP:     make([]float64, len(r)),
+	}
+	for j, rj := range r {
+		a := e.envelope(rj)
+		T := cfg.MeanT(e.gamma, rj)
+		p.meanU[j] = cfg.MeanU(rj)
+		p.meanT[j] = T
+		p.invT[j] = 1 / T
+		// Grouped exactly as Perturb's left-to-right products so the
+		// remaining per-call factor lands on an identical partial.
+		p.ampU[j] = cfg.Eps * uc * a
+		p.ampV[j] = cfg.Eps * uc * 0.5 * a
+		p.ampP[j] = cfg.Eps * a
+	}
+	return p
+}
+
+// Column fills out with the inflow primitive state of every profiled
+// node at time t; out must have the profile's length.
+func (p *InflowProfile) Column(t float64, out []gas.Primitive) {
+	cosw := math.Cos(p.omega * t)
+	sinw := math.Sin(p.omega * t)
+	for j := range out {
+		du := p.ampU[j] * cosw
+		dv := p.ampV[j] * sinw
+		dp := p.ampP[j] * cosw / p.gamma
+		drho := dp / p.meanT[j]
+		out[j] = gas.Primitive{
+			Rho: p.invT[j] + drho,
+			U:   p.meanU[j] + du,
+			V:   dv,
+			P:   p.invGamma + dp,
+		}
+	}
+}

@@ -169,3 +169,27 @@ func TestInflowStateIsPhysical(t *testing.T) {
 		}
 	}
 }
+
+// TestInflowProfileBitwise pins the cached-profile column evaluation to
+// the per-point InflowState path bitwise: the solver's inflow boundary
+// runs through the profile, and any drift there would break the
+// bit-reproducibility contract of the backends.
+func TestInflowProfileBitwise(t *testing.T) {
+	for _, cfg := range []Config{Paper(), Euler()} {
+		e := NewEigenfunction(cfg, 1.4)
+		r := make([]float64, 97)
+		for j := range r {
+			r[j] = (float64(j) + 0.5) * 0.05
+		}
+		p := e.Profile(r)
+		out := make([]gas.Primitive, len(r))
+		for tt := 0.0; tt < 25; tt += 0.93 {
+			p.Column(tt, out)
+			for j, rj := range r {
+				if want := e.InflowState(rj, tt); out[j] != want {
+					t.Fatalf("profile differs at r=%g t=%g: got %+v want %+v", rj, tt, out[j], want)
+				}
+			}
+		}
+	}
+}

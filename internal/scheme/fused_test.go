@@ -1,0 +1,129 @@
+package scheme
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/flux"
+	"repro/internal/gas"
+)
+
+func randBundle(rng *rand.Rand, s *flux.State) {
+	for k := range s {
+		f := s[k]
+		for i := -field.Halo; i < f.Nx+field.Halo; i++ {
+			col := f.ColGhost(i)
+			for j := range col {
+				col[j] = 0.5 + rng.Float64()
+			}
+		}
+	}
+}
+
+func randField(rng *rand.Rand, f *field.Field) {
+	for i := -field.Halo; i < f.Nx+field.Halo; i++ {
+		col := f.ColGhost(i)
+		for j := range col {
+			col[j] = rng.Float64() - 0.5
+		}
+	}
+}
+
+func statesEqual(t *testing.T, name string, seed int64, a, b *flux.State) {
+	t.Helper()
+	for k := range a {
+		if !a[k].Equal(b[k]) {
+			t.Fatalf("seed %d: %s component %d differs", seed, name, k)
+		}
+	}
+}
+
+// TestFusedSchemeEquivalence pins the fast MacCormack stage kernels to
+// the reference scalar kernels bitwise on random sub-rectangles (both
+// variants, boundary-adjacent rows included) and checks the fused
+// predictor+primitives sweeps against the two-pass reference sequence.
+func TestFusedSchemeEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed + 1000))
+		nx := 4 + rng.Intn(17)
+		nr := 4 + rng.Intn(17)
+		v := Variant(rng.Intn(2))
+		gm := gas.Air(0.001)
+		lam, dt := 0.01+rng.Float64(), 0.001+0.01*rng.Float64()
+		c0 := rng.Intn(nx)
+		c1 := c0 + 1 + rng.Intn(nx-c0)
+		var j0, j1 int
+		switch rng.Intn(3) {
+		case 0:
+			j0, j1 = 0, nr
+		case 1:
+			j0, j1 = 0, 1+rng.Intn(nr)
+		default:
+			j0 = rng.Intn(nr)
+			j1 = j0 + 1 + rng.Intn(nr-j0)
+		}
+		rinv := make([]float64, nr)
+		for j := range rinv {
+			rinv[j] = 1 / ((float64(j) + 0.5) * 0.1)
+		}
+		q, f := flux.NewState(nx, nr), flux.NewState(nx, nr)
+		randBundle(rng, q)
+		randBundle(rng, f)
+		src := field.New(nx, nr)
+		randField(rng, src)
+		qpRef, qpFast := flux.NewState(nx, nr), flux.NewState(nx, nr)
+		wpRef, wpFast := flux.NewState(nx, nr), flux.NewState(nx, nr)
+		qnRef, qnFast := flux.NewState(nx, nr), flux.NewState(nx, nr)
+
+		// Axial predictor fused with primitive recovery.
+		PredictX(v, lam, q, f, qpRef, c0, c1)
+		flux.Primitives(gm, qpRef, wpRef, c0, c1)
+		PredictXPrims(v, lam, gm, q, f, qpFast, wpFast, c0, c1)
+		statesEqual(t, "PredictXPrims qp", seed, qpRef, qpFast)
+		statesEqual(t, "PredictXPrims wp", seed, wpRef, wpFast)
+
+		// Axial corrector.
+		CorrectX(v, lam, q, qpRef, f, qnRef, c0, c1)
+		CorrectXFast(v, lam, q, qpRef, f, qnFast, c0, c1)
+		statesEqual(t, "CorrectXFast", seed, qnRef, qnFast)
+
+		// Radial predictor on the sub-rectangle, then fused with prims.
+		PredictRRows(v, lam, dt, rinv, q, f, qpRef, src, c0, c1, j0, j1)
+		PredictRRowsFast(v, lam, dt, rinv, q, f, qpFast, src, c0, c1, j0, j1)
+		statesEqual(t, "PredictRRowsFast", seed, qpRef, qpFast)
+
+		PredictR(v, lam, dt, rinv, q, f, qpRef, src, c0, c1)
+		flux.Primitives(gm, qpRef, wpRef, c0, c1)
+		PredictRPrims(v, lam, dt, gm, rinv, q, f, qpFast, wpFast, src, c0, c1)
+		statesEqual(t, "PredictRPrims qp", seed, qpRef, qpFast)
+		statesEqual(t, "PredictRPrims wp", seed, wpRef, wpFast)
+
+		// Radial corrector on the sub-rectangle.
+		CorrectRRows(v, lam, dt, rinv, q, qpRef, f, qnRef, src, c0, c1, j0, j1)
+		CorrectRRowsFast(v, lam, dt, rinv, q, qpRef, f, qnFast, src, c0, c1, j0, j1)
+		statesEqual(t, "CorrectRRowsFast", seed, qnRef, qnFast)
+
+		// Correctors fused with primitive recovery on a sub-range of the
+		// written region (the boundary-skip shape the solver uses).
+		wp0 := c0 + rng.Intn(c1-c0+1)
+		wp1 := wp0 + rng.Intn(c1-wp0+1)
+		wRef, wFast := flux.NewState(nx, nr), flux.NewState(nx, nr)
+		randBundle(rng, wRef)
+		for k := range wRef {
+			wFast[k].CopyFrom(wRef[k])
+		}
+		CorrectX(v, lam, q, qpRef, f, qnRef, c0, c1)
+		flux.Primitives(gm, qnRef, wRef, wp0, wp1)
+		CorrectXPrims(v, lam, gm, q, qpRef, f, qnFast, wFast, c0, c1, wp0, wp1)
+		statesEqual(t, "CorrectXPrims qn", seed, qnRef, qnFast)
+		statesEqual(t, "CorrectXPrims w", seed, wRef, wFast)
+
+		wj1 := rng.Intn(j1 + 1)
+		CorrectRRows(v, lam, dt, rinv, q, qpRef, f, qnRef, src, c0, c1, j0, j1)
+		flux.PrimitivesRect(gm, qnRef, wRef, wp0, c1, 0, wj1)
+		CorrectRRowsPrims(v, lam, dt, gm, rinv, q, qpRef, f, qnFast, wFast, src, c0, c1, j0, j1, wp0, wj1)
+		statesEqual(t, "CorrectRRowsPrims qn", seed, qnRef, qnFast)
+		statesEqual(t, "CorrectRRowsPrims w", seed, wRef, wFast)
+	}
+}

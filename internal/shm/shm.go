@@ -25,6 +25,11 @@ type Pool struct {
 	workers int
 	tasks   chan task
 	closed  bool
+	// wg is the fork-join barrier, owned by the pool: Split is only ever
+	// invoked from the pool's single orchestrating goroutine (each slab
+	// drives its own pool), so one reusable WaitGroup replaces the
+	// per-call allocation that used to escape through the task channel.
+	wg sync.WaitGroup
 }
 
 type task struct {
@@ -69,8 +74,7 @@ func (p *Pool) Split(lo, hi int, fn func(lo, hi int)) {
 		fn(lo, hi)
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(chunks)
+	p.wg.Add(chunks)
 	base, rem := n/chunks, n%chunks
 	pos := lo
 	for c := 0; c < chunks; c++ {
@@ -78,10 +82,10 @@ func (p *Pool) Split(lo, hi int, fn func(lo, hi int)) {
 		if c < rem {
 			w++
 		}
-		p.tasks <- task{lo: pos, hi: pos + w, fn: fn, wg: &wg}
+		p.tasks <- task{lo: pos, hi: pos + w, fn: fn, wg: &p.wg}
 		pos += w
 	}
-	wg.Wait()
+	p.wg.Wait()
 }
 
 // Close stops the workers. The pool must not be used afterwards.

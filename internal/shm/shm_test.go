@@ -84,3 +84,19 @@ func TestSharedMemorySpeedupSmoke(t *testing.T) {
 		t.Fatal("NaN in shared-memory run")
 	}
 }
+
+// TestAdvanceSteadyStateAllocs extends the solver's allocation-free
+// stepping guarantee to the DOALL pool: once the inflow memoization is
+// warm, fork-joining every kernel across persistent workers allocates
+// nothing per composite step.
+func TestAdvanceSteadyStateAllocs(t *testing.T) {
+	s, err := NewSolver(jet.Paper(), grid.MustNew(64, 32, 50, 5), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Advance() // warm: inflow memoization for the first time level
+	if allocs := testing.AllocsPerRun(20, s.Advance); allocs != 0 {
+		t.Errorf("steady-state pooled Advance allocates %.1f times, want 0", allocs)
+	}
+}

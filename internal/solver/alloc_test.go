@@ -1,0 +1,34 @@
+package solver
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/jet"
+)
+
+// TestAdvanceSteadyStateAllocs locks in the allocation-free stepping
+// path: with the field arena, the bound kernel closures, the stack
+// stress tiles and the memoized inflow column in place, a composite
+// step allocates nothing once warm — for the viscous paper
+// configuration and the inviscid (Euler) one alike.
+func TestAdvanceSteadyStateAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  jet.Config
+	}{
+		{"paper", jet.Paper()},
+		{"euler", jet.Euler()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := NewSerial(tc.cfg, grid.MustNew(64, 32, 50, 5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Advance() // warm: inflow memoization for the first time level
+			if allocs := testing.AllocsPerRun(20, s.Advance); allocs != 0 {
+				t.Errorf("steady-state Advance allocates %.1f times, want 0", allocs)
+			}
+		})
+	}
+}

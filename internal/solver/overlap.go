@@ -2,8 +2,6 @@ package solver
 
 import (
 	"repro/internal/bc"
-	"repro/internal/field"
-	"repro/internal/flux"
 	"repro/internal/scheme"
 )
 
@@ -23,7 +21,10 @@ import (
 // core, and the axial-only decomposition degenerates to the paper's
 // full-height column split. All loops — core and frame alike — are
 // dispatched through s.pfor so the overlap composes with the hybrid
-// backend's per-rank DOALL pool.
+// backend's per-rank DOALL pool, and every region runs one of the
+// prebuilt loop bodies (see bindKernels): the operators re-point the
+// stage context between fork-joins instead of building closures, so
+// the overlapped path is allocation-free too.
 
 // coreRows returns the rows of the stress/flux interior core — the
 // rows whose radial ghost dependencies are satisfied before FinishR.
@@ -44,16 +45,37 @@ func (s *Slab) coreRows(exchanging bool) (lo, hi int) {
 	return lo, hi
 }
 
+// frameX finishes the axial stress/flux sweep outside the core: the
+// edge columns at full height and, on interior radial sides under
+// Fresh, the edge rows of the interior columns. The stress/flux bundle
+// triple is whatever ctx currently points at; ctx.j0/j1 are clobbered.
+func (s *Slab) frameX(s1lo, s1hi, rlo, rhi int) {
+	c := &s.ctx
+	nr := s.NrLoc
+	c.j0, c.j1 = 0, nr
+	s.pfor(0, s1lo, s.fnStressFluxX)
+	s.pfor(s1hi, s.NxLoc, s.fnStressFluxX)
+	if rlo > 0 {
+		c.j0, c.j1 = 0, rlo
+		s.pfor(s1lo, s1hi, s.fnStressFluxX)
+	}
+	if rhi < nr {
+		c.j0, c.j1 = rhi, nr
+		s.pfor(s1lo, s1hi, s.fnStressFluxX)
+	}
+}
+
 // opXOverlap is the Version-6 axial operator. Communication pattern and
 // ghost-fill order match opX exactly (sends are merely initiated
 // earlier, and packing reads interior values only), so the result is
 // bitwise identical to the non-overlapped operator.
 func (s *Slab) opXOverlap(v scheme.Variant) {
 	gm, g := s.Gas, s.Grid
-	lam := s.Dt / (6 * g.Dx)
 	visc := s.Cfg.Viscous
 	n, nr := s.NxLoc, s.NrLoc
 	fresh := s.Policy == Fresh
+	c := &s.ctx
+	c.v, c.lam, c.visc = v, s.Dt/(6*g.Dx), visc
 
 	// Interior column ranges that touch no ghost data: the stress tensor
 	// reaches one column out, the scheme stencil two.
@@ -63,41 +85,30 @@ func (s *Slab) opXOverlap(v scheme.Variant) {
 	// policy; lagged rows are already in place and keep every row core.
 	rlo, rhi := s.coreRows(fresh)
 
-	stressFluxX := func(q, w, f *flux.State, c0, c1, j0, j1 int) {
-		flux.ComputeStressRows(gm, g.Dx, g.Dr, s.R, w, s.S, c0, c1, j0, j1)
-		flux.FluxXRows(gm, q, w, s.S, f, c0, c1, j0, j1, visc)
-	}
-	// frame finishes the edge columns (full height) and, on interior
-	// radial sides under Fresh, the edge rows of the interior columns.
-	frame := func(q, w, f *flux.State) {
-		s.pfor(0, s1lo, func(a, b int) { stressFluxX(q, w, f, a, b, 0, nr) })
-		s.pfor(s1hi, n, func(a, b int) { stressFluxX(q, w, f, a, b, 0, nr) })
-		if rlo > 0 {
-			s.pfor(s1lo, s1hi, func(a, b int) { stressFluxX(q, w, f, a, b, 0, rlo) })
-		}
-		if rhi < nr {
-			s.pfor(s1lo, s1hi, func(a, b int) { stressFluxX(q, w, f, a, b, rhi, nr) })
-		}
-	}
-
 	// Stage A: predictor with overlapped prim and flux exchanges.
-	s.pfor(0, n, func(a, b int) { flux.Primitives(gm, s.Q, s.W, a, b) })
+	c.q, c.w = s.Q, s.W
+	if !s.wReady {
+		s.pfor(0, n, s.fnPrims)
+	}
+	s.wReady = false
 	s.Halo.FillREdges(s.W) // physical radial ghosts: local, filled eagerly
 	s.Halo.Start(KPrims, s.W)
 	if fresh {
 		s.Halo.StartR(KPrims, s.W)
 	}
-	s.pfor(s1lo, s1hi, func(a, b int) { stressFluxX(s.Q, s.W, s.F, a, b, rlo, rhi) })
+	c.f = s.F
+	c.j0, c.j1 = rlo, rhi
+	s.pfor(s1lo, s1hi, s.fnStressFluxX)
 	s.Halo.Finish(KPrims, s.W)
 	if fresh {
 		s.Halo.ReceiveR(KPrims, s.W) // physical sides were filled eagerly
 	}
-	frame(s.Q, s.W, s.F)
+	s.frameX(s1lo, s1hi, rlo, rhi)
 	s.Halo.Start(KFlux, s.F)
-	s.pfor(p2lo, p2hi, func(a, b int) { scheme.PredictX(v, lam, s.Q, s.F, s.QP, a, b) })
+	s.pfor(p2lo, p2hi, s.fnPredictX)
 	s.Halo.Finish(KFlux, s.F)
-	s.pfor(0, p2lo, func(a, b int) { scheme.PredictX(v, lam, s.Q, s.F, s.QP, a, b) })
-	s.pfor(p2hi, n, func(a, b int) { scheme.PredictX(v, lam, s.Q, s.F, s.QP, a, b) })
+	s.pfor(0, p2lo, s.fnPredictX)
+	s.pfor(p2hi, n, s.fnPredictX)
 	if s.Left {
 		s.In.Apply(s.QP, 0, s.Time+s.Dt)
 	}
@@ -105,27 +116,31 @@ func (s *Slab) opXOverlap(v scheme.Variant) {
 	// Stage B: corrector, same structure. As in the non-overlapped
 	// operator, Euler skips the predicted-prims exchange (and with it
 	// the stress tensor, so the flux runs unsplit).
-	s.pfor(0, n, func(a, b int) { flux.Primitives(gm, s.QP, s.WP, a, b) })
+	c.q, c.w = s.QP, s.WP
+	s.pfor(0, n, s.fnPrims)
+	c.f = s.FP
 	if visc {
 		s.Halo.FillREdges(s.WP)
 		s.Halo.Start(KPredPrims, s.WP)
 		if fresh {
 			s.Halo.StartR(KPredPrims, s.WP)
 		}
-		s.pfor(s1lo, s1hi, func(a, b int) { stressFluxX(s.QP, s.WP, s.FP, a, b, rlo, rhi) })
+		c.j0, c.j1 = rlo, rhi
+		s.pfor(s1lo, s1hi, s.fnStressFluxX)
 		s.Halo.Finish(KPredPrims, s.WP)
 		if fresh {
 			s.Halo.ReceiveR(KPredPrims, s.WP) // physical sides were filled eagerly
 		}
-		frame(s.QP, s.WP, s.FP)
+		s.frameX(s1lo, s1hi, rlo, rhi)
 	} else {
-		s.pfor(0, n, func(a, b int) { flux.FluxX(gm, s.QP, s.WP, s.S, s.FP, a, b, visc) })
+		c.j0, c.j1 = 0, nr
+		s.pfor(0, n, s.fnStressFluxX)
 	}
 	s.Halo.Start(KPredFlux, s.FP)
-	s.pfor(p2lo, p2hi, func(a, b int) { scheme.CorrectX(v, lam, s.Q, s.QP, s.FP, s.QN, a, b) })
+	s.pfor(p2lo, p2hi, s.fnCorrectX)
 	s.Halo.Finish(KPredFlux, s.FP)
-	s.pfor(0, p2lo, func(a, b int) { scheme.CorrectX(v, lam, s.Q, s.QP, s.FP, s.QN, a, b) })
-	s.pfor(p2hi, n, func(a, b int) { scheme.CorrectX(v, lam, s.Q, s.QP, s.FP, s.QN, a, b) })
+	s.pfor(0, p2lo, s.fnCorrectX)
+	s.pfor(p2hi, n, s.fnCorrectX)
 
 	if s.Left {
 		s.In.Apply(s.QN, 0, s.Time+s.Dt)
@@ -137,6 +152,26 @@ func (s *Slab) opXOverlap(v scheme.Variant) {
 	s.accountX(visc, n)
 }
 
+// frameR finishes the radial stress/flux/source sweep outside the core;
+// the bundle triple is whatever ctx points at, ctx.j0/j1 are clobbered.
+func (s *Slab) frameR(c1lo, c1hi, rlo, rhi int) {
+	c := &s.ctx
+	nr := s.NrLoc
+	if c1lo > 0 {
+		c.j0, c.j1 = 0, nr
+		s.pfor(0, c1lo, s.fnStressFluxR)
+		s.pfor(c1hi, s.NxLoc, s.fnStressFluxR)
+	}
+	if rlo > 0 {
+		c.j0, c.j1 = 0, rlo
+		s.pfor(c1lo, c1hi, s.fnStressFluxR)
+	}
+	if rhi < nr {
+		c.j0, c.j1 = rhi, nr
+		s.pfor(c1lo, c1hi, s.fnStressFluxR)
+	}
+}
+
 // opROverlap is the Version-6 radial operator. The radial direction is
 // the sweep direction, so its prim and flux row exchanges run under
 // either policy and overlap with the interior rows; the axial prim
@@ -146,10 +181,11 @@ func (s *Slab) opXOverlap(v scheme.Variant) {
 // serialized.
 func (s *Slab) opROverlap(v scheme.Variant) {
 	gm, g := s.Gas, s.Grid
-	lam := s.Dt / (6 * g.Dr)
 	visc := s.Cfg.Viscous
 	n, nr := s.NxLoc, s.NrLoc
 	fresh := s.Policy == Fresh
+	c := &s.ctx
+	c.v, c.lam, c.visc = v, s.Dt/(6*g.Dr), visc
 
 	// Column core: axial prim exchanges happen only under Fresh; under
 	// Lagged the physical extrapolation is applied eagerly and every
@@ -163,26 +199,12 @@ func (s *Slab) opROverlap(v scheme.Variant) {
 	rlo, rhi := s.coreRows(true)
 	p2lo, p2hi := 2, nr-2
 
-	stressFluxR := func(q, w, f *flux.State, src *field.Field, c0, c1, j0, j1 int) {
-		flux.ComputeStressRows(gm, g.Dx, g.Dr, s.R, w, s.S, c0, c1, j0, j1)
-		flux.FluxRRows(gm, s.R, q, w, s.S, f, c0, c1, j0, j1, visc)
-		flux.SourceRows(gm, s.R, w, s.S, src, c0, c1, j0, j1, visc)
-	}
-	frame := func(q, w, f *flux.State, src *field.Field) {
-		if c1lo > 0 {
-			s.pfor(0, c1lo, func(a, b int) { stressFluxR(q, w, f, src, a, b, 0, nr) })
-			s.pfor(c1hi, n, func(a, b int) { stressFluxR(q, w, f, src, a, b, 0, nr) })
-		}
-		if rlo > 0 {
-			s.pfor(c1lo, c1hi, func(a, b int) { stressFluxR(q, w, f, src, a, b, 0, rlo) })
-		}
-		if rhi < nr {
-			s.pfor(c1lo, c1hi, func(a, b int) { stressFluxR(q, w, f, src, a, b, rhi, nr) })
-		}
-	}
-
 	// Stage A: predictor.
-	s.pfor(0, n, func(a, b int) { flux.Primitives(gm, s.Q, s.W, a, b) })
+	c.q, c.w = s.Q, s.W
+	if !s.wReady {
+		s.pfor(0, n, s.fnPrims)
+	}
+	s.wReady = false
 	if fresh {
 		s.Halo.Start(KPrimsR, s.W)
 	} else {
@@ -190,25 +212,26 @@ func (s *Slab) opROverlap(v scheme.Variant) {
 	}
 	s.Halo.FillREdges(s.W) // physical radial ghosts: local, filled eagerly
 	s.Halo.StartR(KPrimsR, s.W)
-	s.pfor(c1lo, c1hi, func(a, b int) { stressFluxR(s.Q, s.W, s.F, s.Src, a, b, rlo, rhi) })
+	c.f, c.src = s.F, s.Src
+	c.j0, c.j1 = rlo, rhi
+	s.pfor(c1lo, c1hi, s.fnStressFluxR)
 	if fresh {
 		s.Halo.Finish(KPrimsR, s.W)
 	}
 	s.Halo.ReceiveR(KPrimsR, s.W) // physical sides were filled eagerly
-	frame(s.Q, s.W, s.F, s.Src)
+	s.frameR(c1lo, c1hi, rlo, rhi)
 	s.Halo.StartR(KFlux, s.F)
-	s.pfor(0, n, func(a, b int) { scheme.PredictRRows(v, lam, s.Dt, s.RInv, s.Q, s.F, s.QP, s.Src, a, b, p2lo, p2hi) })
+	c.j0, c.j1 = p2lo, p2hi
+	s.pfor(0, n, s.fnPredictRRows)
 	s.Halo.FinishR(KFlux, s.F)
-	s.pfor(0, n, func(a, b int) {
-		scheme.PredictRRows(v, lam, s.Dt, s.RInv, s.Q, s.F, s.QP, s.Src, a, b, 0, p2lo)
-		scheme.PredictRRows(v, lam, s.Dt, s.RInv, s.Q, s.F, s.QP, s.Src, a, b, p2hi, nr)
-	})
+	s.pfor(0, n, s.fnPredictREdges)
 	if s.Left {
 		s.In.Apply(s.QP, 0, s.Time+s.Dt)
 	}
 
 	// Stage B: corrector, same structure.
-	s.pfor(0, n, func(a, b int) { flux.Primitives(gm, s.QP, s.WP, a, b) })
+	c.q, c.w = s.QP, s.WP
+	s.pfor(0, n, s.fnPrims)
 	if fresh {
 		s.Halo.Start(KPredPrimsR, s.WP)
 	} else {
@@ -216,19 +239,19 @@ func (s *Slab) opROverlap(v scheme.Variant) {
 	}
 	s.Halo.FillREdges(s.WP)
 	s.Halo.StartR(KPredPrimsR, s.WP)
-	s.pfor(c1lo, c1hi, func(a, b int) { stressFluxR(s.QP, s.WP, s.FP, s.SrcP, a, b, rlo, rhi) })
+	c.f, c.src = s.FP, s.SrcP
+	c.j0, c.j1 = rlo, rhi
+	s.pfor(c1lo, c1hi, s.fnStressFluxR)
 	if fresh {
 		s.Halo.Finish(KPredPrimsR, s.WP)
 	}
 	s.Halo.ReceiveR(KPredPrimsR, s.WP) // physical sides were filled eagerly
-	frame(s.QP, s.WP, s.FP, s.SrcP)
+	s.frameR(c1lo, c1hi, rlo, rhi)
 	s.Halo.StartR(KPredFlux, s.FP)
-	s.pfor(0, n, func(a, b int) { scheme.CorrectRRows(v, lam, s.Dt, s.RInv, s.Q, s.QP, s.FP, s.QN, s.SrcP, a, b, p2lo, p2hi) })
+	c.j0, c.j1 = p2lo, p2hi
+	s.pfor(0, n, s.fnCorrectRRows)
 	s.Halo.FinishR(KPredFlux, s.FP)
-	s.pfor(0, n, func(a, b int) {
-		scheme.CorrectRRows(v, lam, s.Dt, s.RInv, s.Q, s.QP, s.FP, s.QN, s.SrcP, a, b, 0, p2lo)
-		scheme.CorrectRRows(v, lam, s.Dt, s.RInv, s.Q, s.QP, s.FP, s.QN, s.SrcP, a, b, p2hi, nr)
-	})
+	s.pfor(0, n, s.fnCorrectREdges)
 
 	if s.Top {
 		bc.FarFieldR(gm, g.Dr, s.Dt, g.Lr, s.R, s.Q, s.W, s.F, s.Src, s.QN, 0, n)

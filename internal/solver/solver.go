@@ -152,7 +152,6 @@ type Slab struct {
 	Q, QP, QN *flux.State // state, predicted state, next state
 	W, WP     *flux.State // primitives of Q and QP
 	F, FP     *flux.State // flux scratch (axial f or radial r*g)
-	S         *flux.Stress
 	Src, SrcP *field.Field
 
 	In     *bc.Inflow
@@ -177,13 +176,124 @@ type Slab struct {
 	RInv []float64
 	T    *trace.Counters
 
-	// momBuf backs AxialMomentum's returned columns, allocated once and
-	// reused across calls.
+	// momBuf backs AxialMomentum's returned columns and momOut its
+	// column-header slice, both allocated once and reused across calls.
 	momBuf []float64
+	momOut [][]float64
 
 	// q0 is the residual snapshot of the convergence monitor (see
 	// converge.go), allocated lazily on the first monitored step.
 	q0 *flux.State
+
+	// ctx carries the per-stage kernel parameters to the prebuilt loop
+	// bodies below. The bodies are bound once at construction so that
+	// dispatching a parallel region allocates nothing: a fresh closure
+	// per pfor call escapes through the ParallelFor interface and was
+	// the solver's last steady-state allocation. The operators mutate
+	// ctx only between fork-joins (Split returns after all workers
+	// finish), so the workers always observe a settled ctx.
+	ctx stageCtx
+
+	fnPrims         func(lo, hi int)
+	fnStressFluxX   func(lo, hi int)
+	fnPredictXPrims func(lo, hi int)
+	fnPredictX      func(lo, hi int)
+	fnCorrectX      func(lo, hi int)
+	fnStressFluxR   func(lo, hi int)
+	fnPredictRPrims func(lo, hi int)
+	fnPredictRRows  func(lo, hi int)
+	fnPredictREdges func(lo, hi int)
+	fnCorrectRRows  func(lo, hi int)
+	fnCorrectREdges func(lo, hi int)
+
+	fnCorrectXPrims     func(lo, hi int)
+	fnCorrectRRowsPrims func(lo, hi int)
+
+	// wReady records that W already holds the primitives of Q on every
+	// interior point — established by the fused corrector+primitives
+	// sweep (plus its boundary fixups) of the previous operator, so the
+	// next operator's full stage-A primitive pass can be skipped. The
+	// overlapped operators do not fuse (their correctors are split into
+	// core and frame fork-joins) and leave it false.
+	wReady bool
+}
+
+// stageCtx parameterizes the prebuilt loop bodies of a Slab. q/w/f/src
+// select the bundle triple a stage operates on (current state in the
+// predictor, predicted state in the corrector); j0/j1 restrict the
+// fused stress/flux kernels and the radial scheme kernels to a row
+// range (the Version-6 overlap's core/frame split).
+type stageCtx struct {
+	v      scheme.Variant
+	lam    float64
+	visc   bool
+	q, w   *flux.State
+	f      *flux.State
+	src    *field.Field
+	j0, j1 int
+}
+
+// bindKernels builds the reusable loop bodies. Buffers with fixed roles
+// (Q, QP, QN, F, FP, ...) are referenced directly; only the
+// stage-dependent choices go through ctx.
+func (s *Slab) bindKernels() {
+	gm, g := s.Gas, s.Grid
+	c := &s.ctx
+	s.fnPrims = func(lo, hi int) { flux.Primitives(gm, c.q, c.w, lo, hi) }
+	s.fnStressFluxX = func(lo, hi int) {
+		flux.StressFluxX(gm, g.Dx, g.Dr, s.R, c.q, c.w, c.f, lo, hi, c.j0, c.j1, c.visc)
+	}
+	s.fnPredictXPrims = func(lo, hi int) {
+		scheme.PredictXPrims(c.v, c.lam, gm, s.Q, s.F, s.QP, s.WP, lo, hi)
+	}
+	s.fnPredictX = func(lo, hi int) { scheme.PredictX(c.v, c.lam, s.Q, s.F, s.QP, lo, hi) }
+	s.fnCorrectX = func(lo, hi int) { scheme.CorrectXFast(c.v, c.lam, s.Q, s.QP, s.FP, s.QN, lo, hi) }
+	s.fnStressFluxR = func(lo, hi int) {
+		flux.StressFluxRSource(gm, g.Dx, g.Dr, s.R, c.q, c.w, c.f, c.src, lo, hi, c.j0, c.j1, c.visc)
+	}
+	s.fnPredictRPrims = func(lo, hi int) {
+		scheme.PredictRPrims(c.v, c.lam, s.Dt, gm, s.RInv, s.Q, s.F, s.QP, s.WP, s.Src, lo, hi)
+	}
+	s.fnPredictRRows = func(lo, hi int) {
+		scheme.PredictRRowsFast(c.v, c.lam, s.Dt, s.RInv, s.Q, s.F, s.QP, s.Src, lo, hi, c.j0, c.j1)
+	}
+	s.fnPredictREdges = func(lo, hi int) {
+		scheme.PredictRRowsFast(c.v, c.lam, s.Dt, s.RInv, s.Q, s.F, s.QP, s.Src, lo, hi, 0, c.j0)
+		scheme.PredictRRowsFast(c.v, c.lam, s.Dt, s.RInv, s.Q, s.F, s.QP, s.Src, lo, hi, c.j1, s.NrLoc)
+	}
+	s.fnCorrectRRows = func(lo, hi int) {
+		scheme.CorrectRRowsFast(c.v, c.lam, s.Dt, s.RInv, s.Q, s.QP, s.FP, s.QN, s.SrcP, lo, hi, c.j0, c.j1)
+	}
+	s.fnCorrectREdges = func(lo, hi int) {
+		scheme.CorrectRRowsFast(c.v, c.lam, s.Dt, s.RInv, s.Q, s.QP, s.FP, s.QN, s.SrcP, lo, hi, 0, c.j0)
+		scheme.CorrectRRowsFast(c.v, c.lam, s.Dt, s.RInv, s.Q, s.QP, s.FP, s.QN, s.SrcP, lo, hi, c.j1, s.NrLoc)
+	}
+	// The fused corrector+primitives bodies additionally leave W holding
+	// the primitives of QN (the next operator's Q), skipping the columns
+	// a boundary condition will rewrite — the operator fixes those up
+	// after applying the boundary (and OutflowX/FarFieldR still need the
+	// pre-operator primitives there, so they must not be clobbered).
+	s.fnCorrectXPrims = func(lo, hi int) {
+		p0, p1 := lo, hi
+		if s.Left && p0 == 0 {
+			p0 = 1
+		}
+		if s.Right && p1 == s.NxLoc {
+			p1 = s.NxLoc - 1
+		}
+		scheme.CorrectXPrims(c.v, c.lam, gm, s.Q, s.QP, s.FP, s.QN, s.W, lo, hi, p0, p1)
+	}
+	s.fnCorrectRRowsPrims = func(lo, hi int) {
+		p0 := lo
+		if s.Left && p0 == 0 {
+			p0 = 1
+		}
+		jt := s.NrLoc
+		if s.Top {
+			jt-- // FarFieldR reads the old top-row primitives, then rewrites QN there
+		}
+		scheme.CorrectRRowsPrims(c.v, c.lam, s.Dt, gm, s.RInv, s.Q, s.QP, s.FP, s.QN, s.W, s.SrcP, lo, hi, c.j0, c.j1, p0, jt)
+	}
 }
 
 // NewSlab builds a slab owning global columns [i0, i0+nxloc) of g,
@@ -222,7 +332,6 @@ func NewSlabRect(cfg jet.Config, g *grid.Grid, gm gas.Model, i0, nxloc, j0, nrlo
 		Q: flux.NewState(nxloc, nrloc), QP: flux.NewState(nxloc, nrloc), QN: flux.NewState(nxloc, nrloc),
 		W: flux.NewState(nxloc, nrloc), WP: flux.NewState(nxloc, nrloc),
 		F: flux.NewState(nxloc, nrloc), FP: flux.NewState(nxloc, nrloc),
-		S:   flux.NewStress(nxloc, nrloc),
 		Src: field.New(nxloc, nrloc), SrcP: field.New(nxloc, nrloc),
 		Halo: halo, Policy: policy,
 		RInv: make([]float64, nrloc),
@@ -232,6 +341,7 @@ func NewSlabRect(cfg jet.Config, g *grid.Grid, gm gas.Model, i0, nxloc, j0, nrlo
 		s.RInv[j] = 1 / r
 	}
 	s.In = bc.NewInflow(cfg, gm, s.R)
+	s.bindKernels()
 	return s, nil
 }
 
@@ -306,35 +416,42 @@ func (s *Slab) opX(v scheme.Variant) {
 		return
 	}
 	gm, g := s.Gas, s.Grid
-	lam := s.Dt / (6 * g.Dx)
 	visc := s.Cfg.Viscous
 	n := s.NxLoc
+	c := &s.ctx
+	c.v, c.lam, c.visc = v, s.Dt/(6*g.Dx), visc
+	c.j0, c.j1 = 0, s.NrLoc
 
 	// Stage A: predictor. The radial ghost rows feed the stress tensor's
 	// cross-derivatives: interior radial sides exchange fresh rows under
 	// the Fresh policy and reuse lagged ones otherwise; physical sides
 	// always recompute the (communication-free) mirror/extrapolation.
-	s.pfor(0, n, func(a, b int) { flux.Primitives(gm, s.Q, s.W, a, b) })
+	c.q, c.w = s.Q, s.W
+	if !s.wReady {
+		s.pfor(0, n, s.fnPrims)
+	}
+	s.wReady = false
 	s.Halo.Fill(KPrims, s.W)
 	if s.Policy == Fresh {
 		s.Halo.FillR(KPrims, s.W)
 	} else {
 		s.Halo.FillREdges(s.W)
 	}
-	s.pfor(0, n, func(a, b int) {
-		flux.ComputeStress(gm, g.Dx, g.Dr, s.R, s.W, s.S, a, b)
-		flux.FluxX(gm, s.Q, s.W, s.S, s.F, a, b, visc)
-	})
+	c.f = s.F
+	s.pfor(0, n, s.fnStressFluxX)
 	s.Halo.Fill(KFlux, s.F)
-	s.pfor(0, n, func(a, b int) { scheme.PredictX(v, lam, s.Q, s.F, s.QP, a, b) })
+	// The fused predictor also recovers the predicted primitives (the
+	// first pass of stage B); the inflow column is recomputed after the
+	// boundary overwrites it.
+	s.pfor(0, n, s.fnPredictXPrims)
 	if s.Left {
 		s.In.Apply(s.QP, 0, s.Time+s.Dt)
+		flux.Primitives(gm, s.QP, s.WP, 0, 1)
 	}
 
 	// Stage B: corrector. The predicted-prims exchange feeds the
 	// predicted stress tensor; Euler needs no stresses, which is why the
 	// paper's Euler budget is three exchanges per step, not four.
-	s.pfor(0, n, func(a, b int) { flux.Primitives(gm, s.QP, s.WP, a, b) })
 	if visc {
 		s.Halo.Fill(KPredPrims, s.WP)
 		if s.Policy == Fresh {
@@ -343,20 +460,24 @@ func (s *Slab) opX(v scheme.Variant) {
 			s.Halo.FillREdges(s.WP)
 		}
 	}
-	s.pfor(0, n, func(a, b int) {
-		flux.ComputeStress(gm, g.Dx, g.Dr, s.R, s.WP, s.S, a, b)
-		flux.FluxX(gm, s.QP, s.WP, s.S, s.FP, a, b, visc)
-	})
+	c.q, c.w, c.f = s.QP, s.WP, s.FP
+	s.pfor(0, n, s.fnStressFluxX)
 	s.Halo.Fill(KPredFlux, s.FP)
-	s.pfor(0, n, func(a, b int) { scheme.CorrectX(v, lam, s.Q, s.QP, s.FP, s.QN, a, b) })
+	// The corrector also recovers the primitives of QN into W, so the
+	// next operator starts with its stage-A pass already done; the
+	// boundary columns are recomputed after their conditions apply.
+	s.pfor(0, n, s.fnCorrectXPrims)
 
 	if s.Left {
 		s.In.Apply(s.QN, 0, s.Time+s.Dt)
+		flux.Primitives(gm, s.QN, s.W, 0, 1)
 	}
 	if s.Right {
 		bc.OutflowX(gm, g.Dx, s.Dt, s.Q, s.W, s.F, s.QN, n-1)
+		flux.Primitives(gm, s.QN, s.W, n-1, n)
 	}
 	s.Q, s.QN = s.QN, s.Q
+	s.wReady = true
 	s.accountX(visc, n)
 }
 
@@ -373,52 +494,59 @@ func (s *Slab) opR(v scheme.Variant) {
 		return
 	}
 	gm, g := s.Gas, s.Grid
-	lam := s.Dt / (6 * g.Dr)
 	visc := s.Cfg.Viscous
 	n := s.NxLoc
+	c := &s.ctx
+	c.v, c.lam, c.visc = v, s.Dt/(6*g.Dr), visc
+	c.j0, c.j1 = 0, s.NrLoc
 
 	// Stage A: predictor.
-	s.pfor(0, n, func(a, b int) { flux.Primitives(gm, s.Q, s.W, a, b) })
+	c.q, c.w = s.Q, s.W
+	if !s.wReady {
+		s.pfor(0, n, s.fnPrims)
+	}
+	s.wReady = false
 	if s.Policy == Fresh {
 		s.Halo.Fill(KPrimsR, s.W)
 	} else {
 		s.Halo.FillEdges(s.W)
 	}
 	s.Halo.FillR(KPrimsR, s.W)
-	s.pfor(0, n, func(a, b int) {
-		flux.ComputeStress(gm, g.Dx, g.Dr, s.R, s.W, s.S, a, b)
-		flux.FluxR(gm, s.R, s.Q, s.W, s.S, s.F, a, b, visc)
-		flux.Source(gm, s.R, s.W, s.S, s.Src, a, b, visc)
-	})
+	c.f, c.src = s.F, s.Src
+	s.pfor(0, n, s.fnStressFluxR)
 	s.Halo.FillR(KFlux, s.F)
-	s.pfor(0, n, func(a, b int) { scheme.PredictR(v, lam, s.Dt, s.RInv, s.Q, s.F, s.QP, s.Src, a, b) })
+	// Fused predictor + predicted-primitives sweep; the inflow column is
+	// recomputed after the boundary overwrites it.
+	s.pfor(0, n, s.fnPredictRPrims)
 	if s.Left {
 		s.In.Apply(s.QP, 0, s.Time+s.Dt)
+		flux.Primitives(gm, s.QP, s.WP, 0, 1)
 	}
 
 	// Stage B: corrector.
-	s.pfor(0, n, func(a, b int) { flux.Primitives(gm, s.QP, s.WP, a, b) })
 	if s.Policy == Fresh {
 		s.Halo.Fill(KPredPrimsR, s.WP)
 	} else {
 		s.Halo.FillEdges(s.WP)
 	}
 	s.Halo.FillR(KPredPrimsR, s.WP)
-	s.pfor(0, n, func(a, b int) {
-		flux.ComputeStress(gm, g.Dx, g.Dr, s.R, s.WP, s.S, a, b)
-		flux.FluxR(gm, s.R, s.QP, s.WP, s.S, s.FP, a, b, visc)
-		flux.Source(gm, s.R, s.WP, s.S, s.SrcP, a, b, visc)
-	})
+	c.q, c.w, c.f, c.src = s.QP, s.WP, s.FP, s.SrcP
+	s.pfor(0, n, s.fnStressFluxR)
 	s.Halo.FillR(KPredFlux, s.FP)
-	s.pfor(0, n, func(a, b int) { scheme.CorrectR(v, lam, s.Dt, s.RInv, s.Q, s.QP, s.FP, s.QN, s.SrcP, a, b) })
+	// Fused corrector + primitives recovery; the far-field row and the
+	// inflow column are recomputed after their conditions apply.
+	s.pfor(0, n, s.fnCorrectRRowsPrims)
 
 	if s.Top {
 		bc.FarFieldR(gm, g.Dr, s.Dt, g.Lr, s.R, s.Q, s.W, s.F, s.Src, s.QN, 0, n)
+		flux.PrimitivesRect(gm, s.QN, s.W, 0, n, s.NrLoc-1, s.NrLoc)
 	}
 	if s.Left {
 		s.In.Apply(s.QN, 0, s.Time+s.Dt)
+		flux.Primitives(gm, s.QN, s.W, 0, 1)
 	}
 	s.Q, s.QN = s.QN, s.Q
+	s.wReady = true
 	s.accountR(visc, n)
 }
 
@@ -505,7 +633,10 @@ func (s *Slab) AxialMomentum() [][]float64 {
 	if cap(s.momBuf) < s.NxLoc*nr {
 		s.momBuf = make([]float64, s.NxLoc*nr)
 	}
-	out := make([][]float64, s.NxLoc)
+	if cap(s.momOut) < s.NxLoc {
+		s.momOut = make([][]float64, s.NxLoc)
+	}
+	out := s.momOut[:s.NxLoc]
 	for c := 0; c < s.NxLoc; c++ {
 		col := s.momBuf[c*nr : (c+1)*nr]
 		copy(col, s.Q[flux.IMx].Col(c))

@@ -1,0 +1,67 @@
+#!/bin/sh
+# Compare a fresh benchmark run against the committed baseline
+# (BENCH_seed.json) and flag throughput regressions.
+#
+# Usage:
+#   ./scripts/bench_compare.sh                     # full harness, 1 iteration
+#   BENCH=BenchmarkSolverStep ./scripts/bench_compare.sh   # subset
+#   BENCHTIME=2s ./scripts/bench_compare.sh        # steadier numbers
+#   THRESHOLD=0.8 ./scripts/bench_compare.sh       # allow 20% drop
+#   BASELINE=other.json ./scripts/bench_compare.sh
+#
+# Only benchmarks that report a Mpoints/s metric are compared — those
+# are the real-host solver benchmarks whose trajectory the baseline
+# exists to protect; simulated-platform figure benchmarks measure model
+# output, not host speed. A benchmark regresses when
+# fresh/baseline < THRESHOLD (default 0.9). Exit status 1 if anything
+# regressed. Absolute numbers are host-dependent: comparisons are only
+# meaningful against a baseline recorded on the same machine, and
+# 1-iteration runs on a busy host are noisy — rerun with BENCHTIME=2s
+# (or higher) before acting on a flagged regression.
+set -eu
+cd "$(dirname "$0")/.."
+
+baseline="${BASELINE:-BENCH_seed.json}"
+benchtime="${BENCHTIME:-1x}"
+bench="${BENCH:-.}"
+threshold="${THRESHOLD:-0.9}"
+
+[ -f "$baseline" ] || { echo "baseline $baseline not found" >&2; exit 2; }
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run XXX -bench "$bench" -benchtime="$benchtime" . | tee "$tmp" >&2
+
+awk -v baseline="$baseline" -v threshold="$threshold" '
+# Pass 1: baseline Mpoints/s per benchmark name from the JSON document
+# written by bench_baseline.sh (one {"name": ..., "metrics": {...}}
+# object per line).
+NR == FNR {
+    if (match($0, /"name": "[^"]+"/)) {
+        name = substr($0, RSTART + 9, RLENGTH - 10)
+        sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+        if (match($0, /"Mpoints\/s": [0-9.eE+-]+/))
+            base[name] = substr($0, RSTART + 14, RLENGTH - 14)
+    }
+    next
+}
+# Pass 2: fresh run in standard bench output format.
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    mp = ""
+    for (i = 3; i < NF; i++)
+        if ($(i + 1) == "Mpoints/s") mp = $i
+    if (mp == "" || !(name in base)) next
+    n++
+    ratio = mp / base[name]
+    status = "ok"
+    if (ratio < threshold) { status = "REGRESSED"; bad++ }
+    printf "%-55s %10.3f -> %10.3f  (%.2fx) %s\n", name, base[name], mp, ratio, status
+}
+END {
+    if (n == 0) { print "no comparable Mpoints/s benchmarks found"; exit 2 }
+    printf "%d compared, %d regressed (threshold %.2fx)\n", n, bad, threshold
+    if (bad > 0) exit 1
+}' "$baseline" "$tmp"
