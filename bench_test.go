@@ -31,6 +31,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/msg"
 	"repro/internal/par"
+	"repro/internal/scenario"
 	"repro/internal/shm"
 	"repro/internal/sim"
 	"repro/internal/solver"
@@ -222,6 +223,95 @@ func BenchmarkBackends(b *testing.B) {
 	for _, name := range backend.Names() {
 		opts := backend.Options{Procs: 4, Workers: 2, Policy: solver.Lagged}
 		b.Run(name, func(b *testing.B) { benchBackend(b, name, opts) })
+	}
+}
+
+// scenarioSolver builds the serial solver of a registered scenario on
+// the benchmark grid, exactly as the backend layer would.
+func scenarioSolver(b *testing.B, name string) *solver.Serial {
+	b.Helper()
+	sc, err := scenario.Get(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sc.Config(jet.Paper())
+	g, err := sc.Grid(128, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prob, err := sc.Problem(cfg, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := solver.NewSerialProblem(cfg, prob, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkSolverStep sweeps every registered scenario on the serial
+// solver, one composite step per iteration, construction and inflow
+// memoization outside the timer. The per-scenario Mpoints/s rows let
+// bench_compare.sh gate the wall-mirror and inflow-hook paths the same
+// way BenchmarkSolverStepSerial gates the jet kernels; 0 allocs/op is
+// part of the contract (ReportAllocs).
+func BenchmarkSolverStep(b *testing.B) {
+	for _, name := range scenario.Names() {
+		b.Run(name, func(b *testing.B) {
+			s := scenarioSolver(b, name)
+			s.Advance()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Advance()
+			}
+			b.ReportMetric(float64(128*64*b.N)/b.Elapsed().Seconds()/1e6, "Mpoints/s")
+		})
+	}
+}
+
+// BenchmarkScenarioBackends runs the wall-bounded scenarios through the
+// parallel backends whose halo schedules the wall edges reshape: the
+// 2-D rank grid (wall ranks skip the mirror-owned edges) and the
+// hybrid ranks-x-DOALL backend. Fresh policy, so each iteration is
+// also a bitwise-parity workload. These double as the race-instrumented
+// CI smoke of the wall-edge exchange schedule.
+func BenchmarkScenarioBackends(b *testing.B) {
+	for _, scen := range []string{"cavity", "channel"} {
+		for _, c := range []struct {
+			backend string
+			opts    backend.Options
+		}{
+			{"mp2d", backend.Options{Px: 2, Pr: 2, Policy: solver.Fresh}},
+			{"hybrid", backend.Options{Procs: 2, Workers: 2, Policy: solver.Fresh}},
+		} {
+			b.Run(scen+"/"+c.backend, func(b *testing.B) {
+				sc, err := scenario.Get(scen)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := sc.Config(jet.Paper())
+				g, err := sc.Grid(128, 64)
+				if err != nil {
+					b.Fatal(err)
+				}
+				be, err := backend.Get(c.backend)
+				if err != nil {
+					b.Fatal(err)
+				}
+				opts := c.opts
+				opts.Scenario = scen
+				res, err := be.Run(cfg, g, opts, b.N)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Diag.HasNaN {
+					b.Fatal("diverged")
+				}
+				b.ReportMetric(float64(128*64*b.N)/b.Elapsed().Seconds()/1e6, "Mpoints/s")
+			})
+		}
 	}
 }
 

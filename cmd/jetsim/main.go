@@ -18,6 +18,8 @@
 //	jetsim -backend mp2d -procs 8 -balance measured # warm-up-measured weights
 //	jetsim -tol 1e-4 -steps 5000                   # stop when converged
 //	jetsim -backend mp2d -procs 8 -tol 1e-4 -reduce-every 10  # amortized collective
+//	jetsim -scenario cavity -nx 49 -nr 48 -steps 2000  # lid-driven cavity
+//	jetsim -scenario channel -backend mp2d -procs 4    # wall-bounded pipe flow
 //	jetsim -contour -pgm out/jet.pgm
 package main
 
@@ -30,6 +32,7 @@ import (
 
 	"repro/internal/backend"
 	"repro/internal/core"
+	"repro/internal/scenario"
 	"repro/internal/vis"
 )
 
@@ -42,6 +45,7 @@ func main() {
 		steps   = flag.Int("steps", 500, "composite time steps")
 		euler   = flag.Bool("euler", false, "solve the Euler equations instead of Navier-Stokes")
 		name    = flag.String("backend", "serial", "execution backend: "+strings.Join(backend.Names(), ", "))
+		scen    = flag.String("scenario", "", "flow scenario: "+strings.Join(scenario.Names(), ", ")+" (empty = jet; cavity/channel pin their own physics, so -euler applies to the jet only)")
 		mode    = flag.String("mode", "", "deprecated alias for -backend: serial, mp, shm")
 		procs   = flag.Int("procs", 4, "ranks (mp, mp2d, hybrid) or workers (shm)")
 		workers = flag.Int("workers", 0, "per-rank DOALL workers (hybrid; 0 = host default)")
@@ -75,7 +79,8 @@ func main() {
 	// the overlapped strategy, and a contradiction like "-backend mp:v5
 	// -version 6" is rejected by the registry instead of ignored.
 	cfg := core.Config{
-		Euler: *euler, Nx: *nx, Nr: *nr, Steps: *steps,
+		Scenario: *scen,
+		Euler:    *euler, Nx: *nx, Nr: *nr, Steps: *steps,
 		Backend: *name, Procs: *procs, Workers: *workers, Px: *px, Pr: *pr,
 		Version:     *version,
 		Balance:     *balance,
@@ -120,8 +125,8 @@ func main() {
 	if res.Px > 0 {
 		shape = fmt.Sprintf(" ranks=%dx%d", res.Px, res.Pr)
 	}
-	fmt.Printf("backend=%s procs=%d%s grid=%dx%d steps=%d dt=%.4g elapsed=%s\n",
-		res.Backend, res.Procs, shape, *nx, *nr, res.Steps, res.Dt, res.Elapsed.Round(1e6))
+	fmt.Printf("scenario=%s backend=%s procs=%d%s grid=%dx%d steps=%d dt=%.4g elapsed=%s\n",
+		res.Scenario, res.Backend, res.Procs, shape, *nx, *nr, res.Steps, res.Dt, res.Elapsed.Round(1e6))
 	d := res.Diag
 	fmt.Printf("mass=%.6f energy=%.6f max|v|=%.4g minRho=%.4g minP=%.4g\n",
 		d.Mass, d.Energy, d.MaxV, d.MinRho, d.MinP)

@@ -30,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/report"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 	"repro/internal/study"
 	"repro/internal/trace"
@@ -53,6 +54,7 @@ func main() {
 		procs   = flag.Int("procs", 0, "run a single processor count (0 = sweep)")
 		chart   = flag.Bool("chart", true, "draw log-scale ASCII chart")
 		real    = flag.String("backend", "", "also measure a real host run through the backend registry: "+strings.Join(backend.Names(), ", "))
+		scen    = flag.String("scenario", "", "flow scenario of the measured host run: "+strings.Join(scenario.Names(), ", ")+" (empty = jet; the co-simulation always replays the paper's jet traces)")
 		balance = flag.String("balance", "", "decomposition cost model of the measured host run: uniform, flops, or measured")
 		tol     = flag.Float64("tol", 0, "stop tolerance of the measured host run (0 = fixed -steps)")
 		reduce  = flag.Int("reduce-every", 0, "global-reduction cadence in steps: costs the collective on the co-simulated platforms and monitors the measured host run")
@@ -116,6 +118,9 @@ func main() {
 			log.Fatal(err)
 		}
 		s := stats.Series{Name: fmt.Sprintf("host %s (measured)", *real)}
+		if *scen != "" {
+			s.Name = fmt.Sprintf("host %s %s (measured)", *real, *scen)
+		}
 		counts := []int{1, 2, 4, 8}
 		switch {
 		case *real == "serial":
@@ -140,7 +145,8 @@ func main() {
 		}
 		for _, np := range counts {
 			run, err := core.NewRun(core.Config{
-				Euler: *euler, Nx: *nx, Nr: *nr, Steps: *steps,
+				Scenario: *scen,
+				Euler:    *euler, Nx: *nx, Nr: *nr, Steps: *steps,
 				Backend: *real, Procs: np, Version: hostVersion, Balance: *balance,
 				StopTol: *tol, ReduceEvery: *reduce,
 			})

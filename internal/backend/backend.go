@@ -42,6 +42,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/jet"
 	"repro/internal/par"
+	"repro/internal/scenario"
 	"repro/internal/solver"
 	"repro/internal/trace"
 )
@@ -50,6 +51,14 @@ import (
 // worker, the Lagged halo policy (the paper's message budget), and the
 // default CFL number.
 type Options struct {
+	// Scenario names the registered flow problem (internal/scenario)
+	// whose boundary conditions and initial state the slabs run. Empty
+	// and "jet" both select the built-in excited jet. The caller is
+	// responsible for passing a cfg and grid consistent with the
+	// scenario (core.NewRun resolves both through the same registry);
+	// scenarios validate what they can (the cavity rejects a grid
+	// without its radial offset).
+	Scenario string
 	// Procs is the number of ranks (mp, hybrid) or DOALL workers (shm).
 	// The serial backend ignores it. Zero means 1.
 	Procs int
@@ -209,6 +218,30 @@ func resolveControl(name string, o Options) (solver.Control, error) {
 	return solver.Control{StopTol: o.StopTol, ReduceEvery: o.ReduceEvery, CFL: o.cfl()}, nil
 }
 
+// scenario resolves the scenario tag ("" means the built-in jet).
+func (o Options) scenario() string {
+	if o.Scenario == "" {
+		return "jet"
+	}
+	return o.Scenario
+}
+
+// resolveProblem maps Options.Scenario onto the solver problem every
+// slab runs. The empty string short-circuits to nil — byte-for-byte
+// the pre-registry jet path — while named scenarios (including "jet")
+// resolve through the registry, so an unknown name surfaces the
+// available list and a scenario can validate cfg and grid.
+func resolveProblem(cfg jet.Config, g *grid.Grid, o Options) (*solver.Problem, error) {
+	if o.Scenario == "" {
+		return nil, nil
+	}
+	sc, err := scenario.Get(o.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	return sc.Problem(cfg, g)
+}
+
 // cfl resolves the Courant number.
 func (o Options) cfl() float64 {
 	if o.CFL == 0 {
@@ -274,6 +307,9 @@ func rejectVersion(name string, o Options) error {
 // Result reports a completed backend run.
 type Result struct {
 	Backend string
+	// Scenario is the flow problem the run solved ("jet" when Options
+	// left it unset).
+	Scenario string
 	Procs   int // ranks (mp, hybrid) or workers (shm), 1 for serial
 	Workers int // per-rank DOALL workers (hybrid), 0 otherwise
 	// Steps is the number of composite steps actually run — fewer

@@ -9,6 +9,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/jet"
 	"repro/internal/par"
+	"repro/internal/scenario"
 	"repro/internal/solver"
 )
 
@@ -105,51 +106,110 @@ func optionsLabel(o Options) string {
 	return fmt.Sprintf("procs%d%s", o.Procs, v)
 }
 
+// scenarioParityOptions is the reduced sweep the wall-bounded scenarios
+// run per backend: the jet already walks every decomposition corner of
+// the engine, so cavity and channel concentrate on what their boundary
+// conditions change — single-rank and remainder-width multi-rank runs
+// on every backend, rank grids that cut both the walls and the
+// interior (mp2d and its overlapped variant), and the overlapped axial
+// strategy over a worker pool (hybrid V6).
+func scenarioParityOptions(name string) []Options {
+	var opts []Options
+	for _, p := range []int{1, 3} {
+		o := Options{Procs: p, Policy: solver.Fresh}
+		if name == "hybrid" {
+			o.Workers = 2
+		}
+		opts = append(opts, o)
+	}
+	if name == "hybrid" {
+		opts = append(opts, Options{Procs: 3, Workers: 2, Version: par.V6, Policy: solver.Fresh})
+	}
+	if name == "mp2d" || name == "mp2d:v6" {
+		// {3,2} puts remainder blocks in both directions and wall-owning
+		// ranks on every side of the rank grid.
+		for _, sh := range [][2]int{{2, 2}, {3, 2}} {
+			opts = append(opts, Options{Px: sh[0], Pr: sh[1], Policy: solver.Fresh})
+		}
+	}
+	return opts
+}
+
 // TestBackendParity is the layer's central guarantee: under the Fresh
 // halo policy every registered backend produces bitwise-identical
 // fields after N composite steps — the same-arithmetic-everywhere
-// property the solver package doc claims — asserted registry-wide over
-// every parallel width 1..4; for the 2-D decomposition, over a set of
-// rank-grid shapes including non-divisible nx/nr splits; and for every
-// distributed backend, over cost-weighted decompositions (explicit
-// skewed profiles, the analytic flops mode, and the timing-driven
-// measured mode, whose nondeterministic blocks must be just as
-// numerics-neutral).
+// property the solver package doc claims — asserted registry-wide for
+// every registered scenario. The jet runs the full decomposition sweep
+// (every parallel width 1..4; for the 2-D decomposition, a set of
+// rank-grid shapes including non-divisible nx/nr splits; for every
+// distributed backend, cost-weighted decompositions — explicit skewed
+// profiles, the analytic flops mode, and the timing-driven measured
+// mode, whose nondeterministic blocks must be just as
+// numerics-neutral). The wall-bounded scenarios run the reduced sweep
+// of scenarioParityOptions over the identical backends.
+//
+// The jet's serial reference runs with Options.Scenario empty — the
+// pre-registry code path — while its sweep points name "jet"
+// explicitly, so the sweep also pins that the registry's jet
+// registration is bitwise-transparent.
 func TestBackendParity(t *testing.T) {
 	const steps = 6
-	g := grid.MustNew(64, 26, 50, 5)
-	cfg := jet.Paper()
-
-	ser, err := Get("serial")
-	if err != nil {
-		t.Fatal(err)
-	}
-	ref, err := ser.Run(cfg, g, Options{}, steps)
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	for _, name := range Names() {
-		b, err := Get(name)
+	for _, scen := range scenario.Names() {
+		sc, err := scenario.Get(scen)
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, o := range parityOptions(name, g) {
-			t.Run(name+"/"+optionsLabel(o), func(t *testing.T) {
-				res, err := b.Run(cfg, g, o, steps)
-				if err != nil {
-					t.Fatal(err)
-				}
-				if res.Dt != ref.Dt {
-					t.Fatalf("dt %g != serial %g", res.Dt, ref.Dt)
-				}
-				for k := 0; k < flux.NVar; k++ {
-					if !res.Fields[k].Equal(ref.Fields[k]) {
-						t.Errorf("component %d differs from serial (max %g)",
-							k, res.Fields[k].MaxAbsDiff(ref.Fields[k]))
+		cfg := sc.Config(jet.Paper())
+		g, err := sc.Grid(64, 26)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		ser, err := Get("serial")
+		if err != nil {
+			t.Fatal(err)
+		}
+		refOpts := Options{}
+		if scen != "jet" {
+			refOpts.Scenario = scen
+		}
+		ref, err := ser.Run(cfg, g, refOpts, steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for _, name := range Names() {
+			b, err := Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sweep []Options
+			if scen == "jet" {
+				sweep = parityOptions(name, g)
+			} else {
+				sweep = scenarioParityOptions(name)
+			}
+			for _, o := range sweep {
+				o.Scenario = scen
+				t.Run(scen+"/"+name+"/"+optionsLabel(o), func(t *testing.T) {
+					res, err := b.Run(cfg, g, o, steps)
+					if err != nil {
+						t.Fatal(err)
 					}
-				}
-			})
+					if res.Scenario != scen {
+						t.Fatalf("result tagged %q, want %q", res.Scenario, scen)
+					}
+					if res.Dt != ref.Dt {
+						t.Fatalf("dt %g != serial %g", res.Dt, ref.Dt)
+					}
+					for k := 0; k < flux.NVar; k++ {
+						if !res.Fields[k].Equal(ref.Fields[k]) {
+							t.Errorf("component %d differs from serial (max %g)",
+								k, res.Fields[k].MaxAbsDiff(ref.Fields[k]))
+						}
+					}
+				})
+			}
 		}
 	}
 }

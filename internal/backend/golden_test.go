@@ -15,6 +15,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/jet"
 	"repro/internal/par"
+	"repro/internal/scenario"
 	"repro/internal/solver"
 )
 
@@ -25,22 +26,52 @@ var update = flag.Bool("update", false, "rewrite testdata/goldens.json from the 
 
 // goldenCase pins the serial solver on one small configuration.
 type goldenCase struct {
-	Nx      int     `json:"nx"`
-	Nr      int     `json:"nr"`
-	Steps   int     `json:"steps"`
-	Euler   bool    `json:"euler"`
-	DtBits  uint64  `json:"dt_bits"`  // IEEE-754 bits of the stable time step
-	SumBits uint64  `json:"sum_bits"` // FNV-1a 64 over the final field bits
-	Mass    float64 `json:"mass"`     // human-readable drift indicator
+	Nx       int     `json:"nx"`
+	Nr       int     `json:"nr"`
+	Steps    int     `json:"steps"`
+	Euler    bool    `json:"euler"`
+	Scenario string  `json:"scenario,omitempty"` // registry name; empty = pre-registry jet path
+	DtBits   uint64  `json:"dt_bits"`            // IEEE-754 bits of the stable time step
+	SumBits  uint64  `json:"sum_bits"`           // FNV-1a 64 over the final field bits
+	Mass     float64 `json:"mass"`               // human-readable drift indicator
 }
 
-// goldenCases are the two pinned configurations: one viscous, one
-// inviscid, on different grids.
+// goldenCases are the pinned configurations: the jet viscous and
+// inviscid on different grids, plus one golden per wall-bounded
+// scenario so the wall-mirror and inflow-hook arithmetic is locked
+// against drift just like the jet kernels.
 func goldenCases() map[string]goldenCase {
 	return map[string]goldenCase{
-		"ns-64x24":    {Nx: 64, Nr: 24, Steps: 8},
-		"euler-48x16": {Nx: 48, Nr: 16, Steps: 10, Euler: true},
+		"ns-64x24":      {Nx: 64, Nr: 24, Steps: 8},
+		"euler-48x16":   {Nx: 48, Nr: 16, Steps: 10, Euler: true},
+		"cavity-64x24":  {Nx: 64, Nr: 24, Steps: 8, Scenario: "cavity"},
+		"channel-64x24": {Nx: 64, Nr: 24, Steps: 8, Scenario: "channel"},
 	}
+}
+
+// goldenSetup resolves one golden case's physics, grid, and baseline
+// options. Scenario-less cases keep the original literal construction
+// (jet config on the paper's 50x5 geometry) so their checksums are
+// untouched by the registry's existence.
+func goldenSetup(t *testing.T, c goldenCase) (jet.Config, *grid.Grid, Options) {
+	t.Helper()
+	if c.Scenario == "" {
+		cfg := jet.Paper()
+		if c.Euler {
+			cfg = jet.Euler()
+		}
+		return cfg, grid.MustNew(c.Nx, c.Nr, 50, 5), Options{}
+	}
+	sc, err := scenario.Get(c.Scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sc.Config(jet.Paper())
+	g, err := sc.Grid(c.Nx, c.Nr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg, g, Options{Scenario: c.Scenario}
 }
 
 // fieldChecksum hashes the interior of every component, column-major,
@@ -76,15 +107,12 @@ func TestGoldenFields(t *testing.T) {
 	path := filepath.Join("testdata", "goldens.json")
 	got := map[string]goldenCase{}
 	for name, c := range goldenCases() {
-		cfg := jet.Paper()
-		if c.Euler {
-			cfg = jet.Euler()
-		}
+		cfg, g, opts := goldenSetup(t, c)
 		b, err := Get("serial")
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := b.Run(cfg, grid.MustNew(c.Nx, c.Nr, 50, 5), Options{}, c.Steps)
+		res, err := b.Run(cfg, g, opts, c.Steps)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -156,12 +184,8 @@ func assertGoldenVariants(t *testing.T, variants func(c goldenCase) []goldenVari
 		t.Fatal(err)
 	}
 	for name, c := range goldenCases() {
-		cfg := jet.Paper()
-		if c.Euler {
-			cfg = jet.Euler()
-		}
-		g := grid.MustNew(c.Nx, c.Nr, 50, 5)
-		ref, err := ser.Run(cfg, g, Options{}, c.Steps)
+		cfg, g, baseOpts := goldenSetup(t, c)
+		ref, err := ser.Run(cfg, g, baseOpts, c.Steps)
 		if err != nil {
 			t.Fatalf("%s: serial: %v", name, err)
 		}
@@ -171,6 +195,7 @@ func assertGoldenVariants(t *testing.T, variants func(c goldenCase) []goldenVari
 			if err != nil {
 				t.Fatal(err)
 			}
+			v.opts.Scenario = c.Scenario
 			res, err := b.Run(cfg, g, v.opts, c.Steps)
 			if err != nil {
 				t.Fatalf("%s/%s: %v", name, v.backend, err)

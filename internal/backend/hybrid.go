@@ -49,11 +49,14 @@ func (b hybridBackend) version(opts Options) (par.Version, error) {
 
 // Validate checks the version request, the balance mode, and the axial
 // decomposition without building the ranks.
-func (b hybridBackend) Validate(_ jet.Config, g *grid.Grid, opts Options) error {
+func (b hybridBackend) Validate(cfg jet.Config, g *grid.Grid, opts Options) error {
 	if _, err := b.version(opts); err != nil {
 		return err
 	}
 	if err := validateBalance("hybrid", opts, false); err != nil {
+		return err
+	}
+	if _, err := resolveProblem(cfg, g, opts); err != nil {
 		return err
 	}
 	if _, err := resolveControl("hybrid", opts); err != nil {
@@ -72,6 +75,10 @@ func (b hybridBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int
 	if err != nil {
 		return Result{}, err
 	}
+	prob, err := resolveProblem(cfg, g, opts)
+	if err != nil {
+		return Result{}, err
+	}
 	ctl, err := resolveControl("hybrid", opts)
 	if err != nil {
 		return Result{}, err
@@ -82,6 +89,7 @@ func (b hybridBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int
 		Policy:     opts.Policy,
 		CFL:        opts.CFL,
 		ColWeights: colw,
+		Prob:       prob,
 	})
 	if err != nil {
 		return Result{}, err
@@ -100,6 +108,7 @@ func (b hybridBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int
 	pr := r.RunControlled(steps, ctl)
 	res := Result{
 		Backend:   "hybrid",
+		Scenario:  opts.scenario(),
 		Procs:     pr.Procs,
 		Workers:   workers,
 		Steps:     pr.Steps,

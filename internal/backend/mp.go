@@ -28,11 +28,14 @@ func (b mpBackend) Name() string { return fmt.Sprintf("mp:v%d", int(b.version)) 
 // Validate checks the axial decomposition, the version request (the
 // name pins the strategy; a contradicting Options.Version is an
 // error), and the balance mode without building the ranks.
-func (b mpBackend) Validate(_ jet.Config, g *grid.Grid, opts Options) error {
+func (b mpBackend) Validate(cfg jet.Config, g *grid.Grid, opts Options) error {
 	if _, err := resolveVersion(b.Name(), opts, b.version, b.version, b.version); err != nil {
 		return err
 	}
 	if err := validateBalance(b.Name(), opts, false); err != nil {
+		return err
+	}
+	if _, err := resolveProblem(cfg, g, opts); err != nil {
 		return err
 	}
 	if _, err := resolveControl(b.Name(), opts); err != nil {
@@ -51,6 +54,10 @@ func (b mpBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int) (R
 	if err != nil {
 		return Result{}, err
 	}
+	prob, err := resolveProblem(cfg, g, opts)
+	if err != nil {
+		return Result{}, err
+	}
 	ctl, err := resolveControl(b.Name(), opts)
 	if err != nil {
 		return Result{}, err
@@ -61,6 +68,7 @@ func (b mpBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int) (R
 		Policy:     opts.Policy,
 		CFL:        opts.CFL,
 		ColWeights: colw,
+		Prob:       prob,
 	})
 	if err != nil {
 		return Result{}, err
@@ -68,6 +76,7 @@ func (b mpBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int) (R
 	pr := r.RunControlled(steps, ctl)
 	res := Result{
 		Backend:   b.Name(),
+		Scenario:  opts.scenario(),
 		Procs:     pr.Procs,
 		Steps:     pr.Steps,
 		Dt:        pr.Dt,

@@ -66,6 +66,10 @@ func (b mp2dBackend) options2D(cfg jet.Config, g *grid.Grid, opts Options) (par.
 		return par.Options2D{}, err
 	}
 	colw, roww, err := resolveWeights(b.Name(), cfg, g, opts, px, pr)
+	if err != nil {
+		return par.Options2D{}, err
+	}
+	prob, err := resolveProblem(cfg, g, opts)
 	return par.Options2D{
 		Procs:      opts.Procs,
 		Px:         opts.Px,
@@ -75,17 +79,21 @@ func (b mp2dBackend) options2D(cfg jet.Config, g *grid.Grid, opts Options) (par.
 		CFL:        opts.CFL,
 		ColWeights: colw,
 		RowWeights: roww,
+		Prob:       prob,
 	}, err
 }
 
 // Validate checks the version request, the balance mode, the rank-grid
 // shape, and both block decompositions without building the ranks (and
 // without running the measured warm-up probe).
-func (b mp2dBackend) Validate(_ jet.Config, g *grid.Grid, opts Options) error {
+func (b mp2dBackend) Validate(cfg jet.Config, g *grid.Grid, opts Options) error {
 	if _, err := b.version(opts); err != nil {
 		return err
 	}
 	if err := validateBalance(b.Name(), opts, true); err != nil {
+		return err
+	}
+	if _, err := resolveProblem(cfg, g, opts); err != nil {
 		return err
 	}
 	if _, err := resolveControl(b.Name(), opts); err != nil {
@@ -116,6 +124,7 @@ func (b mp2dBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int) 
 	pr := r.RunControlled(steps, ctl)
 	res := Result{
 		Backend:   b.Name(),
+		Scenario:  opts.scenario(),
 		Procs:     pr.Procs,
 		Px:        r.Opt.Px,
 		Pr:        r.Opt.Pr,

@@ -18,11 +18,14 @@ func (serialBackend) Name() string { return "serial" }
 
 // Validate rejects a communication-version or balance request: there
 // is nothing to communicate and nothing to decompose.
-func (serialBackend) Validate(_ jet.Config, _ *grid.Grid, opts Options) error {
+func (serialBackend) Validate(cfg jet.Config, g *grid.Grid, opts Options) error {
 	if err := rejectVersion("serial", opts); err != nil {
 		return err
 	}
 	if err := rejectBalance("serial", opts); err != nil {
+		return err
+	}
+	if _, err := resolveProblem(cfg, g, opts); err != nil {
 		return err
 	}
 	_, err := resolveControl("serial", opts)
@@ -36,11 +39,15 @@ func (serialBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int) 
 	if err := rejectBalance("serial", opts); err != nil {
 		return Result{}, err
 	}
+	prob, err := resolveProblem(cfg, g, opts)
+	if err != nil {
+		return Result{}, err
+	}
 	ctl, err := resolveControl("serial", opts)
 	if err != nil {
 		return Result{}, err
 	}
-	s, err := solver.NewSerialCFL(cfg, g, opts.cfl())
+	s, err := solver.NewSerialProblemCFL(cfg, prob, g, opts.cfl())
 	if err != nil {
 		return Result{}, err
 	}
@@ -49,6 +56,7 @@ func (serialBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int) 
 	elapsed := time.Since(start)
 	return Result{
 		Backend:   "serial",
+		Scenario:  opts.scenario(),
 		Procs:     1,
 		Steps:     cr.Steps,
 		Dt:        s.Dt,

@@ -19,11 +19,14 @@ func (shmBackend) Name() string { return "shm" }
 
 // Validate rejects a communication-version or balance request: the
 // DOALL pool has no message layer and no rank decomposition.
-func (shmBackend) Validate(_ jet.Config, _ *grid.Grid, opts Options) error {
+func (shmBackend) Validate(cfg jet.Config, g *grid.Grid, opts Options) error {
 	if err := rejectVersion("shm", opts); err != nil {
 		return err
 	}
 	if err := rejectBalance("shm", opts); err != nil {
+		return err
+	}
+	if _, err := resolveProblem(cfg, g, opts); err != nil {
 		return err
 	}
 	_, err := resolveControl("shm", opts)
@@ -37,12 +40,16 @@ func (shmBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int) (Re
 	if err := rejectBalance("shm", opts); err != nil {
 		return Result{}, err
 	}
+	prob, err := resolveProblem(cfg, g, opts)
+	if err != nil {
+		return Result{}, err
+	}
 	ctl, err := resolveControl("shm", opts)
 	if err != nil {
 		return Result{}, err
 	}
 	workers := opts.procs()
-	s, err := shm.NewSolver(cfg, g, workers)
+	s, err := shm.NewSolverProblem(cfg, prob, g, workers)
 	if err != nil {
 		return Result{}, err
 	}
@@ -55,6 +62,7 @@ func (shmBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int) (Re
 	elapsed := time.Since(start)
 	return Result{
 		Backend:   "shm",
+		Scenario:  opts.scenario(),
 		Procs:     workers,
 		Steps:     cr.Steps,
 		Dt:        s.Dt,

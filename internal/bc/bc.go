@@ -26,14 +26,21 @@ import (
 	"repro/internal/jet"
 )
 
-// Inflow prescribes the excited-jet state on a column of the state
-// bundle. The profile arrays are precomputed per radial node, and the
-// assembled conserved column is memoized per time value: the split
+// Source supplies the primitive inflow column at time t. The jet's
+// eigenfunction profile (jet.InflowProfile) is the canonical
+// implementation; scenarios register their own (e.g. the channel's
+// static parabolic profile).
+type Source interface {
+	Column(t float64, out []gas.Primitive)
+}
+
+// Inflow prescribes a Dirichlet state on a column of the state bundle.
+// The assembled conserved column is memoized per time value: the split
 // operators apply the same boundary state to the predicted and
 // corrected bundles (and to both sweeps of a composite step), so only
-// the first application per time level evaluates the eigenfunction.
+// the first application per time level evaluates the source.
 type Inflow struct {
-	prof *jet.InflowProfile
+	prof Source
 	gm   gas.Model
 
 	prim  []gas.Primitive        // scratch primitive column
@@ -42,15 +49,21 @@ type Inflow struct {
 	valid bool
 }
 
-// NewInflow builds the inflow condition for radial nodes r.
+// NewInflow builds the excited-jet inflow condition for radial nodes r.
 func NewInflow(cfg jet.Config, gm gas.Model, r []float64) *Inflow {
+	return NewInflowSource(jet.NewEigenfunction(cfg, gm.Gamma).Profile(r), gm, len(r))
+}
+
+// NewInflowSource builds an inflow condition over n radial nodes fed by
+// an arbitrary primitive source.
+func NewInflowSource(src Source, gm gas.Model, n int) *Inflow {
 	in := &Inflow{
-		prof: jet.NewEigenfunction(cfg, gm.Gamma).Profile(r),
+		prof: src,
 		gm:   gm,
-		prim: make([]gas.Primitive, len(r)),
+		prim: make([]gas.Primitive, n),
 	}
 	for k := range in.col {
-		in.col[k] = make([]float64, len(r))
+		in.col[k] = make([]float64, n)
 	}
 	return in
 }

@@ -23,6 +23,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/jet"
 	"repro/internal/par"
+	"repro/internal/scenario"
 	"repro/internal/solver"
 	"repro/internal/trace"
 )
@@ -58,6 +59,13 @@ func (m Mode) String() string {
 // Config describes one solver run. Zero values select the paper's
 // defaults (Navier-Stokes, grid 250x100, Version 5, Lagged halos).
 type Config struct {
+	// Scenario names the flow problem in the internal/scenario registry
+	// ("jet", "cavity", "channel"). Empty selects the jet. The scenario
+	// supplies the domain geometry (so Nx/Nr keep their meaning as
+	// resolution, but the physical extents are the scenario's) and, for
+	// the wall-bounded scenarios, pins the physical configuration —
+	// Euler and Jet apply to the jet scenario only.
+	Scenario string
 	// Euler selects the inviscid equations (default: Navier-Stokes).
 	Euler bool
 	// Nx, Nr: grid size (default 250x100, the paper's grid).
@@ -155,7 +163,9 @@ func (c Config) backendName() (string, error) {
 	return "", fmt.Errorf("core: unknown mode %v", c.Mode)
 }
 
-// jetConfig resolves the physical problem.
+// jetConfig resolves the base physical configuration. The scenario has
+// the final word: the jet honors this unchanged, the wall-bounded
+// scenarios replace it with their pinned parameter sets.
 func (c Config) jetConfig() jet.Config {
 	if c.Jet != nil {
 		return *c.Jet
@@ -166,9 +176,19 @@ func (c Config) jetConfig() jet.Config {
 	return jet.Paper()
 }
 
+// scenarioName resolves the registry name (empty means the jet).
+func (c Config) scenarioName() string {
+	if c.Scenario == "" {
+		return "jet"
+	}
+	return c.Scenario
+}
+
 // Result reports a completed run.
 type Result struct {
 	Backend string
+	// Scenario is the flow problem that ran ("jet" by default).
+	Scenario string
 	// Mode is the execution style of the backend that actually ran —
 	// derived from the resolved registry name, so an explicit Backend
 	// like "mp2d" reports MessagePassing even though the legacy Mode
@@ -207,7 +227,10 @@ func modeOf(backendName string) Mode {
 
 // Run is a configured solver run bound to a registry backend.
 type Run struct {
-	cfg  Config
+	cfg Config
+	// phys is the scenario-resolved physical configuration the backend
+	// actually runs (the scenario may override Config.Jet/Euler).
+	phys jet.Config
 	grid *grid.Grid
 	be   backend.Backend
 	opts backend.Options
@@ -223,7 +246,14 @@ func NewRun(c Config) (*Run, error) {
 		return nil, fmt.Errorf("core: half-specified rank grid (Px=%d, Pr=%d) with Procs unset; set both axes, or one axis plus Procs", c.Px, c.Pr)
 	}
 	c = c.withDefaults()
-	g, err := grid.New(c.Nx, c.Nr, 50, 5)
+	// The scenario resolves first: it owns the domain geometry and (for
+	// the pinned scenarios) the physical configuration the backend runs.
+	sc, err := scenario.Get(c.scenarioName())
+	if err != nil {
+		return nil, err
+	}
+	phys := sc.Config(c.jetConfig())
+	g, err := sc.Grid(c.Nx, c.Nr)
 	if err != nil {
 		return nil, err
 	}
@@ -240,6 +270,7 @@ func NewRun(c Config) (*Run, error) {
 		policy = solver.Fresh
 	}
 	opts := backend.Options{
+		Scenario:    c.Scenario,
 		Procs:       c.Procs,
 		Workers:     c.Workers,
 		Px:          c.Px,
@@ -250,10 +281,10 @@ func NewRun(c Config) (*Run, error) {
 		StopTol:     c.StopTol,
 		ReduceEvery: c.ReduceEvery,
 	}
-	if err := backend.Validate(be, c.jetConfig(), g, opts); err != nil {
+	if err := backend.Validate(be, phys, g, opts); err != nil {
 		return nil, err
 	}
-	return &Run{cfg: c, grid: g, be: be, opts: opts}, nil
+	return &Run{cfg: c, phys: phys, grid: g, be: be, opts: opts}, nil
 }
 
 // Grid returns the computational grid.
@@ -265,12 +296,13 @@ func (r *Run) Backend() backend.Backend { return r.be }
 // Execute advances the configured number of steps and reports.
 func (r *Run) Execute() (*Result, error) {
 	c := r.cfg
-	br, err := r.be.Run(c.jetConfig(), r.grid, r.opts, c.Steps)
+	br, err := r.be.Run(r.phys, r.grid, r.opts, c.Steps)
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{
 		Backend:   br.Backend,
+		Scenario:  br.Scenario,
 		Mode:      modeOf(br.Backend),
 		Procs:     br.Procs,
 		Px:        br.Px,

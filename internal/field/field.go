@@ -190,6 +190,41 @@ func (f *Field) MirrorAxis(sign float64) {
 	}
 }
 
+// MirrorTop fills the two ghost rows above j=Nr-1 with the mirror image
+// of rows Nr-1 and Nr-2: the staggered radial layout puts the upper
+// boundary plane half a cell above the last node, so ghost j=Nr mirrors
+// j=Nr-1 and j=Nr+1 mirrors j=Nr-2. sign is +1 for even symmetry about
+// the plane and -1 for odd symmetry. Wall scenarios use it for the
+// no-slip upper boundary.
+func (f *Field) MirrorTop(sign float64) {
+	n := f.Nr
+	for i := -Halo; i < f.Nx+Halo; i++ {
+		f.Set(i, n, sign*f.At(i, n-1))
+		f.Set(i, n+1, sign*f.At(i, n-2))
+	}
+}
+
+// MirrorLeft fills ghost columns i=-1,-2 with the mirror image of
+// columns 1 and 2 about the boundary node column i=0 (the axial grid is
+// node-centered: x_0 lies on the boundary). sign is +1 for even and -1
+// for odd symmetry about the boundary plane.
+func (f *Field) MirrorLeft(sign float64) {
+	for j := -Halo; j < f.Nr+Halo; j++ {
+		f.Set(-1, j, sign*f.At(1, j))
+		f.Set(-2, j, sign*f.At(2, j))
+	}
+}
+
+// MirrorRight fills ghost columns i=Nx, Nx+1 with the mirror image of
+// columns Nx-2 and Nx-3 about the boundary node column i=Nx-1.
+func (f *Field) MirrorRight(sign float64) {
+	n := f.Nx
+	for j := -Halo; j < f.Nr+Halo; j++ {
+		f.Set(n, j, sign*f.At(n-2, j))
+		f.Set(n+1, j, sign*f.At(n-3, j))
+	}
+}
+
 // ExtrapolateTop fills the two ghost rows above j=Nr-1 by cubic
 // extrapolation through the four outermost interior rows, matching the
 // paper's "fluxes are extrapolated outside the domain to artificial

@@ -1,0 +1,120 @@
+// Solid-wall ghost treatments for the scenario registry's wall-bounded
+// flows (lid-driven cavity, channel). Walls are imposed through mirror
+// ghosts, the same mechanism the jet uses for axis symmetry, so the
+// interior kernels — including the fused cache-blocked sweeps — run
+// unchanged on every scenario.
+//
+// Geometry conventions follow the grid layout: radial walls are
+// staggered (the wall plane lies half a cell beyond the outermost row,
+// so ghosts mirror rows 0/1 or Nr-1/Nr-2 about the plane), while axial
+// walls sit on node columns 0 and Nx-1 (ghosts mirror about the wall
+// node itself, and the solver pins the no-slip state on the wall column
+// after each operator stage).
+//
+// Parities about a stationary no-slip plane: density and temperature
+// are even, both velocity components odd. That makes the primitive
+// bundle map (+, -, -, +), the axial flux F = (rho*u, rho*u^2+p-txx,
+// rho*u*v-txr, u*(E+p)-...) map (-, +, +, -), and the radial flux rows
+// map (-, +, +, -) as well. A tangentially moving lid (speed ulid) is
+// the same reflection in the wall frame: u' = u - ulid is odd, which
+// turns the u and flux maps affine (derived below). The radial-flux
+// mirror reuses the mirror row's metric factor r, an O(Dr/r_wall)
+// approximation that is negligible for the offset-grid cavity
+// (r_wall ~ 1e4) and first-order at the channel's outer wall.
+package flux
+
+import "repro/internal/field"
+
+// WallMirrorColsLeft fills ghost columns i=-1,-2 for a stationary
+// no-slip wall on the node column i=0. isFlux selects the axial-flux
+// parity map; otherwise the primitive-bundle map is applied.
+func WallMirrorColsLeft(b *State, isFlux bool) {
+	if isFlux {
+		b[IRho].MirrorLeft(-1)
+		b[IMx].MirrorLeft(1)
+		b[IMr].MirrorLeft(1)
+		b[IE].MirrorLeft(-1)
+		return
+	}
+	b[IRho].MirrorLeft(1)
+	b[IMx].MirrorLeft(-1)
+	b[IMr].MirrorLeft(-1)
+	b[IE].MirrorLeft(1)
+}
+
+// WallMirrorColsRight fills ghost columns i=Nx, Nx+1 for a stationary
+// no-slip wall on the node column i=Nx-1.
+func WallMirrorColsRight(b *State, isFlux bool) {
+	if isFlux {
+		b[IRho].MirrorRight(-1)
+		b[IMx].MirrorRight(1)
+		b[IMr].MirrorRight(1)
+		b[IE].MirrorRight(-1)
+		return
+	}
+	b[IRho].MirrorRight(1)
+	b[IMx].MirrorRight(-1)
+	b[IMr].MirrorRight(-1)
+	b[IE].MirrorRight(1)
+}
+
+// WallMirrorRowsBottom fills the ghost rows below j=0 for a stationary
+// no-slip wall on the staggered plane half a cell below row 0.
+func WallMirrorRowsBottom(b *State, isFlux bool) {
+	if isFlux {
+		b[IRho].MirrorAxis(-1)
+		b[IMx].MirrorAxis(1)
+		b[IMr].MirrorAxis(1)
+		b[IE].MirrorAxis(-1)
+		return
+	}
+	b[IRho].MirrorAxis(1)
+	b[IMx].MirrorAxis(-1)
+	b[IMr].MirrorAxis(-1)
+	b[IE].MirrorAxis(1)
+}
+
+// WallMirrorRowsTop fills the ghost rows above j=Nr-1 for a no-slip
+// wall on the staggered plane half a cell above the last row, moving
+// tangentially (in +x) at speed ulid (0 for a stationary wall).
+//
+// In the wall frame u' = u - ulid is odd, v odd, rho and T even. For
+// the primitive bundle that gives u_ghost = 2*ulid - u_mirror; for the
+// radial flux rows g = (rho*v, rho*u*v-txr, rho*v^2+p-trr, v*(E+p)-...)
+// substituting u = u' + ulid and reflecting yields the affine map
+//
+//	g0' = -g0
+//	g1' =  g1 - 2*ulid*g0
+//	g2' =  g2
+//	g3' = -g3 + 2*ulid*g1 - 2*ulid^2*g0
+//
+// which reduces to the stationary (-, +, +, -) parity map at ulid = 0.
+// The viscous contributions are folded through the same map, the
+// standard mirror approximation for the mixed-parity shear terms.
+func WallMirrorRowsTop(b *State, ulid float64, isFlux bool) {
+	nx, nr := b[IRho].Nx, b[IRho].Nr
+	if isFlux {
+		g0f, g1f, g2f, g3f := b[IRho], b[IMx], b[IMr], b[IE]
+		g2f.MirrorTop(1)
+		for i := -field.Halo; i < nx+field.Halo; i++ {
+			for m := 0; m < field.Halo; m++ {
+				g0 := g0f.At(i, nr-1-m)
+				g1 := g1f.At(i, nr-1-m)
+				g3 := g3f.At(i, nr-1-m)
+				g0f.Set(i, nr+m, -g0)
+				g1f.Set(i, nr+m, g1-2*ulid*g0)
+				g3f.Set(i, nr+m, -g3+2*ulid*g1-2*ulid*ulid*g0)
+			}
+		}
+		return
+	}
+	b[IRho].MirrorTop(1)
+	b[IMr].MirrorTop(-1)
+	b[IE].MirrorTop(1)
+	u := b[IMx]
+	for i := -field.Halo; i < nx+field.Halo; i++ {
+		for m := 0; m < field.Halo; m++ {
+			u.Set(i, nr+m, 2*ulid-u.At(i, nr-1-m))
+		}
+	}
+}

@@ -20,8 +20,8 @@ func TestHaloExchangeSteadyStateAllocs(t *testing.T) {
 	for _, v := range []Version{V5, V7} {
 		t.Run(fmt.Sprintf("V%d", int(v)), func(t *testing.T) {
 			w := msg.NewWorld(2)
-			h0 := newRankHalo(w.Comm(0), 0, 2, n, nr, v)
-			h1 := newRankHalo(w.Comm(1), 1, 2, n, nr, v)
+			h0 := newRankHalo(w.Comm(0), 0, 2, n, nr, v, solver.WallSpec{})
+			h1 := newRankHalo(w.Comm(1), 1, 2, n, nr, v, solver.WallSpec{})
 			b0 := flux.NewState(n, nr)
 			b1 := flux.NewState(n, nr)
 			for k := range b0 {
@@ -55,8 +55,8 @@ func TestRadialExchangeSteadyStateAllocs(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := msg.NewWorld(2)
-	h0 := newRankHalo2D(w.Comm(0), d, 0, nx, nrLoc, V5)
-	h1 := newRankHalo2D(w.Comm(1), d, 1, nx, nrLoc, V5)
+	h0 := newRankHalo2D(w.Comm(0), d, 0, nx, nrLoc, V5, solver.WallSpec{})
+	h1 := newRankHalo2D(w.Comm(1), d, 1, nx, nrLoc, V5, solver.WallSpec{})
 	b0 := flux.NewState(nx, nrLoc)
 	b1 := flux.NewState(nx, nrLoc)
 	for k := range b0 {
@@ -101,8 +101,8 @@ func TestWeightedExchangeSteadyStateAllocs(t *testing.T) {
 		t.Fatalf("profile did not skew the split: widths %v", d.Widths())
 	}
 	w := msg.NewWorld(2)
-	h0 := newRankHalo(w.Comm(0), 0, 2, w0, nr, V5)
-	h1 := newRankHalo(w.Comm(1), 1, 2, w1, nr, V5)
+	h0 := newRankHalo(w.Comm(0), 0, 2, w0, nr, V5, solver.WallSpec{})
+	h1 := newRankHalo(w.Comm(1), 1, 2, w1, nr, V5, solver.WallSpec{})
 	b0 := flux.NewState(w0, nr)
 	b1 := flux.NewState(w1, nr)
 	for k := range b0 {
@@ -139,8 +139,8 @@ func TestWeightedExchangeSteadyStateAllocs(t *testing.T) {
 		t.Fatalf("row profile did not skew the split: heights %d, %d", nr0, nr1)
 	}
 	w2 := msg.NewWorld(2)
-	g0 := newRankHalo2D(w2.Comm(0), g2, 0, nx, nr0, V5)
-	g1 := newRankHalo2D(w2.Comm(1), g2, 1, nx, nr1, V5)
+	g0 := newRankHalo2D(w2.Comm(0), g2, 0, nx, nr0, V5, solver.WallSpec{})
+	g1 := newRankHalo2D(w2.Comm(1), g2, 1, nx, nr1, V5, solver.WallSpec{})
 	c0 := flux.NewState(nx, nr0)
 	c1 := flux.NewState(nx, nr1)
 	for k := range c0 {
@@ -211,7 +211,7 @@ func TestOverlappedExchangeSteadyStateAllocs(t *testing.T) {
 	halos := make([]*rankHalo, 4)
 	bufs := make([]*flux.State, 4)
 	for r := 0; r < 4; r++ {
-		halos[r] = newRankHalo2D(w.Comm(r), d, r, nx, nrLoc, V6)
+		halos[r] = newRankHalo2D(w.Comm(r), d, r, nx, nrLoc, V6, solver.WallSpec{})
 		bufs[r] = flux.NewState(nx, nrLoc)
 		for k := range bufs[r] {
 			bufs[r][k].FillAll(float64(r + 1))

@@ -47,19 +47,20 @@ type rankHalo struct {
 
 // newRankHalo builds the halo of an axial-only rank: radial sides are
 // physical everywhere, so FillR degenerates to the serial
-// mirror/extrapolation.
-func newRankHalo(c *msg.Comm, rank, procs, n, nr int, v Version) *rankHalo {
+// mirror/extrapolation. wall selects the scenario's solid-wall edge
+// treatment (zero value = jet).
+func newRankHalo(c *msg.Comm, rank, procs, n, nr int, v Version, wall solver.WallSpec) *rankHalo {
 	h := &rankHalo{comm: c, left: rank - 1, right: rank + 1, down: -1, up: -1, n: n, nr: nr, version: v}
 	if rank == 0 {
 		h.left = -1
-		h.edgeLeft = solver.EdgeHalo{Left: true}
+		h.edgeLeft = solver.EdgeHalo{Left: true, Wall: wall}
 	}
 	if rank == procs-1 {
 		h.right = -1
-		h.edgeRight = solver.EdgeHalo{Right: true}
+		h.edgeRight = solver.EdgeHalo{Right: true, Wall: wall}
 	}
-	h.edgeBottom = solver.EdgeHalo{Bottom: true}
-	h.edgeTop = solver.EdgeHalo{Top: true}
+	h.edgeBottom = solver.EdgeHalo{Bottom: true, Wall: wall}
+	h.edgeTop = solver.EdgeHalo{Top: true, Wall: wall}
 	h.sizeBuffers()
 	return h
 }
@@ -69,13 +70,13 @@ func newRankHalo(c *msg.Comm, rank, procs, n, nr int, v Version) *rankHalo {
 // domain edges. Exchanges are grouped in both directions (the Version 5
 // message shape, which Version 6 keeps — overlap changes when the
 // Start/Finish halves run, not what they carry).
-func newRankHalo2D(c *msg.Comm, d *decomp.Grid2D, rank, n, nr int, v Version) *rankHalo {
+func newRankHalo2D(c *msg.Comm, d *decomp.Grid2D, rank, n, nr int, v Version, wall solver.WallSpec) *rankHalo {
 	h := &rankHalo{comm: c, n: n, nr: nr, version: v}
 	h.left, h.right, h.down, h.up = d.Neighbors(rank)
-	h.edgeLeft = solver.EdgeHalo{Left: h.left < 0}
-	h.edgeRight = solver.EdgeHalo{Right: h.right < 0}
-	h.edgeBottom = solver.EdgeHalo{Bottom: h.down < 0}
-	h.edgeTop = solver.EdgeHalo{Top: h.up < 0}
+	h.edgeLeft = solver.EdgeHalo{Left: h.left < 0, Wall: wall}
+	h.edgeRight = solver.EdgeHalo{Right: h.right < 0, Wall: wall}
+	h.edgeBottom = solver.EdgeHalo{Bottom: h.down < 0, Wall: wall}
+	h.edgeTop = solver.EdgeHalo{Top: h.up < 0, Wall: wall}
 	h.sizeBuffers()
 	return h
 }
@@ -208,17 +209,19 @@ func (h *rankHalo) Start(k solver.Kind, b *flux.State) {
 }
 
 // Finish implements solver.Halo: complete the receives and apply the
-// domain-edge extrapolation where there is no neighbour.
+// physical edge treatment where there is no neighbour. The Kind is
+// routed through so wall edges can pick the bundle-appropriate mirror
+// (the jet treatment is Kind-independent).
 func (h *rankHalo) Finish(k solver.Kind, b *flux.State) {
 	if h.left >= 0 {
 		h.recvFrom(h.left, k, b, -field.Halo)
 	} else {
-		h.edgeLeft.FillEdges(b)
+		h.edgeLeft.FillEdgesKind(k, b)
 	}
 	if h.right >= 0 {
 		h.recvFrom(h.right, k, b, h.n)
 	} else {
-		h.edgeRight.FillEdges(b)
+		h.edgeRight.FillEdgesKind(k, b)
 	}
 }
 
@@ -275,12 +278,12 @@ func (h *rankHalo) FinishR(k solver.Kind, b *flux.State) {
 	if h.down >= 0 {
 		h.recvRowsFrom(h.down, k, b, -field.Halo)
 	} else {
-		h.edgeBottom.FillREdges(b)
+		h.edgeBottom.FillREdgesKind(k, b)
 	}
 	if h.up >= 0 {
 		h.recvRowsFrom(h.up, k, b, h.nr)
 	} else {
-		h.edgeTop.FillREdges(b)
+		h.edgeTop.FillREdgesKind(k, b)
 	}
 }
 

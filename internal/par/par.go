@@ -55,6 +55,8 @@ type Options struct {
 	// the arithmetic — under the Fresh policy every profile reproduces
 	// the serial fields bitwise.
 	ColWeights []float64
+	// Prob is the scenario problem every slab runs (nil = built-in jet).
+	Prob *solver.Problem
 }
 
 // RankStats reports one rank's measured execution profile.
@@ -165,8 +167,8 @@ func NewRunner(cfg jet.Config, g *grid.Grid, opt Options) (*Runner, error) {
 	for rank := 0; rank < opt.Procs; rank++ {
 		i0, n := d.Range(rank)
 		comm := world.Comm(rank)
-		h := newRankHalo(comm, rank, opt.Procs, n, g.Nr, opt.Version)
-		sl, err := solver.NewSlab(cfg, g, gm, i0, n, h, opt.Policy)
+		h := newRankHalo(comm, rank, opt.Procs, n, g.Nr, opt.Version, opt.Prob.Walls())
+		sl, err := solver.NewSlabProblem(cfg, opt.Prob, g, gm, i0, n, 0, g.Nr, h, opt.Policy)
 		if err != nil {
 			return nil, err
 		}

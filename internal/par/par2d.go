@@ -32,6 +32,8 @@ type Options2D struct {
 	// split. Numerics-neutral exactly as par.Options.ColWeights.
 	ColWeights []float64
 	RowWeights []float64
+	// Prob is the scenario problem every block runs (nil = built-in jet).
+	Prob *solver.Problem
 }
 
 // Shape resolves the rank grid: explicit Px×Pr, one explicit factor
@@ -110,8 +112,8 @@ func NewRunner2D(cfg jet.Config, g *grid.Grid, opt Options2D) (*Runner2D, error)
 	for rank := 0; rank < d.Ranks(); rank++ {
 		i0, nxloc, j0, nrloc := d.Block(rank)
 		comm := world.Comm(rank)
-		h := newRankHalo2D(comm, d, rank, nxloc, nrloc, opt.Version)
-		sl, err := solver.NewSlabRect(cfg, g, gm, i0, nxloc, j0, nrloc, h, opt.Policy)
+		h := newRankHalo2D(comm, d, rank, nxloc, nrloc, opt.Version, opt.Prob.Walls())
+		sl, err := solver.NewSlabProblem(cfg, opt.Prob, g, gm, i0, nxloc, j0, nrloc, h, opt.Policy)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,71 @@
+// Package scenario is the flow-problem registry, mirroring the backend
+// registry: each Scenario binds the general numerics substrate
+// (flux/scheme/bc/grid/solver) to one physical flow — domain geometry,
+// physical configuration, boundary conditions, initial state, and the
+// study claims it grounds. The excited jet of the source paper is
+// registration #1; the lid-driven cavity and the channel flow exercise
+// wall-bounded and inflow–outflow boundary compositions on the same
+// kernels. Every registered scenario runs on every registered backend,
+// and the backend parity sweep pins each one bitwise against serial.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/grid"
+	"repro/internal/jet"
+	"repro/internal/solver"
+)
+
+// Scenario describes one registered flow problem end to end.
+type Scenario interface {
+	// Name is the registry key (the -scenario flag value).
+	Name() string
+	// Describe is a one-line summary for listings and docs.
+	Describe() string
+	// Config adapts the base physical configuration. The jet honors the
+	// caller's parameters unchanged; the wall-bounded scenarios pin
+	// their own validated parameter sets and ignore base.
+	Config(base jet.Config) jet.Config
+	// Grid builds the domain for the requested resolution.
+	Grid(nx, nr int) (*grid.Grid, error)
+	// Problem binds the scenario's boundary conditions and initial
+	// state to the solver (see solver.Problem); the returned problem's
+	// zero fields select the built-in jet treatments.
+	Problem(cfg jet.Config, g *grid.Grid) (*solver.Problem, error)
+	// Claims lists the study-claim or validation identifiers this
+	// scenario grounds.
+	Claims() []string
+}
+
+var registry = map[string]Scenario{}
+
+// Register adds a scenario to the registry; a duplicate name panics
+// (registration is init-time wiring, exactly like the backends).
+func Register(s Scenario) {
+	name := s.Name()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate registration of %q", name))
+	}
+	registry[name] = s
+}
+
+// Get looks a scenario up by name; unknown names list the registry.
+func Get(name string) (Scenario, error) {
+	if s, ok := registry[name]; ok {
+		return s, nil
+	}
+	return nil, fmt.Errorf("scenario: unknown scenario %q (available: %s)", name, strings.Join(Names(), ", "))
+}
+
+// Names returns the sorted registered scenario names.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

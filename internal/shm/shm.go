@@ -105,7 +105,13 @@ type Solver struct {
 
 // NewSolver builds a shared-memory solver with n workers.
 func NewSolver(cfg jet.Config, g *grid.Grid, n int) (*Solver, error) {
-	ser, err := solver.NewSerial(cfg, g)
+	return NewSolverProblem(cfg, nil, g, n)
+}
+
+// NewSolverProblem builds a shared-memory solver for a scenario problem
+// with n workers; nil prob is the built-in jet.
+func NewSolverProblem(cfg jet.Config, prob *solver.Problem, g *grid.Grid, n int) (*Solver, error) {
+	ser, err := solver.NewSerialProblem(cfg, prob, g)
 	if err != nil {
 		return nil, err
 	}

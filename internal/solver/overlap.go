@@ -109,8 +109,17 @@ func (s *Slab) opXOverlap(v scheme.Variant) {
 	s.Halo.Finish(KFlux, s.F)
 	s.pfor(0, p2lo, s.fnPredictX)
 	s.pfor(p2hi, n, s.fnPredictX)
+	// Boundary columns (no primitive fixups here: the overlapped stages
+	// recompute the full primitive pass at the start of stage B).
 	if s.Left {
-		s.In.Apply(s.QP, 0, s.Time+s.Dt)
+		if s.leftWall {
+			s.wallColumn(s.QP, 0)
+		} else {
+			s.In.Apply(s.QP, 0, s.Time+s.Dt)
+		}
+	}
+	if s.rightWall {
+		s.wallColumn(s.QP, n-1)
 	}
 
 	// Stage B: corrector, same structure. As in the non-overlapped
@@ -143,10 +152,18 @@ func (s *Slab) opXOverlap(v scheme.Variant) {
 	s.pfor(p2hi, n, s.fnCorrectX)
 
 	if s.Left {
-		s.In.Apply(s.QN, 0, s.Time+s.Dt)
+		if s.leftWall {
+			s.wallColumn(s.QN, 0)
+		} else {
+			s.In.Apply(s.QN, 0, s.Time+s.Dt)
+		}
 	}
 	if s.Right {
-		bc.OutflowX(gm, g.Dx, s.Dt, s.Q, s.W, s.F, s.QN, n-1)
+		if s.rightWall {
+			s.wallColumn(s.QN, n-1)
+		} else {
+			bc.OutflowX(gm, g.Dx, s.Dt, s.Q, s.W, s.F, s.QN, n-1)
+		}
 	}
 	s.Q, s.QN = s.QN, s.Q
 	s.accountX(visc, n)
@@ -226,7 +243,14 @@ func (s *Slab) opROverlap(v scheme.Variant) {
 	s.Halo.FinishR(KFlux, s.F)
 	s.pfor(0, n, s.fnPredictREdges)
 	if s.Left {
-		s.In.Apply(s.QP, 0, s.Time+s.Dt)
+		if s.leftWall {
+			s.wallColumn(s.QP, 0)
+		} else {
+			s.In.Apply(s.QP, 0, s.Time+s.Dt)
+		}
+	}
+	if s.rightWall {
+		s.wallColumn(s.QP, n-1)
 	}
 
 	// Stage B: corrector, same structure.
@@ -253,11 +277,18 @@ func (s *Slab) opROverlap(v scheme.Variant) {
 	s.Halo.FinishR(KPredFlux, s.FP)
 	s.pfor(0, n, s.fnCorrectREdges)
 
-	if s.Top {
+	if s.Top && !s.topWall {
 		bc.FarFieldR(gm, g.Dr, s.Dt, g.Lr, s.R, s.Q, s.W, s.F, s.Src, s.QN, 0, n)
 	}
 	if s.Left {
-		s.In.Apply(s.QN, 0, s.Time+s.Dt)
+		if s.leftWall {
+			s.wallColumn(s.QN, 0)
+		} else {
+			s.In.Apply(s.QN, 0, s.Time+s.Dt)
+		}
+	}
+	if s.rightWall {
+		s.wallColumn(s.QN, n-1)
 	}
 	s.Q, s.QN = s.QN, s.Q
 	s.accountR(visc, n)

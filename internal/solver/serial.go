@@ -7,65 +7,108 @@ import (
 )
 
 // EdgeHalo implements Halo for a slab whose side(s) coincide with the
-// physical domain boundary: ghost columns are cubically extrapolated,
-// matching the paper's artificial-point treatment, ghost rows get the
-// axis parity mirror (Bottom) and the far-field cubic extrapolation
-// (Top). Interior sides (when a side is not an edge) must be handled by
-// a wrapping exchanger; the zero value fills nothing.
+// physical domain boundary. The default (zero Wall) treatment is the
+// jet's: ghost columns are cubically extrapolated, matching the paper's
+// artificial-point treatment, ghost rows get the axis parity mirror
+// (Bottom) and the far-field cubic extrapolation (Top). Sides flagged
+// in Wall get the solid-wall mirror treatment instead, which differs
+// between the primitive and flux bundles — wall fills are therefore
+// Kind-sensitive (see FillEdgesKind), while the jet treatment ignores
+// the Kind. Interior sides (when a side is not an edge) must be handled
+// by a wrapping exchanger; the zero value fills nothing.
 type EdgeHalo struct {
 	Left, Right bool
 	Bottom, Top bool
+	// Wall selects the solid-wall ghost treatment per physical side
+	// (scenario problems); consulted only for sides whose edge flag
+	// above is set.
+	Wall WallSpec
 }
 
 // FullDomain is the EdgeHalo of a slab spanning the whole domain: every
 // side is a physical boundary.
 func FullDomain() EdgeHalo { return EdgeHalo{Left: true, Right: true, Bottom: true, Top: true} }
 
+// fluxKind reports whether k tags a sweep-direction flux bundle, whose
+// wall ghosts take the flux parity map rather than the primitive one.
+func fluxKind(k Kind) bool { return k == KFlux || k == KPredFlux }
+
 // Fill implements Halo.
-func (h EdgeHalo) Fill(_ Kind, b *flux.State) { h.FillEdges(b) }
+func (h EdgeHalo) Fill(k Kind, b *flux.State) { h.FillEdgesKind(k, b) }
 
 // Start implements Halo; there is nothing to send.
 func (h EdgeHalo) Start(_ Kind, _ *flux.State) {}
 
-// Finish implements Halo by extrapolating the edges.
-func (h EdgeHalo) Finish(_ Kind, b *flux.State) { h.FillEdges(b) }
+// Finish implements Halo by applying the physical edge treatment.
+func (h EdgeHalo) Finish(k Kind, b *flux.State) { h.FillEdgesKind(k, b) }
 
-// FillEdges implements Halo.
-func (h EdgeHalo) FillEdges(b *flux.State) {
-	for k := range b {
-		if h.Left {
-			b[k].ExtrapolateLeft()
+// FillEdges implements Halo. The kind-less interface method is only
+// ever called on primitive bundles (the lagged-policy edge refreshes),
+// so it fixes KPrims.
+func (h EdgeHalo) FillEdges(b *flux.State) { h.FillEdgesKind(KPrims, b) }
+
+// FillEdgesKind fills the axial ghost columns of the owned physical
+// sides: cubic extrapolation on jet sides (Kind-independent), the
+// bundle-appropriate wall mirror on wall sides.
+func (h EdgeHalo) FillEdgesKind(k Kind, b *flux.State) {
+	if h.Left {
+		if h.Wall.Left {
+			flux.WallMirrorColsLeft(b, fluxKind(k))
+		} else {
+			for m := range b {
+				b[m].ExtrapolateLeft()
+			}
 		}
-		if h.Right {
-			b[k].ExtrapolateRight()
+	}
+	if h.Right {
+		if h.Wall.Right {
+			flux.WallMirrorColsRight(b, fluxKind(k))
+		} else {
+			for m := range b {
+				b[m].ExtrapolateRight()
+			}
 		}
 	}
 }
 
 // FillR implements Halo: with no radial neighbours, the exchange
 // degenerates to the physical treatment.
-func (h EdgeHalo) FillR(_ Kind, b *flux.State) { h.FillREdges(b) }
+func (h EdgeHalo) FillR(k Kind, b *flux.State) { h.FillREdgesKind(k, b) }
 
 // StartR implements Halo; there is nothing to send.
 func (h EdgeHalo) StartR(_ Kind, _ *flux.State) {}
 
 // FinishR implements Halo by applying the physical radial treatment.
-func (h EdgeHalo) FinishR(_ Kind, b *flux.State) { h.FillREdges(b) }
+func (h EdgeHalo) FinishR(k Kind, b *flux.State) { h.FillREdgesKind(k, b) }
 
 // ReceiveR implements Halo; with no radial neighbours there is nothing
 // to receive.
 func (h EdgeHalo) ReceiveR(_ Kind, _ *flux.State) {}
 
-// FillREdges implements Halo. The axis parity pattern (component IMr
-// odd, the rest even) and the cubic top extrapolation are shared by the
-// primitive and radial-flux bundles, so one treatment serves both (cf.
-// flux.AxisMirrorPrims and flux.MirrorFluxR, which are the same map).
-func (h EdgeHalo) FillREdges(b *flux.State) {
+// FillREdges implements Halo; like FillEdges it is only called on
+// primitive bundles.
+func (h EdgeHalo) FillREdges(b *flux.State) { h.FillREdgesKind(KPrims, b) }
+
+// FillREdgesKind fills the radial ghost rows of the owned physical
+// sides. On jet sides the axis parity pattern (component IMr odd, the
+// rest even) and the cubic top extrapolation are shared by the
+// primitive and radial-flux bundles, so one Kind-independent treatment
+// serves both (cf. flux.AxisMirrorPrims and flux.MirrorFluxR, which are
+// the same map); wall sides distinguish the bundles.
+func (h EdgeHalo) FillREdgesKind(k Kind, b *flux.State) {
 	if h.Bottom {
-		flux.AxisMirrorPrims(b)
+		if h.Wall.Bottom {
+			flux.WallMirrorRowsBottom(b, fluxKind(k))
+		} else {
+			flux.AxisMirrorPrims(b)
+		}
 	}
 	if h.Top {
-		flux.TopExtrapolatePrims(b)
+		if h.Wall.Top {
+			flux.WallMirrorRowsTop(b, h.Wall.ULid, fluxKind(k))
+		} else {
+			flux.TopExtrapolatePrims(b)
+		}
 	}
 }
 
@@ -86,8 +129,22 @@ const DefaultCFL = 0.4
 
 // NewSerialCFL builds the serial solver with an explicit CFL number.
 func NewSerialCFL(cfg jet.Config, g *grid.Grid, cfl float64) (*Serial, error) {
+	return NewSerialProblemCFL(cfg, nil, g, cfl)
+}
+
+// NewSerialProblem builds the serial solver for a scenario problem with
+// the default CFL number; nil prob is the built-in jet.
+func NewSerialProblem(cfg jet.Config, prob *Problem, g *grid.Grid) (*Serial, error) {
+	return NewSerialProblemCFL(cfg, prob, g, DefaultCFL)
+}
+
+// NewSerialProblemCFL builds the serial solver for a scenario problem
+// with an explicit CFL number.
+func NewSerialProblemCFL(cfg jet.Config, prob *Problem, g *grid.Grid, cfl float64) (*Serial, error) {
 	gm := cfg.Gas()
-	s, err := NewSlab(cfg, g, gm, 0, g.Nx, FullDomain(), Fresh)
+	h := FullDomain()
+	h.Wall = prob.Walls()
+	s, err := NewSlabProblem(cfg, prob, g, gm, 0, g.Nx, 0, g.Nr, h, Fresh)
 	if err != nil {
 		return nil, err
 	}

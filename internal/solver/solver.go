@@ -154,7 +154,16 @@ type Slab struct {
 	F, FP     *flux.State // flux scratch (axial f or radial r*g)
 	Src, SrcP *field.Field
 
-	In     *bc.Inflow
+	In *bc.Inflow
+	// Prob is the scenario problem (nil = built-in excited jet). The
+	// wall flags below cache Prob.Wall masked to the physical sides
+	// this slab owns; they gate the wall branches of the operators so
+	// the jet path is untouched.
+	Prob      *Problem
+	leftWall  bool
+	rightWall bool
+	topWall   bool
+
 	Halo   Halo
 	Policy HaloPolicy
 	// Overlap enables the paper's Version 6 in both sweeps: interior
@@ -289,7 +298,7 @@ func (s *Slab) bindKernels() {
 			p0 = 1
 		}
 		jt := s.NrLoc
-		if s.Top {
+		if s.Top && !s.topWall {
 			jt-- // FarFieldR reads the old top-row primitives, then rewrites QN there
 		}
 		scheme.CorrectRRowsPrims(c.v, c.lam, s.Dt, gm, s.RInv, s.Q, s.QP, s.FP, s.QN, s.W, s.SrcP, lo, hi, c.j0, c.j1, p0, jt)
@@ -307,6 +316,13 @@ func NewSlab(cfg jet.Config, g *grid.Grid, gm gas.Model, i0, nxloc int, halo Hal
 // do not coincide with the physical boundary are interior: their ghost
 // rows must be supplied by the halo's FillR exchange.
 func NewSlabRect(cfg jet.Config, g *grid.Grid, gm gas.Model, i0, nxloc, j0, nrloc int, halo Halo, policy HaloPolicy) (*Slab, error) {
+	return NewSlabProblem(cfg, nil, g, gm, i0, nxloc, j0, nrloc, halo, policy)
+}
+
+// NewSlabProblem is NewSlabRect for an explicit scenario problem. The
+// halo's physical-edge treatment must agree with prob.Walls() (see
+// EdgeHalo.Wall); nil prob is the built-in jet.
+func NewSlabProblem(cfg jet.Config, prob *Problem, g *grid.Grid, gm gas.Model, i0, nxloc, j0, nrloc int, halo Halo, policy HaloPolicy) (*Slab, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -340,15 +356,43 @@ func NewSlabRect(cfg jet.Config, g *grid.Grid, gm gas.Model, i0, nxloc, j0, nrlo
 	for j, r := range s.R {
 		s.RInv[j] = 1 / r
 	}
-	s.In = bc.NewInflow(cfg, gm, s.R)
+	wall := prob.Walls()
+	s.Prob = prob
+	s.leftWall = s.Left && wall.Left
+	s.rightWall = s.Right && wall.Right
+	s.topWall = s.Top && wall.Top
+	switch {
+	case wall.Left:
+		// Wall on the inflow side: no Dirichlet source needed.
+	case prob != nil && prob.Inflow != nil:
+		s.In = bc.NewInflowSource(prob.Inflow(cfg, gm, s.R), gm, len(s.R))
+	default:
+		s.In = bc.NewInflow(cfg, gm, s.R)
+	}
 	s.bindKernels()
 	return s, nil
 }
 
-// InitParallelFlow sets the initial condition: the mean inflow profile
-// extended downstream (parallel flow), v = 0, constant static pressure.
+// InitParallelFlow sets the initial condition. The built-in jet uses
+// the mean inflow profile extended downstream (parallel flow), v = 0,
+// constant static pressure; a scenario problem with an Init hook
+// supplies its own pointwise state instead.
 func (s *Slab) InitParallelFlow() {
 	gm := s.Gas
+	if s.Prob != nil && s.Prob.Init != nil {
+		for c := 0; c < s.NxLoc; c++ {
+			x := s.Grid.X[s.I0+c]
+			for j, r := range s.R {
+				w := s.Prob.Init(s.Cfg, gm, x, r)
+				q := gm.ToConserved(w)
+				s.Q[flux.IRho].Set(c, j, q.Rho)
+				s.Q[flux.IMx].Set(c, j, q.Mx)
+				s.Q[flux.IMr].Set(c, j, q.Mr)
+				s.Q[flux.IE].Set(c, j, q.E)
+			}
+		}
+		return
+	}
 	for c := 0; c < s.NxLoc; c++ {
 		for j, r := range s.R {
 			T := s.Cfg.MeanT(gm.Gamma, r)
@@ -441,12 +485,20 @@ func (s *Slab) opX(v scheme.Variant) {
 	s.pfor(0, n, s.fnStressFluxX)
 	s.Halo.Fill(KFlux, s.F)
 	// The fused predictor also recovers the predicted primitives (the
-	// first pass of stage B); the inflow column is recomputed after the
-	// boundary overwrites it.
+	// first pass of stage B); the boundary columns are recomputed after
+	// their conditions overwrite them.
 	s.pfor(0, n, s.fnPredictXPrims)
 	if s.Left {
-		s.In.Apply(s.QP, 0, s.Time+s.Dt)
+		if s.leftWall {
+			s.wallColumn(s.QP, 0)
+		} else {
+			s.In.Apply(s.QP, 0, s.Time+s.Dt)
+		}
 		flux.Primitives(gm, s.QP, s.WP, 0, 1)
+	}
+	if s.rightWall {
+		s.wallColumn(s.QP, n-1)
+		flux.Primitives(gm, s.QP, s.WP, n-1, n)
 	}
 
 	// Stage B: corrector. The predicted-prims exchange feeds the
@@ -469,11 +521,19 @@ func (s *Slab) opX(v scheme.Variant) {
 	s.pfor(0, n, s.fnCorrectXPrims)
 
 	if s.Left {
-		s.In.Apply(s.QN, 0, s.Time+s.Dt)
+		if s.leftWall {
+			s.wallColumn(s.QN, 0)
+		} else {
+			s.In.Apply(s.QN, 0, s.Time+s.Dt)
+		}
 		flux.Primitives(gm, s.QN, s.W, 0, 1)
 	}
 	if s.Right {
-		bc.OutflowX(gm, g.Dx, s.Dt, s.Q, s.W, s.F, s.QN, n-1)
+		if s.rightWall {
+			s.wallColumn(s.QN, n-1)
+		} else {
+			bc.OutflowX(gm, g.Dx, s.Dt, s.Q, s.W, s.F, s.QN, n-1)
+		}
 		flux.Primitives(gm, s.QN, s.W, n-1, n)
 	}
 	s.Q, s.QN = s.QN, s.Q
@@ -515,12 +575,22 @@ func (s *Slab) opR(v scheme.Variant) {
 	c.f, c.src = s.F, s.Src
 	s.pfor(0, n, s.fnStressFluxR)
 	s.Halo.FillR(KFlux, s.F)
-	// Fused predictor + predicted-primitives sweep; the inflow column is
-	// recomputed after the boundary overwrites it.
+	// Fused predictor + predicted-primitives sweep; the boundary columns
+	// are recomputed after their conditions overwrite them. Wall columns
+	// are pinned in the radial sweep too — the viscous cross-derivatives
+	// would otherwise shear momentum into the wall nodes.
 	s.pfor(0, n, s.fnPredictRPrims)
 	if s.Left {
-		s.In.Apply(s.QP, 0, s.Time+s.Dt)
+		if s.leftWall {
+			s.wallColumn(s.QP, 0)
+		} else {
+			s.In.Apply(s.QP, 0, s.Time+s.Dt)
+		}
 		flux.Primitives(gm, s.QP, s.WP, 0, 1)
+	}
+	if s.rightWall {
+		s.wallColumn(s.QP, n-1)
+		flux.Primitives(gm, s.QP, s.WP, n-1, n)
 	}
 
 	// Stage B: corrector.
@@ -537,13 +607,21 @@ func (s *Slab) opR(v scheme.Variant) {
 	// inflow column are recomputed after their conditions apply.
 	s.pfor(0, n, s.fnCorrectRRowsPrims)
 
-	if s.Top {
+	if s.Top && !s.topWall {
 		bc.FarFieldR(gm, g.Dr, s.Dt, g.Lr, s.R, s.Q, s.W, s.F, s.Src, s.QN, 0, n)
 		flux.PrimitivesRect(gm, s.QN, s.W, 0, n, s.NrLoc-1, s.NrLoc)
 	}
 	if s.Left {
-		s.In.Apply(s.QN, 0, s.Time+s.Dt)
+		if s.leftWall {
+			s.wallColumn(s.QN, 0)
+		} else {
+			s.In.Apply(s.QN, 0, s.Time+s.Dt)
+		}
 		flux.Primitives(gm, s.QN, s.W, 0, 1)
+	}
+	if s.rightWall {
+		s.wallColumn(s.QN, n-1)
+		flux.Primitives(gm, s.QN, s.W, n-1, n)
 	}
 	s.Q, s.QN = s.QN, s.Q
 	s.wReady = true

@@ -12,7 +12,11 @@
 # BenchmarkAblationOverlap2D for the 2-D rank grid) report
 # wait-ns/step and startups/step for Version 5 vs Version 6, so the
 # committed baseline records the overlapped vs non-overlapped
-# communication cost of both decompositions. Numbers are
+# communication cost of both decompositions. The per-scenario
+# BenchmarkSolverStep/<scenario> rows (and the parallel
+# BenchmarkScenarioBackends sweep) put every registered flow scenario
+# under the same Mpoints/s gate as the jet, so bench_compare.sh flags a
+# regression on the wall-mirror paths too. Numbers are
 # host-dependent: compare trends on the same machine, not absolute
 # values across machines.
 set -eu
