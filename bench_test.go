@@ -695,6 +695,93 @@ func BenchmarkAblationReduce(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationHaloDepth is the communication-avoiding ablation:
+// the same two-rank run under Wide(1) (per-stage fresh exchange),
+// Wide(2), and Wide(4), reporting the startup budget per step, the
+// stages booked as saved, and the slowest rank's receive-blocked time.
+// The cosim cases price the identical cadence trade on the shared
+// Ethernet at 8 processors with the Euler workload (the exact 4-point
+// inviscid shell — the viscous 12-point shell prices Wide out on the
+// paper grid, which is itself a finding; see DESIGN.md §5d). The
+// converged cases run a full tolerance-stopped Wide(2) run through the
+// registry on both decompositions and double as the race-instrumented
+// CI smoke of the refresh + exchange + collective interleaving.
+func BenchmarkAblationHaloDepth(b *testing.B) {
+	for _, k := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("mp:v5/wide%d", k), func(b *testing.B) {
+			r, err := par.NewRunner(jet.Paper(), benchGrid(), par.Options{Procs: 2, Policy: solver.Wide(k)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			res := r.Run(b.N)
+			reportCommWait(b, res)
+			b.ReportMetric(float64(res.TotalDir().Total().SavedStartups)/float64(res.Steps), "saved-startups/step")
+		})
+	}
+	ch := trace.PaperEuler()
+	for _, k := range []int{1, 2} {
+		b.Run(fmt.Sprintf("cosim-ethernet/wide%d", k), func(b *testing.B) {
+			chk := ch
+			chk.HaloDepth = k
+			var sec float64
+			for i := 0; i < b.N; i++ {
+				o, err := machine.LACE560Ethernet.Simulate(chk, 8, 5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sec = o.Seconds
+			}
+			b.ReportMetric(sec, "sim-seconds@P8")
+		})
+	}
+	// Converged Wide(2) runs through the registry. The viscous shell is
+	// 12 points deep, so the 26-row grid keeps the rank grid one block
+	// tall and the hybrid slabs 32 columns wide.
+	convCfg := study.ConvergedConfig()
+	for _, c := range []struct {
+		name string
+		opts backend.Options
+	}{
+		{"mp2d", backend.Options{Px: 2, Pr: 1, Policy: solver.Wide(2), StopTol: 9e-3, ReduceEvery: 2}},
+		{"hybrid", backend.Options{Procs: 2, Workers: 2, Policy: solver.Wide(2), StopTol: 9e-3, ReduceEvery: 2}},
+	} {
+		b.Run(c.name+"/converged-wide", func(b *testing.B) {
+			be, err := backend.Get(c.name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g := grid.MustNew(64, 26, 50, 5)
+			steps := 0
+			for i := 0; i < b.N; i++ {
+				res, err := be.Run(convCfg, g, c.opts, 400)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Converged {
+					b.Fatalf("did not converge within 400 steps")
+				}
+				steps = res.Steps
+			}
+			b.ReportMetric(float64(steps), "steps-to-tol")
+		})
+	}
+	// The hierarchical collective on the real runner: four ranks reduced
+	// every step, flat against 2-wide shared-memory nodes — the member
+	// ranks' message traffic drops to zero.
+	for _, grp := range []int{1, 2} {
+		b.Run(fmt.Sprintf("mp:v5/reduce-group%d", grp), func(b *testing.B) {
+			r, err := par.NewRunner(jet.Paper(), benchGrid(), par.Options{Procs: 4, Policy: solver.Lagged, ReduceGroup: grp})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			res := r.RunControlled(b.N, solver.Control{ReduceEvery: 1})
+			b.ReportMetric(float64(res.TotalDir().Reduce.Startups)/float64(res.Steps), "reduce-startups/step")
+		})
+	}
+}
+
 // BenchmarkAblationCacheGeometry sweeps the T3D node across cache
 // geometries — the paper's central "proper cache design" lesson.
 func BenchmarkAblationCacheGeometry(b *testing.B) {

@@ -18,6 +18,8 @@
 //	jetsim -backend mp2d -procs 8 -balance measured # warm-up-measured weights
 //	jetsim -tol 1e-4 -steps 5000                   # stop when converged
 //	jetsim -backend mp2d -procs 8 -tol 1e-4 -reduce-every 10  # amortized collective
+//	jetsim -backend mp:v5 -procs 4 -halo-depth 2   # wide halos: exchange every 2nd step
+//	jetsim -backend mp:v5 -procs 8 -tol 1e-4 -reduce-group 4  # hierarchical allreduce
 //	jetsim -scenario cavity -nx 49 -nr 48 -steps 2000  # lid-driven cavity
 //	jetsim -scenario channel -backend mp2d -procs 4    # wall-bounded pipe flow
 //	jetsim -contour -pgm out/jet.pgm
@@ -40,24 +42,26 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("jetsim: ")
 	var (
-		nx      = flag.Int("nx", 125, "axial grid nodes")
-		nr      = flag.Int("nr", 50, "radial grid nodes")
-		steps   = flag.Int("steps", 500, "composite time steps")
-		euler   = flag.Bool("euler", false, "solve the Euler equations instead of Navier-Stokes")
-		name    = flag.String("backend", "serial", "execution backend: "+strings.Join(backend.Names(), ", "))
-		scen    = flag.String("scenario", "", "flow scenario: "+strings.Join(scenario.Names(), ", ")+" (empty = jet; cavity/channel pin their own physics, so -euler applies to the jet only)")
-		mode    = flag.String("mode", "", "deprecated alias for -backend: serial, mp, shm")
-		procs   = flag.Int("procs", 4, "ranks (mp, mp2d, hybrid) or workers (shm)")
-		workers = flag.Int("workers", 0, "per-rank DOALL workers (hybrid; 0 = host default)")
-		px      = flag.Int("px", 0, "axial rank-grid width (mp2d; 0 = auto near-square)")
-		pr      = flag.Int("pr", 0, "radial rank-grid height (mp2d; 0 = auto near-square)")
-		version = flag.Int("version", 0, "communication strategy 5, 6, or 7 (0 = backend default); contradicting a version-pinned backend name is an error")
-		balance = flag.String("balance", "", "decomposition cost model: uniform, flops, or measured (distributed backends; empty = uniform)")
-		tol     = flag.Float64("tol", 0, "stop tolerance on the global L2 residual (0 = march -steps fixed)")
-		reduce  = flag.Int("reduce-every", 0, "residual-reduction cadence in steps (0 = every step when -tol is set)")
-		fresh   = flag.Bool("fresh", false, "exact halo policy (bitwise serial equivalence)")
-		contour = flag.Bool("contour", false, "print an ASCII contour of axial momentum")
-		pgm     = flag.String("pgm", "", "write axial momentum as a PGM image to this path")
+		nx        = flag.Int("nx", 125, "axial grid nodes")
+		nr        = flag.Int("nr", 50, "radial grid nodes")
+		steps     = flag.Int("steps", 500, "composite time steps")
+		euler     = flag.Bool("euler", false, "solve the Euler equations instead of Navier-Stokes")
+		name      = flag.String("backend", "serial", "execution backend: "+strings.Join(backend.Names(), ", "))
+		scen      = flag.String("scenario", "", "flow scenario: "+strings.Join(scenario.Names(), ", ")+" (empty = jet; cavity/channel pin their own physics, so -euler applies to the jet only)")
+		mode      = flag.String("mode", "", "deprecated alias for -backend: serial, mp, shm")
+		procs     = flag.Int("procs", 4, "ranks (mp, mp2d, hybrid) or workers (shm)")
+		workers   = flag.Int("workers", 0, "per-rank DOALL workers (hybrid; 0 = host default)")
+		px        = flag.Int("px", 0, "axial rank-grid width (mp2d; 0 = auto near-square)")
+		pr        = flag.Int("pr", 0, "radial rank-grid height (mp2d; 0 = auto near-square)")
+		version   = flag.Int("version", 0, "communication strategy 5, 6, or 7 (0 = backend default); contradicting a version-pinned backend name is an error")
+		balance   = flag.String("balance", "", "decomposition cost model: uniform, flops, or measured (distributed backends; empty = uniform)")
+		tol       = flag.Float64("tol", 0, "stop tolerance on the global L2 residual (0 = march -steps fixed)")
+		reduce    = flag.Int("reduce-every", 0, "residual-reduction cadence in steps (0 = every step when -tol is set)")
+		fresh     = flag.Bool("fresh", false, "exact halo policy (bitwise serial equivalence)")
+		haloDepth = flag.Int("halo-depth", 0, "communication-avoiding halo depth k: exchange every k-th step over a redundant ghost shell, bitwise-identical to serial (distributed backends; 0 = per-stage policy, 1 = fresh)")
+		reduceGrp = flag.Int("reduce-group", 0, "hierarchical allreduce node size: intra-node combine, leaders-only cross-node plan (distributed backends; 0 or 1 = flat)")
+		contour   = flag.Bool("contour", false, "print an ASCII contour of axial momentum")
+		pgm       = flag.String("pgm", "", "write axial momentum as a PGM image to this path")
 	)
 	flag.Parse()
 
@@ -69,10 +73,25 @@ func main() {
 			explicitBackend = true
 		case "procs":
 			explicitProcs = true
+		case "reduce-every":
+			if *reduce <= 0 {
+				log.Fatalf("-reduce-every must be a positive cadence in steps, got %d", *reduce)
+			}
+		case "halo-depth":
+			if *haloDepth < 1 {
+				log.Fatalf("-halo-depth must be >= 1 (1 = fresh per-stage exchange, k > 1 = exchange every k-th step), got %d", *haloDepth)
+			}
+		case "reduce-group":
+			if *reduceGrp < 1 {
+				log.Fatalf("-reduce-group must be >= 1 (1 = flat allreduce), got %d", *reduceGrp)
+			}
 		}
 	})
 	if *mode != "" && explicitBackend {
 		log.Fatalf("-mode %q conflicts with -backend %q; -mode is a deprecated alias, drop it", *mode, *name)
+	}
+	if *haloDepth > 1 && *fresh {
+		log.Fatalf("-halo-depth %d already implies the exact halo policy; drop -fresh", *haloDepth)
 	}
 	// -version feeds the registry options with every backend, not only
 	// the deprecated -mode mp alias: "-backend mp2d -version 6" selects
@@ -85,6 +104,8 @@ func main() {
 		Version:     *version,
 		Balance:     *balance,
 		FreshHalos:  *fresh,
+		HaloDepth:   *haloDepth,
+		ReduceGroup: *reduceGrp,
 		StopTol:     *tol,
 		ReduceEvery: *reduce,
 	}
@@ -144,6 +165,13 @@ func main() {
 	}
 	if res.Comm.Startups > 0 {
 		fmt.Printf("comm: %d startups, %.2f MB sent\n", res.Comm.Startups, float64(res.Comm.Bytes)/1e6)
+		if saved := res.CommDir.Total().SavedStartups; saved > 0 {
+			red := 0.0
+			for _, rs := range res.PerRank {
+				red += rs.RedundantFlops
+			}
+			fmt.Printf("  wide:   %8d startups saved for %.3g redundant flops\n", saved, red)
+		}
 		if dir := res.CommDir; dir.Radial.Startups > 0 || dir.Reduce.Startups > 0 {
 			fmt.Printf("  axial:  %8d startups %8.2f MB\n", dir.Axial.Startups, float64(dir.Axial.Bytes)/1e6)
 			fmt.Printf("  radial: %8d startups %8.2f MB\n", dir.Radial.Startups, float64(dir.Radial.Bytes)/1e6)

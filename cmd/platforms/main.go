@@ -17,6 +17,8 @@
 //	platforms -backend mp:v5 -balance flops # cost-weighted host decomposition
 //	platforms -reduce-every 10              # cost the convergence collective
 //	platforms -backend mp2d -tol 1e-4 -reduce-every 10  # converged host run
+//	platforms -halo-depth 2                 # price the communication-avoiding cadence
+//	platforms -reduce-every 10 -reduce-group 4  # price the hierarchical collective
 package main
 
 import (
@@ -48,21 +50,40 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("platforms: ")
 	var (
-		euler   = flag.Bool("euler", false, "Euler workload instead of Navier-Stokes")
-		version = flag.Int("version", 0, "communication strategy: 5, 6, or 7 (0 = Version 5 for the co-simulation, backend default for the measured host run)")
-		name    = flag.String("platform", "", "run a single platform by name")
-		procs   = flag.Int("procs", 0, "run a single processor count (0 = sweep)")
-		chart   = flag.Bool("chart", true, "draw log-scale ASCII chart")
-		real    = flag.String("backend", "", "also measure a real host run through the backend registry: "+strings.Join(backend.Names(), ", "))
-		scen    = flag.String("scenario", "", "flow scenario of the measured host run: "+strings.Join(scenario.Names(), ", ")+" (empty = jet; the co-simulation always replays the paper's jet traces)")
-		balance = flag.String("balance", "", "decomposition cost model of the measured host run: uniform, flops, or measured")
-		tol     = flag.Float64("tol", 0, "stop tolerance of the measured host run (0 = fixed -steps)")
-		reduce  = flag.Int("reduce-every", 0, "global-reduction cadence in steps: costs the collective on the co-simulated platforms and monitors the measured host run")
-		nx      = flag.Int("nx", 125, "grid for the measured host run (with -backend)")
-		nr      = flag.Int("nr", 50, "grid for the measured host run (with -backend)")
-		steps   = flag.Int("steps", 100, "composite steps for the measured host run (with -backend)")
+		euler     = flag.Bool("euler", false, "Euler workload instead of Navier-Stokes")
+		version   = flag.Int("version", 0, "communication strategy: 5, 6, or 7 (0 = Version 5 for the co-simulation, backend default for the measured host run)")
+		name      = flag.String("platform", "", "run a single platform by name")
+		procs     = flag.Int("procs", 0, "run a single processor count (0 = sweep)")
+		chart     = flag.Bool("chart", true, "draw log-scale ASCII chart")
+		real      = flag.String("backend", "", "also measure a real host run through the backend registry: "+strings.Join(backend.Names(), ", "))
+		scen      = flag.String("scenario", "", "flow scenario of the measured host run: "+strings.Join(scenario.Names(), ", ")+" (empty = jet; the co-simulation always replays the paper's jet traces)")
+		balance   = flag.String("balance", "", "decomposition cost model of the measured host run: uniform, flops, or measured")
+		tol       = flag.Float64("tol", 0, "stop tolerance of the measured host run (0 = fixed -steps)")
+		reduce    = flag.Int("reduce-every", 0, "global-reduction cadence in steps: costs the collective on the co-simulated platforms and monitors the measured host run")
+		haloDepth = flag.Int("halo-depth", 0, "communication-avoiding halo depth k: the co-simulated ranks exchange every k-th step over a redundant shell, and the measured host run uses the Wide(k) policy (0 = per-stage exchange)")
+		reduceGrp = flag.Int("reduce-group", 0, "hierarchical allreduce node size: leaders-only cross-node plan on the co-simulated platforms and the measured host run (0 or 1 = flat)")
+		nx        = flag.Int("nx", 125, "grid for the measured host run (with -backend)")
+		nr        = flag.Int("nr", 50, "grid for the measured host run (with -backend)")
+		steps     = flag.Int("steps", 100, "composite steps for the measured host run (with -backend)")
 	)
 	flag.Parse()
+
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "reduce-every":
+			if *reduce <= 0 {
+				log.Fatalf("-reduce-every must be a positive cadence in steps, got %d", *reduce)
+			}
+		case "halo-depth":
+			if *haloDepth < 1 {
+				log.Fatalf("-halo-depth must be >= 1 (1 = per-stage fresh exchange, k > 1 = exchange every k-th step), got %d", *haloDepth)
+			}
+		case "reduce-group":
+			if *reduceGrp < 1 {
+				log.Fatalf("-reduce-group must be >= 1 (1 = flat allreduce), got %d", *reduceGrp)
+			}
+		}
+	})
 
 	ch := trace.PaperNS()
 	if *euler {
@@ -73,6 +94,12 @@ func main() {
 	// tolerance itself only applies to the measured host run, since the
 	// co-simulation replays a schedule, not physics.
 	ch.ReduceEvery = *reduce
+	// The communication-avoiding knobs price the same cadence the
+	// measured host run executes: wide halos thin the exchange schedule
+	// (and inflate per-rank compute by the redundant shell), the
+	// hierarchical reduce thins the collective to node leaders.
+	ch.HaloDepth = *haloDepth
+	ch.ReduceGroup = *reduceGrp
 	// The co-simulation needs a concrete strategy; the measured host run
 	// passes the raw flag through so 0 stays "backend default" (and a
 	// pinned backend name like mp:v6 is not contradicted).
@@ -149,6 +176,7 @@ func main() {
 				Euler:    *euler, Nx: *nx, Nr: *nr, Steps: *steps,
 				Backend: *real, Procs: np, Version: hostVersion, Balance: *balance,
 				StopTol: *tol, ReduceEvery: *reduce,
+				HaloDepth: *haloDepth, ReduceGroup: *reduceGrp,
 			})
 			if err != nil {
 				log.Fatal(err)

@@ -119,6 +119,13 @@ type Options struct {
 	// Monitored runs also refresh the global CFL-stable dt from the
 	// max-reduction at the same cadence.
 	ReduceEvery int
+	// ReduceGroup, when > 1, makes the distributed backends' allreduce
+	// hierarchical: ranks combine within contiguous shared-memory nodes
+	// of this size first, and only node leaders run the cross-node
+	// recursive-doubling plan. The result stays bitwise-identical on
+	// every rank. 0 or 1 keeps the flat plan; serial and shm have no
+	// rank collectives and reject any hierarchical request.
+	ReduceGroup int
 }
 
 // Balance modes of Options.Balance.
@@ -300,6 +307,33 @@ func resolveVersion(name string, o Options, def, pinned par.Version, supported .
 func rejectVersion(name string, o Options) error {
 	if o.Version != 0 {
 		return fmt.Errorf("backend: %s has no message layer, communication Version %d does not apply", name, int(o.Version))
+	}
+	return nil
+}
+
+// rejectWide is the communication-avoiding counterpart of
+// rejectVersion: a backend running a single slab has no rank halos to
+// widen and no rank collectives to group, so a Wide halo policy or a
+// hierarchical-reduce request is an error, never a silent ignore.
+func rejectWide(name string, o Options) error {
+	if o.Policy.Depth() > 1 {
+		return fmt.Errorf("backend: %s runs a single slab with no rank halos; the %v policy requires a distributed backend", name, o.Policy)
+	}
+	if o.ReduceGroup > 1 {
+		return fmt.Errorf("backend: %s has no rank collectives, reduce group %d does not apply", name, o.ReduceGroup)
+	}
+	return nil
+}
+
+// validateGroup is the early (probe-free) check of a hierarchical-
+// reduce request against the resolved rank count; the runner's
+// combiner construction repeats it authoritatively.
+func validateGroup(name string, group, procs int) error {
+	if group < 0 {
+		return fmt.Errorf("backend: %s: reduce group must be >= 1, got %d", name, group)
+	}
+	if group > procs {
+		return fmt.Errorf("backend: %s: reduce group %d exceeds the %d ranks of the run", name, group, procs)
 	}
 	return nil
 }

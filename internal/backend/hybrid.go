@@ -62,8 +62,18 @@ func (b hybridBackend) Validate(cfg jet.Config, g *grid.Grid, opts Options) erro
 	if _, err := resolveControl("hybrid", opts); err != nil {
 		return err
 	}
-	_, err := decomp.Axial(g.Nx, opts.procs())
-	return err
+	if err := validateGroup("hybrid", opts.ReduceGroup, opts.procs()); err != nil {
+		return err
+	}
+	d, err := decomp.Axial(g.Nx, opts.procs())
+	if err != nil {
+		return err
+	}
+	widths := make([]int, opts.procs())
+	for r := range widths {
+		_, widths[r] = d.Range(r)
+	}
+	return par.CheckWideFit(cfg.Viscous, opts.Policy.Depth(), widths, "column")
 }
 
 func (b hybridBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int) (Result, error) {
@@ -84,12 +94,13 @@ func (b hybridBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int
 		return Result{}, err
 	}
 	r, err := par.NewRunner(cfg, g, par.Options{
-		Procs:      opts.procs(),
-		Version:    v,
-		Policy:     opts.Policy,
-		CFL:        opts.CFL,
-		ColWeights: colw,
-		Prob:       prob,
+		Procs:       opts.procs(),
+		Version:     v,
+		Policy:      opts.Policy,
+		CFL:         opts.CFL,
+		ColWeights:  colw,
+		Prob:        prob,
+		ReduceGroup: opts.ReduceGroup,
 	})
 	if err != nil {
 		return Result{}, err

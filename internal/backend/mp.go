@@ -41,8 +41,21 @@ func (b mpBackend) Validate(cfg jet.Config, g *grid.Grid, opts Options) error {
 	if _, err := resolveControl(b.Name(), opts); err != nil {
 		return err
 	}
-	_, err := decomp.Axial(g.Nx, opts.procs())
-	return err
+	if err := validateGroup(b.Name(), opts.ReduceGroup, opts.procs()); err != nil {
+		return err
+	}
+	d, err := decomp.Axial(g.Nx, opts.procs())
+	if err != nil {
+		return err
+	}
+	// A Wide policy's redundant shell must fit every rank; Validate
+	// checks the uniform split (the cheap, probe-free approximation),
+	// the runner the actual weighted one.
+	widths := make([]int, opts.procs())
+	for r := range widths {
+		_, widths[r] = d.Range(r)
+	}
+	return par.CheckWideFit(cfg.Viscous, opts.Policy.Depth(), widths, "column")
 }
 
 func (b mpBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int) (Result, error) {
@@ -63,12 +76,13 @@ func (b mpBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int) (R
 		return Result{}, err
 	}
 	r, err := par.NewRunner(cfg, g, par.Options{
-		Procs:      opts.procs(),
-		Version:    v,
-		Policy:     opts.Policy,
-		CFL:        opts.CFL,
-		ColWeights: colw,
-		Prob:       prob,
+		Procs:       opts.procs(),
+		Version:     v,
+		Policy:      opts.Policy,
+		CFL:         opts.CFL,
+		ColWeights:  colw,
+		Prob:        prob,
+		ReduceGroup: opts.ReduceGroup,
 	})
 	if err != nil {
 		return Result{}, err

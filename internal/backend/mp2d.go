@@ -71,15 +71,16 @@ func (b mp2dBackend) options2D(cfg jet.Config, g *grid.Grid, opts Options) (par.
 	}
 	prob, err := resolveProblem(cfg, g, opts)
 	return par.Options2D{
-		Procs:      opts.Procs,
-		Px:         opts.Px,
-		Pr:         opts.Pr,
-		Version:    v,
-		Policy:     opts.Policy,
-		CFL:        opts.CFL,
-		ColWeights: colw,
-		RowWeights: roww,
-		Prob:       prob,
+		Procs:       opts.Procs,
+		Px:          opts.Px,
+		Pr:          opts.Pr,
+		Version:     v,
+		Policy:      opts.Policy,
+		CFL:         opts.CFL,
+		ColWeights:  colw,
+		RowWeights:  roww,
+		Prob:        prob,
+		ReduceGroup: opts.ReduceGroup,
 	}, err
 }
 
@@ -104,8 +105,32 @@ func (b mp2dBackend) Validate(cfg jet.Config, g *grid.Grid, opts Options) error 
 	if err != nil {
 		return err
 	}
-	_, err = decomp.NewGrid2D(g.Nx, g.Nr, px, pr)
-	return err
+	if err := validateGroup(b.Name(), opts.ReduceGroup, px*pr); err != nil {
+		return err
+	}
+	d, err := decomp.NewGrid2D(g.Nx, g.Nr, px, pr)
+	if err != nil {
+		return err
+	}
+	// A Wide policy's redundant shell must fit every block along each
+	// decomposed axis (uniform split; the runner checks the weighted one).
+	var widths, heights []int
+	for r := 0; r < d.Ranks(); r++ {
+		_, nxloc, _, nrloc := d.Block(r)
+		widths = append(widths, nxloc)
+		heights = append(heights, nrloc)
+	}
+	if px > 1 {
+		if err := par.CheckWideFit(cfg.Viscous, opts.Policy.Depth(), widths, "column"); err != nil {
+			return err
+		}
+	}
+	if pr > 1 {
+		if err := par.CheckWideFit(cfg.Viscous, opts.Policy.Depth(), heights, "row"); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (b mp2dBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int) (Result, error) {

@@ -25,6 +25,9 @@ func (serialBackend) Validate(cfg jet.Config, g *grid.Grid, opts Options) error 
 	if err := rejectBalance("serial", opts); err != nil {
 		return err
 	}
+	if err := rejectWide("serial", opts); err != nil {
+		return err
+	}
 	if _, err := resolveProblem(cfg, g, opts); err != nil {
 		return err
 	}
@@ -37,6 +40,9 @@ func (serialBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int) 
 		return Result{}, err
 	}
 	if err := rejectBalance("serial", opts); err != nil {
+		return Result{}, err
+	}
+	if err := rejectWide("serial", opts); err != nil {
 		return Result{}, err
 	}
 	prob, err := resolveProblem(cfg, g, opts)

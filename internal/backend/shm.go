@@ -26,6 +26,9 @@ func (shmBackend) Validate(cfg jet.Config, g *grid.Grid, opts Options) error {
 	if err := rejectBalance("shm", opts); err != nil {
 		return err
 	}
+	if err := rejectWide("shm", opts); err != nil {
+		return err
+	}
 	if _, err := resolveProblem(cfg, g, opts); err != nil {
 		return err
 	}
@@ -38,6 +41,9 @@ func (shmBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int) (Re
 		return Result{}, err
 	}
 	if err := rejectBalance("shm", opts); err != nil {
+		return Result{}, err
+	}
+	if err := rejectWide("shm", opts); err != nil {
 		return Result{}, err
 	}
 	prob, err := resolveProblem(cfg, g, opts)

@@ -104,6 +104,18 @@ type Config struct {
 	// FreshHalos selects the exact-halo policy (bitwise serial
 	// equivalence) instead of the paper's lagged message budget.
 	FreshHalos bool
+	// HaloDepth, when >= 1, selects the communication-avoiding
+	// Wide(HaloDepth) halo policy: ranks carry a redundant ghost shell
+	// and exchange every HaloDepth-th step instead of every stage,
+	// trading redundant compute for message startups while staying
+	// bitwise-identical to serial. It overrides FreshHalos (Wide(1) is
+	// exactly Fresh). Zero leaves the FreshHalos choice in force;
+	// negative values are an error. Distributed backends only.
+	HaloDepth int
+	// ReduceGroup, when > 1, makes the distributed backends' allreduce
+	// hierarchical (intra-node combine, leaders-only cross-node plan).
+	// 0 or 1 keeps the flat plan.
+	ReduceGroup int
 	// StopTol, when positive, makes the run convergence-controlled:
 	// it stops at the first monitored step whose global L2 residual
 	// (RMS rate of change of the conserved state) falls to the
@@ -269,6 +281,12 @@ func NewRun(c Config) (*Run, error) {
 	if c.FreshHalos {
 		policy = solver.Fresh
 	}
+	if c.HaloDepth < 0 {
+		return nil, fmt.Errorf("core: halo depth must be >= 1, got %d", c.HaloDepth)
+	}
+	if c.HaloDepth >= 1 {
+		policy = solver.Wide(c.HaloDepth)
+	}
 	opts := backend.Options{
 		Scenario:    c.Scenario,
 		Procs:       c.Procs,
@@ -280,6 +298,7 @@ func NewRun(c Config) (*Run, error) {
 		Balance:     c.Balance,
 		StopTol:     c.StopTol,
 		ReduceEvery: c.ReduceEvery,
+		ReduceGroup: c.ReduceGroup,
 	}
 	if err := backend.Validate(be, phys, g, opts); err != nil {
 		return nil, err

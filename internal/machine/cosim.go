@@ -28,7 +28,9 @@ type op struct {
 // rank is one simulated processor's state machine.
 type rank struct {
 	id    int
-	prog  []op // one step's program, repeated
+	prog  []op // one exchange step's program, repeated
+	skip  []op // one exchange-free step's program (Wide policies only)
+	depth int  // exchange cadence: 1 = every step (Fresh)
 	rprog []op // global-reduction collectives, appended on monitored steps
 	// inReduce marks that pc indexes rprog instead of prog.
 	inReduce bool
@@ -38,10 +40,15 @@ type rank struct {
 	wait     float64
 }
 
-// cur returns the program pc currently indexes.
+// cur returns the program pc currently indexes: the collective when one
+// is in progress, the compute-only program on a Wide policy's
+// exchange-free steps, and the exchange program otherwise.
 func (r *rank) cur() []op {
 	if r.inReduce {
 		return r.rprog
+	}
+	if r.depth > 1 && r.step%r.depth != 0 {
+		return r.skip
 	}
 	return r.prog
 }
@@ -107,19 +114,47 @@ func newCosim(p Platform, ch trace.Characterization, d *decomp.Decomposition, co
 	}
 	eff := p.EffMFLOPS(ch) * 1e6
 	msgBytes := ch.MessageBytes()
+	depth := ch.HaloDepth
+	if depth < 1 {
+		depth = 1
+	}
+	ext := trace.WideExtension(ch.Viscous, depth)
+	if d.P == 1 {
+		ext, depth = 0, 1 // no interior sides: Wide degenerates to Fresh
+	}
 	for r := 0; r < d.P; r++ {
 		i0, ncols := d.Range(r)
-		flopsPerStep := ch.FlopsPerPoint * ch.BlockCost(i0, ncols) * float64(ch.Nr)
-		computeSec := flopsPerStep / eff
-		if commVersion == 6 {
-			computeSec *= v6BusyPenalty
-		}
 		left, right := r-1, r+1
 		if right == d.P {
 			right = -1
 		}
+		// A Wide policy's redundant shell inflates the rank's compute to
+		// the extended rectangle (ext extra columns per interior side).
+		extL, extR := 0, 0
+		if left >= 0 {
+			extL = ext
+		}
+		if right >= 0 {
+			extR = ext
+		}
+		flopsPerStep := ch.FlopsPerPoint * ch.BlockCost(i0-extL, ncols+extL+extR) * float64(ch.Nr)
+		computeSec := flopsPerStep / eff
+		exCompute := computeSec
+		if commVersion == 6 {
+			// The split-loop penalty applies to exchange steps only — the
+			// solver runs the overlapped operators only when an exchange
+			// is actually in flight.
+			exCompute *= v6BusyPenalty
+		}
 		var prog []op
-		chunk := computeSec / float64(ch.ExchangesPerStep)
+		if ext > 0 {
+			// Exchange steps open with the redundant-shell refresh: ext
+			// ghost columns per interior neighbour, one message each way.
+			rb := ch.RefreshBytes(ext)
+			prog = appendSends(prog, left, right, rb, 1)
+			prog = appendRecvs(prog, left, right, rb, 1)
+		}
+		chunk := exCompute / float64(ch.ExchangesPerStep)
 		for e := 0; e < ch.ExchangesPerStep; e++ {
 			// The non-initial exchanges carry flux columns; Version 7
 			// splits those into one-column messages (DESIGN.md §5).
@@ -141,7 +176,11 @@ func newCosim(p Platform, ch trace.Characterization, d *decomp.Decomposition, co
 				prog = appendRecvs(prog, left, right, msgBytes, parts)
 			}
 		}
-		cs.ranks = append(cs.ranks, &rank{id: r, prog: prog, rprog: reduceProg(ch, d.P, r)})
+		var skip []op
+		if depth > 1 {
+			skip = []op{{kind: opCompute, dur: computeSec}}
+		}
+		cs.ranks = append(cs.ranks, &rank{id: r, prog: prog, skip: skip, depth: depth, rprog: reduceProg(ch, d.P, r)})
 	}
 	return cs
 }
@@ -153,12 +192,19 @@ func newCosim(p Platform, ch trace.Characterization, d *decomp.Decomposition, co
 // messages ride the same library and network models as the halo
 // exchanges, so the co-simulated platforms pay the collective-latency
 // term — log2(P) serialized small-message rounds — that dominates the
-// reduction cost on high-latency interconnects.
+// reduction cost on high-latency interconnects. A ReduceGroup > 1
+// prices the hierarchical collective: only node leaders walk the
+// (shorter) leaders-only plan, members' intra-node combine being
+// memory-speed and therefore free at this model's resolution.
 func reduceProg(ch trace.Characterization, procs, rank int) []op {
 	if ch.ReduceEvery <= 0 || procs < 2 {
 		return nil
 	}
-	plan := msg.ReducePlan(procs, rank)
+	group := ch.ReduceGroup
+	if group < 1 {
+		group = 1
+	}
+	plan := msg.ReducePlanLeaders(procs, rank, group)
 	var prog []op
 	for i := 0; i < trace.ReducesPerMonitor; i++ {
 		for _, st := range plan {

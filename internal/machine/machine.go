@@ -125,6 +125,17 @@ func (p Platform) SimulateDecomp(ch trace.Characterization, d *decomp.Decomposit
 	if ch.ColCost != nil && len(ch.ColCost) != ch.Nx {
 		return Outcome{}, fmt.Errorf("machine: %d-entry cost profile for %d columns", len(ch.ColCost), ch.Nx)
 	}
+	if ch.HaloDepth > 1 && procs > 1 {
+		ext := trace.WideExtension(ch.Viscous, ch.HaloDepth)
+		for r := 0; r < procs; r++ {
+			if _, n := d.Range(r); n < ext+2 {
+				return Outcome{}, fmt.Errorf("machine: halo depth %d needs a %d-point redundant shell plus the 2-point exchange window, but rank %d owns only %d columns", ch.HaloDepth, ext, r, n)
+			}
+		}
+	}
+	if ch.ReduceGroup > procs {
+		return Outcome{}, fmt.Errorf("machine: reduce group %d exceeds the %d ranks of the run", ch.ReduceGroup, procs)
+	}
 	if p.Vec != nil {
 		return p.simulateVector(ch, procs), nil
 	}

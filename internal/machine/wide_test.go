@@ -1,0 +1,110 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestWideCosimCadence pins the communication-avoiding pricing: the
+// depth-2 cadence must charge for its redundant shell (slower at small
+// P, where compute dominates) and cash in its halved startup schedule
+// where contention dominates (faster on Ethernet at P=8), while depth 1
+// and an unset depth price identically to the per-stage schedule.
+func TestWideCosimCadence(t *testing.T) {
+	ch := trace.PaperEuler()
+	base, err := LACE560Ethernet.Simulate(ch, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := ch
+	d1.HaloDepth = 1
+	o1, err := LACE560Ethernet.Simulate(d1, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1.Seconds != base.Seconds {
+		t.Errorf("depth 1 prices %g, per-stage schedule %g — must be identical", o1.Seconds, base.Seconds)
+	}
+	d2 := ch
+	d2.HaloDepth = 2
+	o2, err := LACE560Ethernet.Simulate(d2, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o2.Seconds >= base.Seconds {
+		t.Errorf("depth 2 on Ethernet at P=8 prices %g, per-stage %g — startup saving must win", o2.Seconds, base.Seconds)
+	}
+	small, err := LACE560Ethernet.Simulate(d2, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallBase, err := LACE560Ethernet.Simulate(ch, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Seconds <= smallBase.Seconds {
+		t.Errorf("depth 2 at P=2 prices %g, per-stage %g — the redundant shell must cost something", small.Seconds, smallBase.Seconds)
+	}
+	// A single processor has no interior sides: the shell degenerates
+	// away and the depth must not change the price.
+	one, err := LACE560Ethernet.Simulate(d2, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneBase, err := LACE560Ethernet.Simulate(ch, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Seconds != oneBase.Seconds {
+		t.Errorf("depth 2 at P=1 prices %g, per-stage %g — must be identical", one.Seconds, oneBase.Seconds)
+	}
+}
+
+// TestWideCosimValidation: a shell the decomposition cannot host and a
+// reduce group wider than the world are simulation errors, not silent
+// mispricing.
+func TestWideCosimValidation(t *testing.T) {
+	ch := trace.PaperNS()
+	ch.HaloDepth = 4 // 36-point viscous shell; 16 ranks own ~15 columns
+	if _, err := LACE560Ethernet.Simulate(ch, 16, 5); err == nil {
+		t.Error("36-point shell on 15-column ranks must error")
+	}
+	bad := trace.PaperNS()
+	bad.ReduceGroup = 8
+	bad.ReduceEvery = 10
+	if _, err := LACE560Ethernet.Simulate(bad, 4, 5); err == nil {
+		t.Error("reduce group 8 on a 4-rank run must error")
+	}
+}
+
+// TestHierReduceCosim: with a per-step collective, grouping ranks into
+// 4-wide nodes (leaders-only cross-node plan) must undercut the flat
+// recursive doubling on a contended network, and group 1 must price
+// identically to the flat plan.
+func TestHierReduceCosim(t *testing.T) {
+	ch := trace.PaperNS()
+	ch.ReduceEvery = 1
+	flat, err := LACE560Ethernet.Simulate(ch, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := ch
+	g1.ReduceGroup = 1
+	o1, err := LACE560Ethernet.Simulate(g1, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1.Seconds != flat.Seconds {
+		t.Errorf("group 1 prices %g, flat plan %g — must be identical", o1.Seconds, flat.Seconds)
+	}
+	g4 := ch
+	g4.ReduceGroup = 4
+	o4, err := LACE560Ethernet.Simulate(g4, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o4.Seconds >= flat.Seconds {
+		t.Errorf("hierarchical reduce prices %g, flat %g — leaders-only plan must be cheaper", o4.Seconds, flat.Seconds)
+	}
+}

@@ -93,3 +93,32 @@ func ReducePlan(size, rank int) []ReduceStep {
 	}
 	return plan
 }
+
+// ReducePlanLeaders returns rank's cross-node schedule of a
+// hierarchical allreduce: the world of size ranks is split into
+// contiguous nodes of `group` ranks (the last node may be smaller),
+// the intra-node combine happens off the message layer (shared
+// memory), and only node leaders (rank%group == 0) exchange messages —
+// the recursive-doubling ReducePlan over the leader set, with partners
+// mapped back to world ranks. Non-leaders get a nil plan: their value
+// enters through the node combine and the result comes back the same
+// way. Leaders keep ascending-rank combine order on whole-node partial
+// results, so the hierarchical tree stays canonical across ranks.
+// group <= 1 degenerates to the flat ReducePlan.
+func ReducePlanLeaders(size, rank, group int) []ReduceStep {
+	if group <= 1 {
+		return ReducePlan(size, rank)
+	}
+	if size < 1 || rank < 0 || rank >= size {
+		panic("msg: invalid reduce plan geometry")
+	}
+	if rank%group != 0 {
+		return nil
+	}
+	leaders := (size + group - 1) / group
+	plan := ReducePlan(leaders, rank/group)
+	for i := range plan {
+		plan[i].Partner *= group
+	}
+	return plan
+}

@@ -20,8 +20,8 @@ func TestHaloExchangeSteadyStateAllocs(t *testing.T) {
 	for _, v := range []Version{V5, V7} {
 		t.Run(fmt.Sprintf("V%d", int(v)), func(t *testing.T) {
 			w := msg.NewWorld(2)
-			h0 := newRankHalo(w.Comm(0), 0, 2, n, nr, v, solver.WallSpec{})
-			h1 := newRankHalo(w.Comm(1), 1, 2, n, nr, v, solver.WallSpec{})
+			h0 := newRankHalo(w.Comm(0), 0, 2, n, nr, v, 0, solver.WallSpec{})
+			h1 := newRankHalo(w.Comm(1), 1, 2, n, nr, v, 0, solver.WallSpec{})
 			b0 := flux.NewState(n, nr)
 			b1 := flux.NewState(n, nr)
 			for k := range b0 {
@@ -55,8 +55,8 @@ func TestRadialExchangeSteadyStateAllocs(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := msg.NewWorld(2)
-	h0 := newRankHalo2D(w.Comm(0), d, 0, nx, nrLoc, V5, solver.WallSpec{})
-	h1 := newRankHalo2D(w.Comm(1), d, 1, nx, nrLoc, V5, solver.WallSpec{})
+	h0 := newRankHalo2D(w.Comm(0), d, 0, nx, nrLoc, V5, 0, solver.WallSpec{})
+	h1 := newRankHalo2D(w.Comm(1), d, 1, nx, nrLoc, V5, 0, solver.WallSpec{})
 	b0 := flux.NewState(nx, nrLoc)
 	b1 := flux.NewState(nx, nrLoc)
 	for k := range b0 {
@@ -101,8 +101,8 @@ func TestWeightedExchangeSteadyStateAllocs(t *testing.T) {
 		t.Fatalf("profile did not skew the split: widths %v", d.Widths())
 	}
 	w := msg.NewWorld(2)
-	h0 := newRankHalo(w.Comm(0), 0, 2, w0, nr, V5, solver.WallSpec{})
-	h1 := newRankHalo(w.Comm(1), 1, 2, w1, nr, V5, solver.WallSpec{})
+	h0 := newRankHalo(w.Comm(0), 0, 2, w0, nr, V5, 0, solver.WallSpec{})
+	h1 := newRankHalo(w.Comm(1), 1, 2, w1, nr, V5, 0, solver.WallSpec{})
 	b0 := flux.NewState(w0, nr)
 	b1 := flux.NewState(w1, nr)
 	for k := range b0 {
@@ -139,8 +139,8 @@ func TestWeightedExchangeSteadyStateAllocs(t *testing.T) {
 		t.Fatalf("row profile did not skew the split: heights %d, %d", nr0, nr1)
 	}
 	w2 := msg.NewWorld(2)
-	g0 := newRankHalo2D(w2.Comm(0), g2, 0, nx, nr0, V5, solver.WallSpec{})
-	g1 := newRankHalo2D(w2.Comm(1), g2, 1, nx, nr1, V5, solver.WallSpec{})
+	g0 := newRankHalo2D(w2.Comm(0), g2, 0, nx, nr0, V5, 0, solver.WallSpec{})
+	g1 := newRankHalo2D(w2.Comm(1), g2, 1, nx, nr1, V5, 0, solver.WallSpec{})
 	c0 := flux.NewState(nx, nr0)
 	c1 := flux.NewState(nx, nr1)
 	for k := range c0 {
@@ -173,9 +173,9 @@ func TestAllreduceSteadyStateAllocs(t *testing.T) {
 	for _, p := range []int{2, 3, 4} {
 		t.Run(fmt.Sprintf("procs%d", p), func(t *testing.T) {
 			w := msg.NewWorld(p)
-			red0 := newReducer(w.Comm(0))
+			red0 := newReducer(w.Comm(0), 1, nil, 0)
 			for r := 1; r < p; r++ {
-				red := newReducer(w.Comm(r))
+				red := newReducer(w.Comm(r), 1, nil, r)
 				go func(r int) {
 					for {
 						red.Sum(float64(r))
@@ -211,7 +211,7 @@ func TestOverlappedExchangeSteadyStateAllocs(t *testing.T) {
 	halos := make([]*rankHalo, 4)
 	bufs := make([]*flux.State, 4)
 	for r := 0; r < 4; r++ {
-		halos[r] = newRankHalo2D(w.Comm(r), d, r, nx, nrLoc, V6, solver.WallSpec{})
+		halos[r] = newRankHalo2D(w.Comm(r), d, r, nx, nrLoc, V6, 0, solver.WallSpec{})
 		bufs[r] = flux.NewState(nx, nrLoc)
 		for k := range bufs[r] {
 			bufs[r][k].FillAll(float64(r + 1))

@@ -25,9 +25,16 @@ type rankHalo struct {
 	right   int
 	down    int
 	up      int
-	n       int // owned columns
-	nr      int // owned rows
+	n       int // local columns (core plus any redundant shell)
+	nr      int // local rows (core plus any redundant shell)
 	version Version
+	// ext is the redundant-shell width of a Wide(k) halo policy, in
+	// grid points per interior side (0 under Lagged/Fresh). The slab's
+	// local rectangle is grown by ext on every interior side, so the
+	// per-stage sends shift inward by 2*ext: the columns a neighbour
+	// wants in its ghost slots sit just outside its own shell, 2*ext
+	// deep into ours. Refresh re-sends the ext-wide shells themselves.
+	ext int
 
 	sendBuf    []float64 // axial (column) staging
 	recvBuf    []float64
@@ -49,8 +56,8 @@ type rankHalo struct {
 // physical everywhere, so FillR degenerates to the serial
 // mirror/extrapolation. wall selects the scenario's solid-wall edge
 // treatment (zero value = jet).
-func newRankHalo(c *msg.Comm, rank, procs, n, nr int, v Version, wall solver.WallSpec) *rankHalo {
-	h := &rankHalo{comm: c, left: rank - 1, right: rank + 1, down: -1, up: -1, n: n, nr: nr, version: v}
+func newRankHalo(c *msg.Comm, rank, procs, n, nr int, v Version, ext int, wall solver.WallSpec) *rankHalo {
+	h := &rankHalo{comm: c, left: rank - 1, right: rank + 1, down: -1, up: -1, n: n, nr: nr, version: v, ext: ext}
 	if rank == 0 {
 		h.left = -1
 		h.edgeLeft = solver.EdgeHalo{Left: true, Wall: wall}
@@ -70,8 +77,8 @@ func newRankHalo(c *msg.Comm, rank, procs, n, nr int, v Version, wall solver.Wal
 // domain edges. Exchanges are grouped in both directions (the Version 5
 // message shape, which Version 6 keeps — overlap changes when the
 // Start/Finish halves run, not what they carry).
-func newRankHalo2D(c *msg.Comm, d *decomp.Grid2D, rank, n, nr int, v Version, wall solver.WallSpec) *rankHalo {
-	h := &rankHalo{comm: c, n: n, nr: nr, version: v}
+func newRankHalo2D(c *msg.Comm, d *decomp.Grid2D, rank, n, nr int, v Version, ext int, wall solver.WallSpec) *rankHalo {
+	h := &rankHalo{comm: c, n: n, nr: nr, version: v, ext: ext}
 	h.left, h.right, h.down, h.up = d.Neighbors(rank)
 	h.edgeLeft = solver.EdgeHalo{Left: h.left < 0, Wall: wall}
 	h.edgeRight = solver.EdgeHalo{Right: h.right < 0, Wall: wall}
@@ -82,17 +89,30 @@ func newRankHalo2D(c *msg.Comm, d *decomp.Grid2D, rank, n, nr int, v Version, wa
 }
 
 // sizeBuffers allocates the staging buffers for the widest exchange in
-// each direction, the capacity the steady-state path never exceeds.
+// each direction — the per-stage ghost width or the refresh's shell
+// width, whichever is larger — the capacity the steady-state path never
+// exceeds.
 func (h *rankHalo) sizeBuffers() {
-	colMsg := flux.NVar * field.Halo * h.nr
+	wide := field.Halo
+	if h.ext > wide {
+		wide = h.ext
+	}
+	colMsg := flux.NVar * wide * h.nr
 	h.sendBuf = make([]float64, 0, colMsg)
 	h.recvBuf = make([]float64, 0, colMsg)
 	if h.down >= 0 || h.up >= 0 {
-		rowMsg := flux.NVar * field.Halo * h.n
+		rowMsg := flux.NVar * wide * h.n
 		h.rowSendBuf = make([]float64, 0, rowMsg)
 		h.rowRecvBuf = make([]float64, 0, rowMsg)
 	}
 }
+
+// Refresh tags sit above the per-stage kind/part space (kinds use
+// int(k)*4+part < 24) and below the reducer's tag base (64).
+const (
+	refreshRowTag msg.Tag = 40
+	refreshColTag msg.Tag = 44
+)
 
 // tag encodes the exchange kind and the message part (Version 7 splits
 // flux exchanges into two parts). Axial and radial exchanges reuse the
@@ -137,25 +157,26 @@ func unpack(b *flux.State, c0, ncols int, buf []float64) {
 	}
 }
 
-// packRows copies the two boundary rows starting at j0 of every
-// component into buf; unpackRows scatters them back into ghost rows.
-func packRows(b *flux.State, j0 int, buf []float64) []float64 {
-	need := flux.NVar * field.Halo * b[0].Nx
+// packRows copies nrows rows starting at j0 of every component into
+// buf; unpackRows scatters them back (ghost and owned rows are both
+// legal targets — the refresh overwrites owned shell rows).
+func packRows(b *flux.State, j0, nrows int, buf []float64) []float64 {
+	need := flux.NVar * nrows * b[0].Nx
 	if cap(buf) < need {
 		buf = make([]float64, need)
 	}
 	buf = buf[:need]
 	o := 0
 	for k := 0; k < flux.NVar; k++ {
-		o += b[k].PackRows(j0, field.Halo, buf[o:])
+		o += b[k].PackRows(j0, nrows, buf[o:])
 	}
 	return buf
 }
 
-func unpackRows(b *flux.State, j0 int, buf []float64) {
+func unpackRows(b *flux.State, j0, nrows int, buf []float64) {
 	o := 0
 	for k := 0; k < flux.NVar; k++ {
-		o += b[k].UnpackRows(j0, field.Halo, buf[o:])
+		o += b[k].UnpackRows(j0, nrows, buf[o:])
 	}
 }
 
@@ -197,14 +218,17 @@ func (h *rankHalo) recvFrom(from int, k solver.Kind, b *flux.State, c0 int) {
 }
 
 // Start implements solver.Halo: initiate the sends of one axial
-// exchange. Rank r sends its first two owned columns to its left
-// neighbour and its last two to its right neighbour.
+// exchange. With no redundant shell (ext == 0) rank r sends its first
+// two owned columns to its left neighbour and its last two to its
+// right neighbour; under a Wide policy the neighbour's ghost slots sit
+// just outside its own ext-wide shell, which is 2*ext columns into our
+// rectangle (our shell plus theirs).
 func (h *rankHalo) Start(k solver.Kind, b *flux.State) {
 	if h.left >= 0 {
-		h.sendTo(h.left, k, b, 0)
+		h.sendTo(h.left, k, b, 2*h.ext)
 	}
 	if h.right >= 0 {
-		h.sendTo(h.right, k, b, h.n-field.Halo)
+		h.sendTo(h.right, k, b, h.n-field.Halo-2*h.ext)
 	}
 }
 
@@ -232,17 +256,29 @@ func (h *rankHalo) Fill(k solver.Kind, b *flux.State) {
 }
 
 // FillEdges implements solver.Halo (edge extrapolation only; interior
-// halo ghosts keep their previous — lagged — contents).
-func (h *rankHalo) FillEdges(b *flux.State) {
-	h.edgeLeft.FillEdges(b)
-	h.edgeRight.FillEdges(b)
+// halo ghosts keep their previous — lagged or decaying — contents).
+// On a Wide policy's exchange-free steps this replaces a Fill, so each
+// interior neighbour's skipped send+receive pair is booked as saved
+// startups — the budget the redundant shell buys.
+func (h *rankHalo) FillEdges(k solver.Kind, b *flux.State) {
+	if h.ext > 0 {
+		saved := int64(2 * h.parts(k))
+		if h.left >= 0 {
+			h.dir.Axial.SavedStartups += saved
+		}
+		if h.right >= 0 {
+			h.dir.Axial.SavedStartups += saved
+		}
+	}
+	h.edgeLeft.FillEdgesKind(k, b)
+	h.edgeRight.FillEdgesKind(k, b)
 }
 
 // sendRowsTo groups the two boundary rows starting at j0 into one
 // message (row exchanges are always grouped: de-bursting targets the
 // axial flux messages the paper measured).
 func (h *rankHalo) sendRowsTo(to int, k solver.Kind, b *flux.State, j0 int) {
-	h.rowSendBuf = packRows(b, j0, h.rowSendBuf)
+	h.rowSendBuf = packRows(b, j0, field.Halo, h.rowSendBuf)
 	h.dir.Radial.AddMessage(8 * len(h.rowSendBuf))
 	h.comm.Send(to, tag(k, 0), h.rowSendBuf)
 }
@@ -256,18 +292,19 @@ func (h *rankHalo) recvRowsFrom(from int, k solver.Kind, b *flux.State, j0 int) 
 	}
 	h.dir.Radial.Startups++
 	h.comm.Recv(from, tag(k, 0), h.rowRecvBuf[:need])
-	unpackRows(b, j0, h.rowRecvBuf[:need])
+	unpackRows(b, j0, field.Halo, h.rowRecvBuf[:need])
 }
 
 // StartR initiates the sends of one radial exchange: the block's first
 // two owned rows go to the down neighbour, its last two to the up
-// neighbour. Sends are eager, so both go out before any receive blocks.
+// neighbour (shifted inward past both shells under a Wide policy, as
+// in Start). Sends are eager, so both go out before any receive blocks.
 func (h *rankHalo) StartR(k solver.Kind, b *flux.State) {
 	if h.down >= 0 {
-		h.sendRowsTo(h.down, k, b, 0)
+		h.sendRowsTo(h.down, k, b, 2*h.ext)
 	}
 	if h.up >= 0 {
-		h.sendRowsTo(h.up, k, b, h.nr-field.Halo)
+		h.sendRowsTo(h.up, k, b, h.nr-field.Halo-2*h.ext)
 	}
 }
 
@@ -309,8 +346,81 @@ func (h *rankHalo) FillR(k solver.Kind, b *flux.State) {
 }
 
 // FillREdges implements solver.Halo (physical radial treatment only;
-// interior ghost rows keep their previous — lagged — contents).
-func (h *rankHalo) FillREdges(b *flux.State) {
-	h.edgeBottom.FillREdges(b)
-	h.edgeTop.FillREdges(b)
+// interior ghost rows keep their previous — lagged or decaying —
+// contents). Saved startups are booked as in FillEdges.
+func (h *rankHalo) FillREdges(k solver.Kind, b *flux.State) {
+	if h.ext > 0 {
+		if h.down >= 0 {
+			h.dir.Radial.SavedStartups += 2
+		}
+		if h.up >= 0 {
+			h.dir.Radial.SavedStartups += 2
+		}
+	}
+	h.edgeBottom.FillREdgesKind(k, b)
+	h.edgeTop.FillREdgesKind(k, b)
+}
+
+// Refresh implements solver.Halo: re-exchange the ext-wide redundant
+// shells of a Wide(k) policy, resetting their staleness before an
+// exchange step. Two ordered phases keep the shell corners of the 2-D
+// decomposition correct: rows first at the full extended width, then
+// columns at the full extended height — the column payload's corner
+// rows are the just-refreshed down/up shell data, so a diagonal
+// neighbour's contribution arrives relayed through the shared row
+// neighbour, exactly as the per-stage corner fills do. Within each
+// phase all sends go out before any receive blocks (the message layer
+// buffers them), so the phase ordering cannot deadlock.
+func (h *rankHalo) Refresh(b *flux.State) {
+	e := h.ext
+	if e == 0 {
+		return
+	}
+	// Phase 1: radial. My down neighbour's shell covers my first e core
+	// rows — local rows [e, 2e); symmetrically for up. Their shell data
+	// for me lands in my shell rows [0, e) and [nr-e, nr).
+	if h.down >= 0 {
+		h.rowSendBuf = packRows(b, e, e, h.rowSendBuf)
+		h.dir.Radial.AddMessage(8 * len(h.rowSendBuf))
+		h.comm.Send(h.down, refreshRowTag, h.rowSendBuf)
+	}
+	if h.up >= 0 {
+		h.rowSendBuf = packRows(b, h.nr-2*e, e, h.rowSendBuf)
+		h.dir.Radial.AddMessage(8 * len(h.rowSendBuf))
+		h.comm.Send(h.up, refreshRowTag, h.rowSendBuf)
+	}
+	rowNeed := flux.NVar * e * b[0].Nx
+	if h.down >= 0 {
+		h.dir.Radial.Startups++
+		h.comm.Recv(h.down, refreshRowTag, h.rowRecvBuf[:rowNeed])
+		unpackRows(b, 0, e, h.rowRecvBuf[:rowNeed])
+	}
+	if h.up >= 0 {
+		h.dir.Radial.Startups++
+		h.comm.Recv(h.up, refreshRowTag, h.rowRecvBuf[:rowNeed])
+		unpackRows(b, h.nr-e, e, h.rowRecvBuf[:rowNeed])
+	}
+	// Phase 2: axial, full extended height (including the rows phase 1
+	// just refreshed).
+	if h.left >= 0 {
+		h.sendBuf = pack(b, e, e, h.sendBuf)
+		h.dir.Axial.AddMessage(8 * len(h.sendBuf))
+		h.comm.Send(h.left, refreshColTag, h.sendBuf)
+	}
+	if h.right >= 0 {
+		h.sendBuf = pack(b, h.n-2*e, e, h.sendBuf)
+		h.dir.Axial.AddMessage(8 * len(h.sendBuf))
+		h.comm.Send(h.right, refreshColTag, h.sendBuf)
+	}
+	colNeed := flux.NVar * e * b[0].Nr
+	if h.left >= 0 {
+		h.dir.Axial.Startups++
+		h.comm.Recv(h.left, refreshColTag, h.recvBuf[:colNeed])
+		unpack(b, 0, e, h.recvBuf[:colNeed])
+	}
+	if h.right >= 0 {
+		h.dir.Axial.Startups++
+		h.comm.Recv(h.right, refreshColTag, h.recvBuf[:colNeed])
+		unpack(b, h.n-e, e, h.recvBuf[:colNeed])
+	}
 }

@@ -57,6 +57,42 @@ type Options struct {
 	ColWeights []float64
 	// Prob is the scenario problem every slab runs (nil = built-in jet).
 	Prob *solver.Problem
+	// ReduceGroup, when > 1, makes the convergence controller's
+	// allreduce hierarchical: ranks are grouped into contiguous
+	// shared-memory nodes of this size, each node combines through a
+	// combiner (no messages), and only node leaders run the cross-node
+	// recursive-doubling plan. 0 or 1 keeps the flat plan. Either way
+	// every rank finishes with the bitwise-identical result.
+	ReduceGroup int
+}
+
+// CheckWideFit validates that a Wide(depth) policy's redundant shell
+// fits a decomposition axis: with interior neighbours present (two or
+// more blocks along the axis), every block must span at least ext+2
+// points — ext for the neighbour's shell it hosts, plus the 2-point
+// per-stage exchange window beyond it. Returns an actionable error
+// naming the deepest feasible policy otherwise. The same check guards
+// runner construction and backend validation.
+func CheckWideFit(viscous bool, depth int, spans []int, axis string) error {
+	ext := trace.WideExtension(viscous, depth)
+	if ext == 0 || len(spans) < 2 {
+		return nil
+	}
+	min := spans[0]
+	for _, w := range spans[1:] {
+		if w < min {
+			min = w
+		}
+	}
+	if min >= ext+2 {
+		return nil
+	}
+	maxDepth := (min-2)/trace.WideSpeed(viscous) + 1
+	if maxDepth < 1 {
+		maxDepth = 1
+	}
+	return fmt.Errorf("par: halo depth %d needs a %d-point redundant shell plus the 2-point exchange window on each interior %s side, but the narrowest rank owns only %d %ss; the deepest feasible policy for this decomposition is Wide(%d)",
+		depth, ext, axis, min, axis, maxDepth)
 }
 
 // RankStats reports one rank's measured execution profile.
@@ -70,6 +106,9 @@ type RankStats struct {
 	// axial-only decomposition).
 	Dir   trace.DirCounters
 	Flops float64
+	// RedundantFlops is the share of Flops spent advancing a Wide
+	// policy's redundant ghost shell (zero under Fresh/Lagged).
+	RedundantFlops float64
 }
 
 // Result summarizes a parallel run.
@@ -160,18 +199,43 @@ func NewRunner(cfg jet.Config, g *grid.Grid, opt Options) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
+	ext := trace.WideExtension(cfg.Viscous, opt.Policy.Depth())
+	if opt.Procs == 1 {
+		ext = 0 // no interior sides: Wide degenerates to Fresh
+	}
+	if ext > 0 {
+		widths := make([]int, opt.Procs)
+		for rank := range widths {
+			_, widths[rank] = d.Range(rank)
+		}
+		if err := CheckWideFit(cfg.Viscous, opt.Policy.Depth(), widths, "column"); err != nil {
+			return nil, err
+		}
+	}
+	group, combs, err := buildCombiners(opt.ReduceGroup, opt.Procs)
+	if err != nil {
+		return nil, err
+	}
 	gm := cfg.Gas()
 	world := msg.NewWorld(opt.Procs)
 	r := &Runner{Cfg: cfg, Grid: g, Opt: opt, Dec: d, World: world}
 	dt := math.Inf(1)
 	for rank := 0; rank < opt.Procs; rank++ {
 		i0, n := d.Range(rank)
+		extL, extR := 0, 0
+		if rank > 0 {
+			extL = ext
+		}
+		if rank < opt.Procs-1 {
+			extR = ext
+		}
 		comm := world.Comm(rank)
-		h := newRankHalo(comm, rank, opt.Procs, n, g.Nr, opt.Version, opt.Prob.Walls())
-		sl, err := solver.NewSlabProblem(cfg, opt.Prob, g, gm, i0, n, 0, g.Nr, h, opt.Policy)
+		h := newRankHalo(comm, rank, opt.Procs, n+extL+extR, g.Nr, opt.Version, ext, opt.Prob.Walls())
+		sl, err := solver.NewSlabProblem(cfg, opt.Prob, g, gm, i0-extL, n+extL+extR, 0, g.Nr, h, opt.Policy)
 		if err != nil {
 			return nil, err
 		}
+		sl.ExtL, sl.ExtR = extL, extR
 		sl.Overlap = opt.Version == V6
 		sl.InitParallelFlow()
 		if local := sl.StableDt(opt.CFL); local < dt {
@@ -180,7 +244,7 @@ func NewRunner(cfg jet.Config, g *grid.Grid, opt Options) (*Runner, error) {
 		r.Slabs = append(r.Slabs, sl)
 		r.comms = append(r.comms, comm)
 		r.halos = append(r.halos, h)
-		r.reds = append(r.reds, newReducer(comm))
+		r.reds = append(r.reds, newReducer(comm, group, combs, rank))
 	}
 	for _, sl := range r.Slabs {
 		sl.Dt = dt
@@ -231,13 +295,14 @@ func (r *Runner) RunControlled(n int, ctl solver.Control) *Result {
 		dir := r.halos[i].dir
 		dir.Reduce = r.reds[i].T
 		res.Ranks = append(res.Ranks, RankStats{
-			Rank:  i,
-			Busy:  totals[i] - c.WaitTime,
-			Wait:  c.WaitTime,
-			Total: totals[i],
-			Comm:  c.Counters,
-			Dir:   dir,
-			Flops: sl.T.Flops,
+			Rank:           i,
+			Busy:           totals[i] - c.WaitTime,
+			Wait:           c.WaitTime,
+			Total:          totals[i],
+			Comm:           c.Counters,
+			Dir:            dir,
+			Flops:          sl.T.Flops,
+			RedundantFlops: sl.T.RedundantFlops,
 		})
 	}
 	return res
@@ -267,15 +332,15 @@ func (r *Runner) Diagnose() solver.Diagnostics {
 }
 
 // GatherState assembles the full-domain conservative state from the
-// slabs (interior values only), for comparison against the serial
-// solver.
+// slabs (core values only — a Wide policy's redundant shell is the
+// neighbour's data), for comparison against the serial solver.
 func (r *Runner) GatherState() *flux.State {
 	full := flux.NewState(r.Grid.Nx, r.Grid.Nr)
 	for rank, sl := range r.Slabs {
 		i0, n := r.Dec.Range(rank)
 		for k := 0; k < flux.NVar; k++ {
 			for c := 0; c < n; c++ {
-				copy(full[k].Col(i0+c), sl.Q[k].Col(c))
+				copy(full[k].Col(i0+c), sl.Q[k].Col(sl.ExtL+c))
 			}
 		}
 	}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/jet"
 	"repro/internal/msg"
 	"repro/internal/solver"
+	"repro/internal/trace"
 )
 
 // Options2D configures a 2-D rank-grid run. Zero Px/Pr picks the
@@ -34,6 +35,9 @@ type Options2D struct {
 	RowWeights []float64
 	// Prob is the scenario problem every block runs (nil = built-in jet).
 	Prob *solver.Problem
+	// ReduceGroup makes the allreduce hierarchical over the flat rank
+	// numbering, exactly as par.Options.ReduceGroup.
+	ReduceGroup int
 }
 
 // Shape resolves the rank grid: explicit Px×Pr, one explicit factor
@@ -105,18 +109,59 @@ func NewRunner2D(cfg jet.Config, g *grid.Grid, opt Options2D) (*Runner2D, error)
 		opt.CFL = solver.DefaultCFL
 	}
 	opt.Px, opt.Pr, opt.Procs = px, pr, px*pr
+	ext := trace.WideExtension(cfg.Viscous, opt.Policy.Depth())
+	if ext > 0 {
+		var widths, heights []int
+		for rank := 0; rank < d.Ranks(); rank++ {
+			_, nxloc, _, nrloc := d.Block(rank)
+			widths = append(widths, nxloc)
+			heights = append(heights, nrloc)
+		}
+		if px > 1 {
+			if err := CheckWideFit(cfg.Viscous, opt.Policy.Depth(), widths, "column"); err != nil {
+				return nil, err
+			}
+		}
+		if pr > 1 {
+			if err := CheckWideFit(cfg.Viscous, opt.Policy.Depth(), heights, "row"); err != nil {
+				return nil, err
+			}
+		}
+		if px == 1 && pr == 1 {
+			ext = 0 // single rank: no interior sides
+		}
+	}
+	group, combs, err := buildCombiners(opt.ReduceGroup, px*pr)
+	if err != nil {
+		return nil, err
+	}
 	gm := cfg.Gas()
 	world := msg.NewWorld(d.Ranks())
 	r := &Runner2D{Cfg: cfg, Grid: g, Opt: opt, Dec: d, World: world}
 	dt := math.Inf(1)
 	for rank := 0; rank < d.Ranks(); rank++ {
 		i0, nxloc, j0, nrloc := d.Block(rank)
+		left, right, down, up := d.Neighbors(rank)
+		extL, extR, extB, extT := 0, 0, 0, 0
+		if left >= 0 {
+			extL = ext
+		}
+		if right >= 0 {
+			extR = ext
+		}
+		if down >= 0 {
+			extB = ext
+		}
+		if up >= 0 {
+			extT = ext
+		}
 		comm := world.Comm(rank)
-		h := newRankHalo2D(comm, d, rank, nxloc, nrloc, opt.Version, opt.Prob.Walls())
-		sl, err := solver.NewSlabProblem(cfg, opt.Prob, g, gm, i0, nxloc, j0, nrloc, h, opt.Policy)
+		h := newRankHalo2D(comm, d, rank, nxloc+extL+extR, nrloc+extB+extT, opt.Version, ext, opt.Prob.Walls())
+		sl, err := solver.NewSlabProblem(cfg, opt.Prob, g, gm, i0-extL, nxloc+extL+extR, j0-extB, nrloc+extB+extT, h, opt.Policy)
 		if err != nil {
 			return nil, err
 		}
+		sl.ExtL, sl.ExtR, sl.ExtB, sl.ExtT = extL, extR, extB, extT
 		sl.Overlap = opt.Version == V6
 		sl.InitParallelFlow()
 		if local := sl.StableDt(opt.CFL); local < dt {
@@ -125,7 +170,7 @@ func NewRunner2D(cfg jet.Config, g *grid.Grid, opt Options2D) (*Runner2D, error)
 		r.Slabs = append(r.Slabs, sl)
 		r.comms = append(r.comms, comm)
 		r.halos = append(r.halos, h)
-		r.reds = append(r.reds, newReducer(comm))
+		r.reds = append(r.reds, newReducer(comm, group, combs, rank))
 	}
 	for _, sl := range r.Slabs {
 		sl.Dt = dt
@@ -175,13 +220,14 @@ func (r *Runner2D) RunControlled(n int, ctl solver.Control) *Result {
 		dir := r.halos[i].dir
 		dir.Reduce = r.reds[i].T
 		res.Ranks = append(res.Ranks, RankStats{
-			Rank:  i,
-			Busy:  totals[i] - c.WaitTime,
-			Wait:  c.WaitTime,
-			Total: totals[i],
-			Comm:  c.Counters,
-			Dir:   dir,
-			Flops: sl.T.Flops,
+			Rank:           i,
+			Busy:           totals[i] - c.WaitTime,
+			Wait:           c.WaitTime,
+			Total:          totals[i],
+			Comm:           c.Counters,
+			Dir:            dir,
+			Flops:          sl.T.Flops,
+			RedundantFlops: sl.T.RedundantFlops,
 		})
 	}
 	return res
@@ -211,15 +257,15 @@ func (r *Runner2D) Diagnose() solver.Diagnostics {
 }
 
 // GatherState assembles the full-domain conservative state from the
-// blocks (interior values only), for comparison against the serial
-// solver.
+// blocks (core values only — a Wide policy's redundant shell is the
+// neighbour's data), for comparison against the serial solver.
 func (r *Runner2D) GatherState() *flux.State {
 	full := flux.NewState(r.Grid.Nx, r.Grid.Nr)
 	for rank, sl := range r.Slabs {
 		i0, nxloc, j0, nrloc := r.Dec.Block(rank)
 		for k := 0; k < flux.NVar; k++ {
 			for c := 0; c < nxloc; c++ {
-				copy(full[k].Col(i0 + c)[j0:j0+nrloc], sl.Q[k].Col(c))
+				copy(full[k].Col(i0+c)[j0:j0+nrloc], sl.Q[k].Col(sl.ExtL+c)[sl.ExtB:sl.ExtB+nrloc])
 			}
 		}
 	}

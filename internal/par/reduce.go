@@ -1,6 +1,8 @@
 package par
 
 import (
+	"fmt"
+
 	"repro/internal/msg"
 	"repro/internal/trace"
 )
@@ -22,6 +24,10 @@ type reducer struct {
 	plan []msg.ReduceStep
 	val  [1]float64 // operand staging (scalar collectives)
 	buf  [1]float64 // receive staging
+	// comb/slot place this rank in its shared-memory node for the
+	// hierarchical collective (nil comb = flat plan).
+	comb *combiner
+	slot int
 	// T accumulates this rank's collective traffic, the Reduce class
 	// of trace.DirCounters.
 	T trace.Counters
@@ -33,8 +39,71 @@ type reducer struct {
 // silently mixing payloads.
 const reduceTagBase = 64
 
-func newReducer(c *msg.Comm) *reducer {
-	return &reducer{comm: c, plan: msg.ReducePlan(c.Size(), c.Rank())}
+// combiner is the shared-memory intra-node stage of a hierarchical
+// allreduce: the ranks of one contiguous node deposit their values,
+// the node leader (slot 0) folds them in ascending-slot order — the
+// same ascending-rank canonical order the message plan uses — runs the
+// cross-node plan, and hands everyone the finished result. Channel
+// operations allocate nothing, so the hierarchical path keeps the
+// reducer's 0 allocs/op steady state.
+type combiner struct {
+	vals   []float64
+	result float64
+	// arrive signals a deposited value; the leader drains len(vals)-1
+	// of them per collective, so back-to-back collectives (the
+	// controller's Sum then Max) cannot mix generations.
+	arrive chan struct{}
+	// done[i] releases the member in slot i+1 after result is set.
+	done []chan struct{}
+}
+
+func newCombiner(size int) *combiner {
+	c := &combiner{
+		vals:   make([]float64, size),
+		arrive: make(chan struct{}, size),
+		done:   make([]chan struct{}, size-1),
+	}
+	for i := range c.done {
+		c.done[i] = make(chan struct{}, 1)
+	}
+	return c
+}
+
+// buildCombiners resolves a ReduceGroup option against the world size
+// and allocates one combiner per contiguous node (the last node may be
+// smaller). group <= 1 (flat) returns no combiners.
+func buildCombiners(group, procs int) (int, []*combiner, error) {
+	if group < 0 {
+		return 0, nil, fmt.Errorf("par: reduce group must be >= 1, got %d", group)
+	}
+	if group <= 1 {
+		return 1, nil, nil
+	}
+	if group > procs {
+		return 0, nil, fmt.Errorf("par: reduce group %d exceeds the %d ranks of the run", group, procs)
+	}
+	var combs []*combiner
+	for lo := 0; lo < procs; lo += group {
+		sz := group
+		if procs-lo < sz {
+			sz = procs - lo
+		}
+		combs = append(combs, newCombiner(sz))
+	}
+	return group, combs, nil
+}
+
+// newReducer builds rank's endpoint. Flat worlds (group <= 1, nil
+// combs) walk the full recursive-doubling plan; hierarchical worlds
+// give leaders the shorter leaders-only plan and members no plan at
+// all — their traffic is the node combine.
+func newReducer(c *msg.Comm, group int, combs []*combiner, rank int) *reducer {
+	r := &reducer{comm: c, plan: msg.ReducePlanLeaders(c.Size(), rank, group)}
+	if group > 1 {
+		r.comb = combs[rank/group]
+		r.slot = rank % group
+	}
+	return r
 }
 
 // combineFn folds the received subtree value into the local one; lo
@@ -50,8 +119,46 @@ func combineMax(lo, hi float64) float64 {
 	return lo
 }
 
-// allreduce runs the plan on the scalar in r.val[0].
+// allreduce reduces the scalar in r.val[0]: hierarchically through the
+// node combiner when one is attached, otherwise by walking the flat
+// message plan.
 func (r *reducer) allreduce(f combineFn) {
+	if r.comb == nil {
+		r.runPlan(f)
+		return
+	}
+	c := r.comb
+	if r.slot > 0 {
+		// Member: deposit, wait for the leader's finished result. The
+		// channel send/receive pair gives the happens-before edges for
+		// both vals[slot] (written before arrive) and result (written
+		// before done).
+		c.vals[r.slot] = r.val[0]
+		c.arrive <- struct{}{}
+		<-c.done[r.slot-1]
+		r.val[0] = c.result
+		return
+	}
+	// Leader: fold the node in ascending slot order (slot order is rank
+	// order, the canonical combine order of the message plan), reduce
+	// across nodes, publish.
+	for i := 1; i < len(c.vals); i++ {
+		<-c.arrive
+	}
+	acc := r.val[0]
+	for i := 1; i < len(c.vals); i++ {
+		acc = f(acc, c.vals[i])
+	}
+	r.val[0] = acc
+	r.runPlan(f)
+	c.result = r.val[0]
+	for _, d := range c.done {
+		d <- struct{}{}
+	}
+}
+
+// runPlan walks the message plan on the scalar in r.val[0].
+func (r *reducer) runPlan(f combineFn) {
 	for _, st := range r.plan {
 		if st.Send {
 			r.T.AddMessage(8 * len(r.val))

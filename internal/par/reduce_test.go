@@ -17,7 +17,7 @@ func runAllreduce(p int, in []float64, op func(r *reducer, x float64) float64) [
 	out := make([]float64, p)
 	var wg sync.WaitGroup
 	for r := 0; r < p; r++ {
-		red := newReducer(w.Comm(r))
+		red := newReducer(w.Comm(r), 1, nil, r)
 		wg.Add(1)
 		go func(r int, red *reducer) {
 			defer wg.Done()
@@ -102,7 +102,7 @@ func TestAllreduceCounters(t *testing.T) {
 	reds := make([]*reducer, p)
 	var wg sync.WaitGroup
 	for r := 0; r < p; r++ {
-		reds[r] = newReducer(w.Comm(r))
+		reds[r] = newReducer(w.Comm(r), 1, nil, r)
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()

@@ -83,19 +83,23 @@ func (s *Slab) snapshotState() {
 	}
 }
 
-// residualPartial returns the sum over owned points of the squared
+// residualPartial returns the sum over core points of the squared
 // state delta since the last snapshot, all components. The summation
 // order is fixed (column-major, components innermost) so a given
-// decomposition reproduces the same partial bitwise on every run.
+// decomposition reproduces the same partial bitwise on every run. A
+// Wide policy's redundant shell is excluded: those points are the
+// neighbour's core, already in the neighbour's partial (and possibly
+// decayed here) — the restriction keeps the global sum covering each
+// point exactly once, in the same per-rank order as Fresh.
 func (s *Slab) residualPartial() float64 {
 	sum := 0.0
-	for c := 0; c < s.NxLoc; c++ {
+	for c := s.ExtL; c < s.NxLoc-s.ExtR; c++ {
 		var cols, cols0 [flux.NVar][]float64
 		for k := 0; k < flux.NVar; k++ {
 			cols[k] = s.Q[k].Col(c)
 			cols0[k] = s.q0[k].Col(c)
 		}
-		for j := 0; j < s.NrLoc; j++ {
+		for j := s.ExtB; j < s.NrLoc-s.ExtT; j++ {
 			for k := 0; k < flux.NVar; k++ {
 				d := cols[k][j] - cols0[k][j]
 				sum += d * d
@@ -117,10 +121,15 @@ func (s *Slab) MaxRate() float64 {
 	nuFac := gm.Mu * math.Max(4.0/3.0, gm.Gamma/gm.Pr)
 	invD2 := 1/(g.Dx*g.Dx) + 1/(g.Dr*g.Dr)
 	maxRate := 0.0
-	flux.Primitives(gm, s.Q, s.W, 0, s.NxLoc)
-	for c := 0; c < s.NxLoc; c++ {
+	// Scan core points only: a Wide policy's decayed shell must not
+	// poison the stability rate, and max over the union of cores is the
+	// global max exactly — same dt bitwise as the Fresh decomposition.
+	c0, c1 := s.ExtL, s.NxLoc-s.ExtR
+	j0, j1 := s.ExtB, s.NrLoc-s.ExtT
+	flux.Primitives(gm, s.Q, s.W, c0, c1)
+	for c := c0; c < c1; c++ {
 		rho, u, v, T := s.W[flux.IRho].Col(c), s.W[flux.IMx].Col(c), s.W[flux.IMr].Col(c), s.W[flux.IE].Col(c)
-		for j := range rho {
+		for j := j0; j < j1; j++ {
 			cs := math.Sqrt(T[j])
 			rate := (math.Abs(u[j])+cs)/g.Dx + (math.Abs(v[j])+cs)/g.Dr + 2*nuFac/rho[j]*invD2
 			if rate > maxRate {

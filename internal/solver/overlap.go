@@ -73,7 +73,7 @@ func (s *Slab) opXOverlap(v scheme.Variant) {
 	gm, g := s.Gas, s.Grid
 	visc := s.Cfg.Viscous
 	n, nr := s.NxLoc, s.NrLoc
-	fresh := s.Policy == Fresh
+	fresh := s.Policy != Lagged // Wide steps reaching here are exchange steps
 	c := &s.ctx
 	c.v, c.lam, c.visc = v, s.Dt/(6*g.Dx), visc
 
@@ -91,7 +91,7 @@ func (s *Slab) opXOverlap(v scheme.Variant) {
 		s.pfor(0, n, s.fnPrims)
 	}
 	s.wReady = false
-	s.Halo.FillREdges(s.W) // physical radial ghosts: local, filled eagerly
+	s.Halo.FillREdges(KPrims, s.W) // physical radial ghosts: local, filled eagerly
 	s.Halo.Start(KPrims, s.W)
 	if fresh {
 		s.Halo.StartR(KPrims, s.W)
@@ -129,7 +129,7 @@ func (s *Slab) opXOverlap(v scheme.Variant) {
 	s.pfor(0, n, s.fnPrims)
 	c.f = s.FP
 	if visc {
-		s.Halo.FillREdges(s.WP)
+		s.Halo.FillREdges(KPredPrims, s.WP)
 		s.Halo.Start(KPredPrims, s.WP)
 		if fresh {
 			s.Halo.StartR(KPredPrims, s.WP)
@@ -200,7 +200,7 @@ func (s *Slab) opROverlap(v scheme.Variant) {
 	gm, g := s.Gas, s.Grid
 	visc := s.Cfg.Viscous
 	n, nr := s.NxLoc, s.NrLoc
-	fresh := s.Policy == Fresh
+	fresh := s.Policy != Lagged // Wide steps reaching here are exchange steps
 	c := &s.ctx
 	c.v, c.lam, c.visc = v, s.Dt/(6*g.Dr), visc
 
@@ -225,9 +225,9 @@ func (s *Slab) opROverlap(v scheme.Variant) {
 	if fresh {
 		s.Halo.Start(KPrimsR, s.W)
 	} else {
-		s.Halo.FillEdges(s.W)
+		s.Halo.FillEdges(KPrimsR, s.W)
 	}
-	s.Halo.FillREdges(s.W) // physical radial ghosts: local, filled eagerly
+	s.Halo.FillREdges(KPrimsR, s.W) // physical radial ghosts: local, filled eagerly
 	s.Halo.StartR(KPrimsR, s.W)
 	c.f, c.src = s.F, s.Src
 	c.j0, c.j1 = rlo, rhi
@@ -259,9 +259,9 @@ func (s *Slab) opROverlap(v scheme.Variant) {
 	if fresh {
 		s.Halo.Start(KPredPrimsR, s.WP)
 	} else {
-		s.Halo.FillEdges(s.WP)
+		s.Halo.FillEdges(KPredPrimsR, s.WP)
 	}
-	s.Halo.FillREdges(s.WP)
+	s.Halo.FillREdges(KPredPrimsR, s.WP)
 	s.Halo.StartR(KPredPrimsR, s.WP)
 	c.f, c.src = s.FP, s.SrcP
 	c.j0, c.j1 = rlo, rhi

@@ -42,10 +42,11 @@ func (h EdgeHalo) Start(_ Kind, _ *flux.State) {}
 // Finish implements Halo by applying the physical edge treatment.
 func (h EdgeHalo) Finish(k Kind, b *flux.State) { h.FillEdgesKind(k, b) }
 
-// FillEdges implements Halo. The kind-less interface method is only
-// ever called on primitive bundles (the lagged-policy edge refreshes),
-// so it fixes KPrims.
-func (h EdgeHalo) FillEdges(b *flux.State) { h.FillEdgesKind(KPrims, b) }
+// FillEdges implements Halo.
+func (h EdgeHalo) FillEdges(k Kind, b *flux.State) { h.FillEdgesKind(k, b) }
+
+// Refresh implements Halo; an edge halo carries no redundant shell.
+func (h EdgeHalo) Refresh(_ *flux.State) {}
 
 // FillEdgesKind fills the axial ghost columns of the owned physical
 // sides: cubic extrapolation on jet sides (Kind-independent), the
@@ -85,9 +86,8 @@ func (h EdgeHalo) FinishR(k Kind, b *flux.State) { h.FillREdgesKind(k, b) }
 // to receive.
 func (h EdgeHalo) ReceiveR(_ Kind, _ *flux.State) {}
 
-// FillREdges implements Halo; like FillEdges it is only called on
-// primitive bundles.
-func (h EdgeHalo) FillREdges(b *flux.State) { h.FillREdgesKind(KPrims, b) }
+// FillREdges implements Halo.
+func (h EdgeHalo) FillREdges(k Kind, b *flux.State) { h.FillREdgesKind(k, b) }
 
 // FillREdgesKind fills the radial ghost rows of the owned physical
 // sides. On jet sides the axis parity pattern (component IMr odd, the

@@ -73,9 +73,10 @@ type Halo interface {
 	// Fill exchanges the two ghost columns on interior sides and
 	// extrapolates on domain-edge sides.
 	Fill(k Kind, b *flux.State)
-	// FillEdges performs only the domain-edge extrapolation (used by the
-	// Lagged halo policy, which skips the radial-sweep exchanges).
-	FillEdges(b *flux.State)
+	// FillEdges performs only the domain-edge extrapolation, leaving
+	// interior ghost columns untouched (the Lagged policy's radial-sweep
+	// fills, and every fill of a Wide(k) policy's exchange-free steps).
+	FillEdges(k Kind, b *flux.State)
 	// FillR fills the two ghost rows on each radial side: neighbour
 	// exchange on interior sides, axis parity mirror at the bottom edge
 	// and cubic far-field extrapolation at the top edge. The parity and
@@ -83,8 +84,14 @@ type Halo interface {
 	// bundles (component IMr odd, the rest even).
 	FillR(k Kind, b *flux.State)
 	// FillREdges performs only the physical radial treatment; interior
-	// ghost rows keep their previous — lagged — contents.
-	FillREdges(b *flux.State)
+	// ghost rows keep their previous — lagged or decaying — contents.
+	FillREdges(k Kind, b *flux.State)
+	// Refresh re-exchanges the redundant shell of a Wide(k) policy: on
+	// each interior side the neighbour's freshly-owned copy of the
+	// shell's ExtL/ExtR columns (and ExtB/ExtT rows) replaces the
+	// decayed local one, resetting the staleness clock. A no-op for
+	// halos without a redundant shell (serial edges, depth-1 policies).
+	Refresh(b *flux.State)
 	// Start initiates the sends of an exchange without waiting for the
 	// incoming halo; Finish completes it. Fill is equivalent to Start
 	// followed by Finish. Used by the paper's Version 6 overlap of
@@ -107,7 +114,11 @@ type Halo interface {
 	ReceiveR(k Kind, b *flux.State)
 }
 
-// HaloPolicy selects the radial-sweep halo treatment (see DESIGN.md §5).
+// HaloPolicy selects the halo treatment (see DESIGN.md §5): the
+// Lagged/Fresh pair of the paper's message-budget study, or the
+// communication-avoiding Wide(k) family. The numeric value of a
+// Wide(k) policy is k itself, so Fresh is literally Wide(1) — the
+// depth-1 member whose exchange cadence is every stage of every step.
 type HaloPolicy int
 
 const (
@@ -121,9 +132,35 @@ const (
 	Fresh
 )
 
+// Wide returns the depth-k communication-avoiding policy: each rank
+// carries a redundant shell of trace.WideExtension points per interior
+// side and advances it alongside its core, so interior neighbours
+// exchange (per-stage, exactly as Fresh) only on every k-th step,
+// preceded by a shell refresh. Between exchanges the stale shell decays
+// from the outside in, never reaching the core, so owned points stay
+// bitwise-identical to the serial run. Wide(1) is Fresh itself.
+func Wide(k int) HaloPolicy {
+	if k < 1 {
+		panic("solver: Wide halo depth must be >= 1")
+	}
+	return HaloPolicy(k)
+}
+
+// Depth returns the exchange cadence of the policy in composite steps:
+// 1 for Lagged and Fresh (exchange every step), k for Wide(k).
+func (p HaloPolicy) Depth() int {
+	if p <= Fresh {
+		return 1
+	}
+	return int(p)
+}
+
 func (p HaloPolicy) String() string {
-	if p == Fresh {
+	switch {
+	case p == Fresh:
 		return "fresh"
+	case p > Fresh:
+		return fmt.Sprintf("wide(%d)", int(p))
 	}
 	return "lagged"
 }
@@ -148,6 +185,15 @@ type Slab struct {
 	Bottom bool      // owns the axis boundary (j0 == 0)
 	Top    bool      // owns the far-field boundary (j0+nrloc == Grid.Nr)
 	R      []float64 // radii of the owned rows (Grid.R[J0 : J0+NrLoc])
+
+	// ExtL/ExtR/ExtB/ExtT are the widths of the redundant ghost shell a
+	// Wide(k) halo policy carries on each interior side: the slab's
+	// rectangle (I0/NxLoc/J0/NrLoc and every field) is EXTENDED by these
+	// amounts, the shell is advanced redundantly alongside the core, and
+	// only the core — columns [ExtL, NxLoc-ExtR) by rows [ExtB,
+	// NrLoc-ExtT) — is ever reported (residuals, diagnostics, gathers).
+	// All zero under Lagged/Fresh and on serial slabs.
+	ExtL, ExtR, ExtB, ExtT int
 
 	Q, QP, QN *flux.State // state, predicted state, next state
 	W, WP     *flux.State // primitives of Q and QP
@@ -225,6 +271,33 @@ type Slab struct {
 	// overlapped operators do not fuse (their correctors are split into
 	// core and frame fork-joins) and leave it false.
 	wReady bool
+
+	// exch records whether the current composite step exchanges with
+	// interior neighbours (true on every step under Lagged/Fresh; every
+	// Depth()-th step under Wide). Set by Advance, consumed by the
+	// fill/fillR dispatch below.
+	exch bool
+}
+
+// fill dispatches a stage's axial ghost-column fill: a real exchange on
+// exchange steps, physical-edge treatment only on the exchange-free
+// steps of a Wide policy (the interior ghosts then hold decaying shell
+// data, which the redundant shell keeps away from the core).
+func (s *Slab) fill(k Kind, b *flux.State) {
+	if s.exch {
+		s.Halo.Fill(k, b)
+		return
+	}
+	s.Halo.FillEdges(k, b)
+}
+
+// fillR is fill for the radial (ghost-row) direction.
+func (s *Slab) fillR(k Kind, b *flux.State) {
+	if s.exch {
+		s.Halo.FillR(k, b)
+		return
+	}
+	s.Halo.FillREdges(k, b)
 }
 
 // stageCtx parameterizes the prebuilt loop bodies of a Slab. q/w/f/src
@@ -422,7 +495,18 @@ func variantFor(step int) (scheme.Variant, bool) {
 }
 
 // Advance performs one composite time step (one Lx and one Lr sweep).
+// Under a Wide(k) policy only every k-th step exchanges with interior
+// neighbours: those steps first refresh the redundant shell (except
+// step 0, whose initial condition is analytic and exact everywhere),
+// then run the per-stage exchanges exactly as Fresh would; the k-1
+// steps in between communicate nothing and let the shell decay.
 func (s *Slab) Advance() {
+	depth := s.Policy.Depth()
+	s.exch = depth <= 1 || s.Step%depth == 0
+	if s.exch && depth > 1 && s.Step > 0 {
+		s.Halo.Refresh(s.Q)
+		s.wReady = false // W's shell region is stale relative to the refreshed Q
+	}
 	v, rFirst := variantFor(s.Step)
 	if rFirst {
 		s.opR(v)
@@ -455,7 +539,10 @@ func (s *Slab) pfor(lo, hi int, fn func(lo, hi int)) {
 // variant. Communication pattern: E1 prims, E2 flux, E3 predicted
 // prims, E4 predicted flux — the paper's four grouped N-S exchanges.
 func (s *Slab) opX(v scheme.Variant) {
-	if s.Overlap {
+	// The overlapped schedule only makes sense when messages are in
+	// flight; a Wide policy's exchange-free steps take the plain path
+	// (which is bitwise-identical to the overlapped one).
+	if s.Overlap && s.exch {
 		s.opXOverlap(v)
 		return
 	}
@@ -475,15 +562,15 @@ func (s *Slab) opX(v scheme.Variant) {
 		s.pfor(0, n, s.fnPrims)
 	}
 	s.wReady = false
-	s.Halo.Fill(KPrims, s.W)
-	if s.Policy == Fresh {
-		s.Halo.FillR(KPrims, s.W)
+	s.fill(KPrims, s.W)
+	if s.Policy != Lagged {
+		s.fillR(KPrims, s.W)
 	} else {
-		s.Halo.FillREdges(s.W)
+		s.Halo.FillREdges(KPrims, s.W)
 	}
 	c.f = s.F
 	s.pfor(0, n, s.fnStressFluxX)
-	s.Halo.Fill(KFlux, s.F)
+	s.fill(KFlux, s.F)
 	// The fused predictor also recovers the predicted primitives (the
 	// first pass of stage B); the boundary columns are recomputed after
 	// their conditions overwrite them.
@@ -505,16 +592,16 @@ func (s *Slab) opX(v scheme.Variant) {
 	// predicted stress tensor; Euler needs no stresses, which is why the
 	// paper's Euler budget is three exchanges per step, not four.
 	if visc {
-		s.Halo.Fill(KPredPrims, s.WP)
-		if s.Policy == Fresh {
-			s.Halo.FillR(KPredPrims, s.WP)
+		s.fill(KPredPrims, s.WP)
+		if s.Policy != Lagged {
+			s.fillR(KPredPrims, s.WP)
 		} else {
-			s.Halo.FillREdges(s.WP)
+			s.Halo.FillREdges(KPredPrims, s.WP)
 		}
 	}
 	c.q, c.w, c.f = s.QP, s.WP, s.FP
 	s.pfor(0, n, s.fnStressFluxX)
-	s.Halo.Fill(KPredFlux, s.FP)
+	s.fill(KPredFlux, s.FP)
 	// The corrector also recovers the primitives of QN into W, so the
 	// next operator starts with its stage-A pass already done; the
 	// boundary columns are recomputed after their conditions apply.
@@ -549,7 +636,7 @@ func (s *Slab) opX(v scheme.Variant) {
 // sweep direction, so its exchanges happen under either policy, exactly
 // as the axial exchanges of opX do.
 func (s *Slab) opR(v scheme.Variant) {
-	if s.Overlap {
+	if s.Overlap && s.exch {
 		s.opROverlap(v)
 		return
 	}
@@ -566,15 +653,15 @@ func (s *Slab) opR(v scheme.Variant) {
 		s.pfor(0, n, s.fnPrims)
 	}
 	s.wReady = false
-	if s.Policy == Fresh {
-		s.Halo.Fill(KPrimsR, s.W)
+	if s.Policy != Lagged {
+		s.fill(KPrimsR, s.W)
 	} else {
-		s.Halo.FillEdges(s.W)
+		s.Halo.FillEdges(KPrimsR, s.W)
 	}
-	s.Halo.FillR(KPrimsR, s.W)
+	s.fillR(KPrimsR, s.W)
 	c.f, c.src = s.F, s.Src
 	s.pfor(0, n, s.fnStressFluxR)
-	s.Halo.FillR(KFlux, s.F)
+	s.fillR(KFlux, s.F)
 	// Fused predictor + predicted-primitives sweep; the boundary columns
 	// are recomputed after their conditions overwrite them. Wall columns
 	// are pinned in the radial sweep too — the viscous cross-derivatives
@@ -594,15 +681,15 @@ func (s *Slab) opR(v scheme.Variant) {
 	}
 
 	// Stage B: corrector.
-	if s.Policy == Fresh {
-		s.Halo.Fill(KPredPrimsR, s.WP)
+	if s.Policy != Lagged {
+		s.fill(KPredPrimsR, s.WP)
 	} else {
-		s.Halo.FillEdges(s.WP)
+		s.Halo.FillEdges(KPredPrimsR, s.WP)
 	}
-	s.Halo.FillR(KPredPrimsR, s.WP)
+	s.fillR(KPredPrimsR, s.WP)
 	c.q, c.w, c.f, c.src = s.QP, s.WP, s.FP, s.SrcP
 	s.pfor(0, n, s.fnStressFluxR)
-	s.Halo.FillR(KPredFlux, s.FP)
+	s.fillR(KPredFlux, s.FP)
 	// Fused corrector + primitives recovery; the far-field row and the
 	// inflow column are recomputed after their conditions apply.
 	s.pfor(0, n, s.fnCorrectRRowsPrims)
@@ -628,7 +715,17 @@ func (s *Slab) opR(v scheme.Variant) {
 	s.accountR(visc, n)
 }
 
+// redundantPoints returns how many of the slab's points belong to the
+// Wide policy's redundant shell rather than the core.
+func (s *Slab) redundantPoints() float64 {
+	core := (s.NxLoc - s.ExtL - s.ExtR) * (s.NrLoc - s.ExtB - s.ExtT)
+	return float64(s.NxLoc*s.NrLoc - core)
+}
+
 // accountX accumulates the analytic FLOP count of one axial operator.
+// Shell points are included in Flops (the rank really does the work)
+// and broken out in RedundantFlops — the compute price of the Wide
+// policy's saved startups.
 func (s *Slab) accountX(visc bool, n int) {
 	pts := float64(n * s.NrLoc)
 	fl := 2 * float64(flux.FlopsPrims)
@@ -639,8 +736,10 @@ func (s *Slab) accountX(visc bool, n int) {
 	}
 	fl += float64(scheme.FlopsPredictX + scheme.FlopsCorrectX)
 	s.T.AddFlops(fl * pts)
+	s.T.RedundantFlops += fl * s.redundantPoints()
 	if s.Right {
 		s.T.AddFlops(float64(bc.FlopsCharPoint) * float64(s.NrLoc))
+		s.T.RedundantFlops += float64(bc.FlopsCharPoint) * float64(s.ExtB+s.ExtT)
 	}
 }
 
@@ -655,8 +754,10 @@ func (s *Slab) accountR(visc bool, n int) {
 	}
 	fl += float64(scheme.FlopsPredictR + scheme.FlopsCorrectR)
 	s.T.AddFlops(fl * pts)
+	s.T.RedundantFlops += fl * s.redundantPoints()
 	if s.Top {
 		s.T.AddFlops(float64(bc.FlopsCharPoint) * float64(n)) // far-field row
+		s.T.RedundantFlops += float64(bc.FlopsCharPoint) * float64(s.ExtL+s.ExtR)
 	}
 }
 
@@ -671,15 +772,19 @@ type Diagnostics struct {
 	OwnPoints int
 }
 
-// Diagnose computes conserved integrals and sanity indicators.
+// Diagnose computes conserved integrals and sanity indicators over the
+// core points (a Wide policy's redundant shell is the neighbour's data,
+// possibly decayed — it must not enter integrals or NaN checks).
 func (s *Slab) Diagnose() Diagnostics {
 	g := s.Grid
 	gm := s.Gas
-	d := Diagnostics{MinRho: math.Inf(1), MinP: math.Inf(1), OwnPoints: s.NxLoc * s.NrLoc}
+	c0, c1 := s.ExtL, s.NxLoc-s.ExtR
+	j0, j1 := s.ExtB, s.NrLoc-s.ExtT
+	d := Diagnostics{MinRho: math.Inf(1), MinP: math.Inf(1), OwnPoints: (c1 - c0) * (j1 - j0)}
 	vol := g.Dx * g.Dr
-	for c := 0; c < s.NxLoc; c++ {
+	for c := c0; c < c1; c++ {
 		rho, mx, mr, e := s.Q[flux.IRho].Col(c), s.Q[flux.IMx].Col(c), s.Q[flux.IMr].Col(c), s.Q[flux.IE].Col(c)
-		for j := range rho {
+		for j := j0; j < j1; j++ {
 			r := s.R[j]
 			d.Mass += rho[j] * r * vol
 			d.Energy += e[j] * r * vol
@@ -707,17 +812,18 @@ func (s *Slab) Diagnose() Diagnostics {
 // slab-owned buffer reused by subsequent calls: callers that need the
 // snapshot to survive the next call must copy it.
 func (s *Slab) AxialMomentum() [][]float64 {
-	nr := s.NrLoc
-	if cap(s.momBuf) < s.NxLoc*nr {
-		s.momBuf = make([]float64, s.NxLoc*nr)
+	nx := s.NxLoc - s.ExtL - s.ExtR
+	nr := s.NrLoc - s.ExtB - s.ExtT
+	if cap(s.momBuf) < nx*nr {
+		s.momBuf = make([]float64, nx*nr)
 	}
-	if cap(s.momOut) < s.NxLoc {
-		s.momOut = make([][]float64, s.NxLoc)
+	if cap(s.momOut) < nx {
+		s.momOut = make([][]float64, nx)
 	}
-	out := s.momOut[:s.NxLoc]
-	for c := 0; c < s.NxLoc; c++ {
+	out := s.momOut[:nx]
+	for c := 0; c < nx; c++ {
 		col := s.momBuf[c*nr : (c+1)*nr]
-		copy(col, s.Q[flux.IMx].Col(c))
+		copy(col, s.Q[flux.IMx].Col(s.ExtL+c)[s.ExtB:s.ExtB+nr])
 		out[c] = col
 	}
 	return out

@@ -407,6 +407,71 @@ func Claims() []Claim {
 			},
 		},
 		{
+			ID:        "WIDE-startup-budget",
+			Statement: "depth-2 wide halos cut the per-rank startup budget to 5/8 for N-S and 2/3 for Euler (communication-avoiding extension)",
+			Check: func() (string, bool, error) {
+				ns := float64(trace.PaperNS().RankStartupsAt(2)) / float64(trace.PaperNS().RankStartups())
+				eu := float64(trace.PaperEuler().RankStartupsAt(2)) / float64(trace.PaperEuler().RankStartups())
+				got := fmt.Sprintf("N-S startups x%.3f, Euler x%.3f at depth 2", ns, eu)
+				// Below the 0.7 acceptance bar but well above the 1/k
+				// asymptote: the refresh itself still costs startups.
+				ok := ns <= 0.7 && eu <= 0.7 && ns > 0.5 && eu > 0.5
+				return got, ok, nil
+			},
+		},
+		{
+			ID:        "WIDE-ethernet-crossover",
+			Statement: "on Ethernet the depth-2 exchange cadence loses at small P to its redundant-shell compute but wins once startup contention dominates, and depth 2 beats deeper shells (communication-avoiding extension)",
+			Check: func() (string, bool, error) {
+				// The Euler workload carries the exact 4-point inviscid
+				// shell; the viscous 12-point shell prices Wide out on
+				// this grid, which is itself part of the finding.
+				ch := trace.PaperEuler()
+				eth := machine.LACE560Ethernet
+				f2, err := WideHaloSeconds(eth, ch, 1, 2)
+				if err != nil {
+					return "", false, err
+				}
+				w2, err := WideHaloSeconds(eth, ch, 2, 2)
+				if err != nil {
+					return "", false, err
+				}
+				f8, err := WideHaloSeconds(eth, ch, 1, 8)
+				if err != nil {
+					return "", false, err
+				}
+				w8, err := WideHaloSeconds(eth, ch, 2, 8)
+				if err != nil {
+					return "", false, err
+				}
+				d8, err := WideHaloSeconds(eth, ch, 4, 8)
+				if err != nil {
+					return "", false, err
+				}
+				got := fmt.Sprintf("Euler P=2 fresh %.0fs vs wide(2) %.0fs; P=8 fresh %.0fs vs wide(2) %.0fs, wide(4) %.0fs", f2, w2, f8, w8, d8)
+				ok := w2 >= f2 && w8 < 0.95*f8 && w8 < d8
+				return got, ok, nil
+			},
+		},
+		{
+			ID:        "WIDE-hier-reduce",
+			Statement: "a hierarchical allreduce (4-rank nodes, leaders-only cross-node plan) undercuts the flat plan on Ethernet when the residual is monitored every step (communication-avoiding extension)",
+			Check: func() (string, bool, error) {
+				ch := trace.PaperNS()
+				eth := machine.LACE560Ethernet
+				flat, err := HierarchicalReduceSeconds(eth, ch, 1, 1, 16)
+				if err != nil {
+					return "", false, err
+				}
+				hier, err := HierarchicalReduceSeconds(eth, ch, 1, 4, 16)
+				if err != nil {
+					return "", false, err
+				}
+				got := fmt.Sprintf("N-S Ethernet P=16, reduce every step: flat %.0fs vs hierarchical %.0fs (x%.3f)", flat, hier, hier/flat)
+				return got, hier < 0.995*flat, nil
+			},
+		},
+		{
 			ID:        "F3-atm-fddi",
 			Statement: "ATM performs almost identically to ALLNODE-F, and FDDI to ALLNODE-S (Section 7.1)",
 			Check: func() (string, bool, error) {

@@ -460,3 +460,60 @@ func ConvergedSpeedup(p machine.Platform, procs int) (fixedSec, convSec float64,
 	}
 	return fixed.Seconds, co.Seconds, cr.Steps, nil
 }
+
+// ---------------------------------------------------------------------
+// Communication-avoiding exchange: wide halos and hierarchical
+// collectives, priced on the 1995 platforms.
+
+// WideHaloSeconds co-simulates the application under the Wide(depth)
+// exchange cadence: ranks carry a (depth-1)-deep redundant ghost shell,
+// exchange every depth-th step, and pay for the shell with redundant
+// compute. Depth 1 is the per-stage fresh schedule.
+func WideHaloSeconds(p machine.Platform, ch trace.Characterization, depth, procs int) (float64, error) {
+	ch.HaloDepth = depth
+	o, err := p.Simulate(ch, procs, 5)
+	if err != nil {
+		return 0, err
+	}
+	return o.Seconds, nil
+}
+
+// WideHaloSweep returns one execution-time series per halo depth on a
+// platform, sweeping the paper's processor counts. Points whose
+// redundant shell does not fit the decomposition (narrow slabs at high
+// P and deep shells) are skipped rather than erroring, so a deep-shell
+// series simply ends where it stops being feasible.
+func WideHaloSweep(p machine.Platform, ch trace.Characterization, depths []int) ([]stats.Series, error) {
+	var out []stats.Series
+	for _, depth := range depths {
+		s := stats.Series{Name: fmt.Sprintf("%s wide(%d)", p.Name, depth)}
+		ext := trace.WideExtension(ch.Viscous, depth)
+		for _, np := range ProcCounts(p.MaxProcs) {
+			if np > 1 && ch.Nx/np < ext+2 {
+				continue // shell + exchange window exceed the narrowest slab
+			}
+			sec, err := WideHaloSeconds(p, ch, depth, np)
+			if err != nil {
+				return nil, err
+			}
+			s.Add(float64(np), sec)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// HierarchicalReduceSeconds co-simulates a convergence-monitored run
+// (ReduceEvery cadence) with the allreduce either flat (group 1) or
+// hierarchical over shared-memory nodes of the given size: members
+// combine locally for free, and only node leaders run the cross-node
+// recursive-doubling plan.
+func HierarchicalReduceSeconds(p machine.Platform, ch trace.Characterization, every, group, procs int) (float64, error) {
+	ch.ReduceEvery = every
+	ch.ReduceGroup = group
+	o, err := p.Simulate(ch, procs, 5)
+	if err != nil {
+		return 0, err
+	}
+	return o.Seconds, nil
+}

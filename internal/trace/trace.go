@@ -11,6 +11,14 @@ type Counters struct {
 	Flops    float64 // floating-point operations (analytic kernel counts)
 	Startups int64   // message-passing send/receive initiations
 	Bytes    int64   // payload bytes communicated
+	// RedundantFlops is the share of Flops spent advancing redundant
+	// ghost-shell points under a Wide(k) halo policy — work a Fresh run
+	// would not do, traded for the startups below. Included in Flops.
+	RedundantFlops float64
+	// SavedStartups counts the message initiations a per-stage Fresh
+	// exchange would have issued on steps a Wide(k) policy skipped — the
+	// startup budget the redundant compute buys back.
+	SavedStartups int64
 }
 
 // AddFlops accumulates floating-point operations.
@@ -27,6 +35,8 @@ func (c *Counters) Merge(other Counters) {
 	c.Flops += other.Flops
 	c.Startups += other.Startups
 	c.Bytes += other.Bytes
+	c.RedundantFlops += other.RedundantFlops
+	c.SavedStartups += other.SavedStartups
 }
 
 func (c Counters) String() string {
@@ -64,6 +74,32 @@ func (d DirCounters) Total() Counters {
 
 func (d DirCounters) String() string {
 	return fmt.Sprintf("axial[%v] radial[%v] reduce[%v]", d.Axial, d.Radial, d.Reduce)
+}
+
+// WideSpeed returns the conservative per-composite-step corruption
+// speed of a stale ghost shell, in grid points per interior side: the
+// distance bad boundary data can creep inward during one 2-4 MacCormack
+// composite step (both directional operators, predictor + corrector,
+// including the viscous stress reach). A Wide(k) policy must carry a
+// redundant shell of WideSpeed*(k-1) points so the core stays exact
+// across k-1 exchange-free steps. Overestimating the speed costs only
+// redundant flops; underestimating it would break bitwise parity, so
+// the viscous figure rounds the ~8-point analytic reach up to 12.
+func WideSpeed(viscous bool) int {
+	if viscous {
+		return 12
+	}
+	return 4
+}
+
+// WideExtension returns the redundant-shell width (grid points per
+// interior side) a Wide(depth) halo policy needs: WideSpeed*(depth-1).
+// Depth <= 1 (Fresh, Lagged) carries no redundant shell.
+func WideExtension(viscous bool, depth int) int {
+	if depth <= 1 {
+		return 0
+	}
+	return WideSpeed(viscous) * (depth - 1)
 }
 
 // PaperFlopsPerPoint returns the paper's Table 1 workload density in
@@ -108,6 +144,19 @@ type Characterization struct {
 	// collective-latency term of a residual-controlled run. Zero means
 	// a fixed-step run with no collectives.
 	ReduceEvery int
+	// HaloDepth, when > 1, prices a Wide(k) communication-avoiding
+	// exchange: ranks run the per-stage exchange program only every
+	// HaloDepth steps (preceded by a redundant-shell refresh of
+	// WideExtension columns per interior side) and compute-only steps in
+	// between, with per-rank flops inflated by the redundant shell.
+	// 0 or 1 means the per-stage Fresh cadence.
+	HaloDepth int
+	// ReduceGroup, when > 1, prices the hierarchical allreduce: ranks
+	// are grouped into contiguous shared-memory nodes of ReduceGroup;
+	// only node leaders run the (shorter) cross-node recursive-doubling
+	// plan, and the intra-node combine is memory-speed (free at this
+	// model's resolution). 0 or 1 means the flat plan.
+	ReduceGroup int
 }
 
 // ReducesPerMonitor is the number of allreduce collectives one
@@ -194,4 +243,25 @@ func (ch Characterization) RankStartups() int64 {
 // for an internal rank (send direction only, as Table 1 volume).
 func (ch Characterization) RankBytes() int64 {
 	return int64(ch.ColVarsPerStep) * 2 * int64(ch.Nr) * 8 * int64(ch.Steps)
+}
+
+// RefreshBytes returns the payload of one redundant-shell refresh to
+// one neighbour under a Wide policy carrying ext extra columns per
+// interior side: vars x ext columns x Nr points x 8 bytes.
+func (ch Characterization) RefreshBytes(ext int) int {
+	varsPerExchange := ch.ColVarsPerStep / ch.ExchangesPerStep // 4
+	return varsPerExchange * ext * ch.Nr * 8
+}
+
+// RankStartupsAt returns the per-rank startup count over the full run
+// for an internal rank (two neighbours) under a Wide(depth) policy:
+// per-stage exchanges (and one shell refresh per exchange step) happen
+// only on every depth-th step. depth <= 1 reproduces RankStartups.
+func (ch Characterization) RankStartupsAt(depth int) int64 {
+	if depth <= 1 {
+		return ch.RankStartups()
+	}
+	exchangeSteps := int64((ch.Steps + depth - 1) / depth)
+	perStep := int64(ch.ExchangesPerStep)*2*2 + 2*2 // stage exchanges + refresh
+	return perStep * exchangeSteps
 }

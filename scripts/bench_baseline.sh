@@ -16,7 +16,12 @@
 # BenchmarkSolverStep/<scenario> rows (and the parallel
 # BenchmarkScenarioBackends sweep) put every registered flow scenario
 # under the same Mpoints/s gate as the jet, so bench_compare.sh flags a
-# regression on the wall-mirror paths too. Numbers are
+# regression on the wall-mirror paths too. BenchmarkAblationHaloDepth
+# records the communication-avoiding cadence trajectory: per-depth
+# saved-startups/step on the real backends, the simulated Ethernet
+# price of the depth-2 schedule at P=8, converged Wide(2) runs of
+# mp2d and hybrid, and the hierarchical-reduce startup count per node
+# size. Numbers are
 # host-dependent: compare trends on the same machine, not absolute
 # values across machines.
 set -eu

@@ -13,8 +13,19 @@
 # are the real-host solver benchmarks whose trajectory the baseline
 # exists to protect; simulated-platform figure benchmarks measure model
 # output, not host speed. A benchmark regresses when
-# fresh/baseline < THRESHOLD (default 0.9). Exit status 1 if anything
-# regressed. Absolute numbers are host-dependent: comparisons are only
+# fresh/baseline < THRESHOLD: the fresh run must keep at least that
+# fraction of the baseline throughput (default 0.9, i.e. a 10% drop
+# budget; lower it — e.g. THRESHOLD=0.8 — on noisy hosts, raise it to
+# tighten the gate). Exit status 1 if anything regressed.
+#
+# Benchmarks present in only one of the two runs are never an error:
+# a fresh benchmark with no baseline entry (new in this tree) and a
+# baseline entry the fresh run did not produce (renamed/removed, or a
+# BENCH subset) are each reported as a warning and skipped, so adding
+# or renaming benchmarks cannot fail the gate until the baseline is
+# regenerated with scripts/bench_baseline.sh.
+#
+# Absolute numbers are host-dependent: comparisons are only
 # meaningful against a baseline recorded on the same machine, and
 # 1-iteration runs on a busy host are noisy — rerun with BENCHTIME=2s
 # (or higher) before acting on a flagged regression.
@@ -53,7 +64,12 @@ NR == FNR {
     mp = ""
     for (i = 3; i < NF; i++)
         if ($(i + 1) == "Mpoints/s") mp = $i
-    if (mp == "" || !(name in base)) next
+    if (mp == "") next
+    if (!(name in base)) {
+        printf "warning: %s has no baseline entry, skipped (regenerate with scripts/bench_baseline.sh)\n", name
+        next
+    }
+    seen[name] = 1
     n++
     ratio = mp / base[name]
     status = "ok"
@@ -61,6 +77,9 @@ NR == FNR {
     printf "%-55s %10.3f -> %10.3f  (%.2fx) %s\n", name, base[name], mp, ratio, status
 }
 END {
+    for (name in base)
+        if (!(name in seen))
+            printf "warning: baseline entry %s not in this run, skipped\n", name
     if (n == 0) { print "no comparable Mpoints/s benchmarks found"; exit 2 }
     printf "%d compared, %d regressed (threshold %.2fx)\n", n, bad, threshold
     if (bad > 0) exit 1
