@@ -15,6 +15,7 @@ package repro_test
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -32,6 +33,7 @@ import (
 	"repro/internal/msg"
 	"repro/internal/par"
 	"repro/internal/scenario"
+	"repro/internal/serve"
 	"repro/internal/shm"
 	"repro/internal/sim"
 	"repro/internal/solver"
@@ -857,4 +859,65 @@ func BenchmarkCoreQuickstart(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---------------------------------------------------------------------
+// Service throughput: the multi-tenant scheduler.
+
+// serviceJobs is the throughput workload: a mixed Reynolds, excitation,
+// grid, and scenario sweep with deliberate duplicates, the traffic
+// shape the config-hash cache is built for.
+func serviceJobs() []serve.Job {
+	eps0 := 0.0
+	unique := []serve.Job{
+		{Scenario: "jet", Backend: "serial", Nx: 64, Nr: 24, Steps: 5},
+		{Scenario: "jet", Backend: "serial", Nx: 64, Nr: 24, Steps: 5, Reynolds: 500},
+		{Scenario: "jet", Backend: "serial", Nx: 64, Nr: 24, Steps: 5, Reynolds: 2000},
+		{Scenario: "jet", Backend: "serial", Nx: 64, Nr: 24, Steps: 5, Eps: &eps0},
+		{Scenario: "jet", Backend: "serial", Nx: 96, Nr: 32, Steps: 5},
+		{Scenario: "jet", Backend: "shm", Procs: 2, Nx: 64, Nr: 24, Steps: 5},
+		{Scenario: "jet", Backend: "mp:v5", Procs: 2, Fresh: true, Nx: 64, Nr: 24, Steps: 5},
+		{Scenario: "jet", Backend: "mp2d", Px: 2, Pr: 2, Procs: 4, Fresh: true, Nx: 64, Nr: 24, Steps: 5},
+		{Scenario: "jet", Backend: "serial", Euler: true, Nx: 64, Nr: 24, Steps: 5},
+		{Scenario: "cavity", Backend: "serial", Nx: 33, Nr: 32, Steps: 5},
+		{Scenario: "cavity", Backend: "mp:v5", Procs: 2, Fresh: true, Nx: 33, Nr: 32, Steps: 5},
+		{Scenario: "channel", Backend: "serial", Nx: 64, Nr: 16, Steps: 5},
+		{Scenario: "channel", Backend: "shm", Procs: 2, Nx: 64, Nr: 16, Steps: 5},
+	}
+	jobs := make([]serve.Job, 0, 2*len(unique)+4)
+	jobs = append(jobs, unique...)
+	jobs = append(jobs, unique...) // every job resubmitted once: cache traffic
+	jobs = append(jobs, unique[:4]...)
+	return jobs
+}
+
+// BenchmarkServiceThroughput measures served jobs per hour through the
+// multi-tenant scheduler on the mixed duplicate-bearing workload; the
+// hit-rate metric records how much of it the config-hash cache
+// absorbed. A fresh scheduler per iteration keeps the hit-rate a
+// property of the workload, not of accumulated benchmark state.
+func BenchmarkServiceThroughput(b *testing.B) {
+	jobs := serviceJobs()
+	var served, hits uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := serve.New(serve.Options{})
+		var wg sync.WaitGroup
+		for _, job := range jobs {
+			wg.Add(1)
+			go func(job serve.Job) {
+				defer wg.Done()
+				if _, err := s.Submit(job.Config()); err != nil {
+					b.Error(err)
+				}
+			}(job)
+		}
+		wg.Wait()
+		st := s.Stats()
+		served += st.Completed + st.CacheHits
+		hits += st.CacheHits
+		s.Close()
+	}
+	b.ReportMetric(float64(served)/b.Elapsed().Hours(), "runs/hour")
+	b.ReportMetric(float64(hits)/float64(served), "hit-rate")
 }

@@ -33,6 +33,7 @@ import (
 	"strings"
 
 	"repro/internal/backend"
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/scenario"
 	"repro/internal/vis"
@@ -67,6 +68,7 @@ func main() {
 
 	explicitBackend := false
 	explicitProcs := false
+	explicitHalo := false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "backend":
@@ -78,9 +80,7 @@ func main() {
 				log.Fatalf("-reduce-every must be a positive cadence in steps, got %d", *reduce)
 			}
 		case "halo-depth":
-			if *haloDepth < 1 {
-				log.Fatalf("-halo-depth must be >= 1 (1 = fresh per-stage exchange, k > 1 = exchange every k-th step), got %d", *haloDepth)
-			}
+			explicitHalo = true
 		case "reduce-group":
 			if *reduceGrp < 1 {
 				log.Fatalf("-reduce-group must be >= 1 (1 = flat allreduce), got %d", *reduceGrp)
@@ -90,8 +90,8 @@ func main() {
 	if *mode != "" && explicitBackend {
 		log.Fatalf("-mode %q conflicts with -backend %q; -mode is a deprecated alias, drop it", *mode, *name)
 	}
-	if *haloDepth > 1 && *fresh {
-		log.Fatalf("-halo-depth %d already implies the exact halo policy; drop -fresh", *haloDepth)
+	if err := cliutil.ValidateHaloFlags(*fresh, *haloDepth, explicitHalo); err != nil {
+		log.Fatal(err)
 	}
 	// -version feeds the registry options with every backend, not only
 	// the deprecated -mode mp alias: "-backend mp2d -version 6" selects

@@ -29,6 +29,7 @@ import (
 	"strings"
 
 	"repro/internal/backend"
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/report"
@@ -60,6 +61,7 @@ func main() {
 		balance   = flag.String("balance", "", "decomposition cost model of the measured host run: uniform, flops, or measured")
 		tol       = flag.Float64("tol", 0, "stop tolerance of the measured host run (0 = fixed -steps)")
 		reduce    = flag.Int("reduce-every", 0, "global-reduction cadence in steps: costs the collective on the co-simulated platforms and monitors the measured host run")
+		fresh     = flag.Bool("fresh", false, "exact per-stage halo policy for the measured host run (bitwise serial equivalence); contradicts -halo-depth k > 1")
 		haloDepth = flag.Int("halo-depth", 0, "communication-avoiding halo depth k: the co-simulated ranks exchange every k-th step over a redundant shell, and the measured host run uses the Wide(k) policy (0 = per-stage exchange)")
 		reduceGrp = flag.Int("reduce-group", 0, "hierarchical allreduce node size: leaders-only cross-node plan on the co-simulated platforms and the measured host run (0 or 1 = flat)")
 		nx        = flag.Int("nx", 125, "grid for the measured host run (with -backend)")
@@ -68,6 +70,7 @@ func main() {
 	)
 	flag.Parse()
 
+	explicitHalo := false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "reduce-every":
@@ -75,15 +78,16 @@ func main() {
 				log.Fatalf("-reduce-every must be a positive cadence in steps, got %d", *reduce)
 			}
 		case "halo-depth":
-			if *haloDepth < 1 {
-				log.Fatalf("-halo-depth must be >= 1 (1 = per-stage fresh exchange, k > 1 = exchange every k-th step), got %d", *haloDepth)
-			}
+			explicitHalo = true
 		case "reduce-group":
 			if *reduceGrp < 1 {
 				log.Fatalf("-reduce-group must be >= 1 (1 = flat allreduce), got %d", *reduceGrp)
 			}
 		}
 	})
+	if err := cliutil.ValidateHaloFlags(*fresh, *haloDepth, explicitHalo); err != nil {
+		log.Fatal(err)
+	}
 
 	ch := trace.PaperNS()
 	if *euler {
@@ -176,7 +180,7 @@ func main() {
 				Euler:    *euler, Nx: *nx, Nr: *nr, Steps: *steps,
 				Backend: *real, Procs: np, Version: hostVersion, Balance: *balance,
 				StopTol: *tol, ReduceEvery: *reduce,
-				HaloDepth: *haloDepth, ReduceGroup: *reduceGrp,
+				FreshHalos: *fresh, HaloDepth: *haloDepth, ReduceGroup: *reduceGrp,
 			})
 			if err != nil {
 				log.Fatal(err)

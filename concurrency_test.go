@@ -1,0 +1,87 @@
+// Concurrent-runs parity: the multi-tenant guarantee that runs
+// executing side by side in one process are bitwise-identical to the
+// same runs executed solo. This is the service-layer analogue of the
+// backend parity sweep — exercised here across mixed scenarios and
+// backends, and wired into the CI race job.
+package repro_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// parityMix is the workload: every scenario, a spread of backends, all
+// under exact halo policies so bitwise identity is the contract, not a
+// coincidence.
+func parityMix() []core.Config {
+	return []core.Config{
+		{Scenario: "jet", Backend: "serial", Nx: 64, Nr: 24, Steps: 8},
+		{Scenario: "jet", Backend: "shm", Procs: 3, Nx: 64, Nr: 24, Steps: 8},
+		{Scenario: "jet", Backend: "mp:v5", Procs: 2, FreshHalos: true, Nx: 64, Nr: 24, Steps: 8},
+		{Scenario: "jet", Backend: "mp:v7", Procs: 4, FreshHalos: true, Nx: 64, Nr: 24, Steps: 8},
+		{Scenario: "jet", Backend: "mp2d", Px: 2, Pr: 2, Procs: 4, FreshHalos: true, Nx: 64, Nr: 24, Steps: 8},
+		{Scenario: "jet", Backend: "hybrid", Procs: 2, Workers: 2, FreshHalos: true, Nx: 64, Nr: 24, Steps: 8},
+		{Scenario: "jet", Backend: "mp:v5", Procs: 2, HaloDepth: 2, Nx: 64, Nr: 24, Steps: 8},
+		{Scenario: "cavity", Backend: "serial", Nx: 33, Nr: 32, Steps: 8},
+		{Scenario: "cavity", Backend: "mp:v6", Procs: 2, FreshHalos: true, Nx: 33, Nr: 32, Steps: 8},
+		{Scenario: "channel", Backend: "serial", Nx: 64, Nr: 16, Steps: 8},
+		{Scenario: "channel", Backend: "mp2d:v6", Px: 2, Pr: 2, Procs: 4, FreshHalos: true, Nx: 64, Nr: 16, Steps: 8},
+		{Scenario: "channel", Backend: "shm", Procs: 2, Nx: 64, Nr: 16, Steps: 8},
+	}
+}
+
+// TestConcurrentRunsParity executes the mixed workload with N
+// goroutines per config, all in flight at once, and requires every
+// concurrent result to match its solo reference bit for bit (run under
+// -race in CI).
+func TestConcurrentRunsParity(t *testing.T) {
+	configs := parityMix()
+	solo := make([]string, len(configs))
+	for i, c := range configs {
+		run, err := core.NewRun(c)
+		if err != nil {
+			t.Fatalf("config %d: %v", i, err)
+		}
+		res, err := run.Execute()
+		if err != nil {
+			t.Fatalf("config %d: %v", i, err)
+		}
+		solo[i] = serve.MomentumChecksum(res.Momentum)
+	}
+
+	const repeats = 3 // N concurrent executions of every config
+	var wg sync.WaitGroup
+	errs := make(chan error, len(configs)*repeats)
+	for i, c := range configs {
+		for r := 0; r < repeats; r++ {
+			wg.Add(1)
+			go func(i int, c core.Config) {
+				defer wg.Done()
+				run, err := core.NewRun(c)
+				if err != nil {
+					errs <- fmt.Errorf("config %d: %v", i, err)
+					return
+				}
+				defer run.Close()
+				res, err := run.Execute()
+				if err != nil {
+					errs <- fmt.Errorf("config %d: %v", i, err)
+					return
+				}
+				if sum := serve.MomentumChecksum(res.Momentum); sum != solo[i] {
+					errs <- fmt.Errorf("config %d (%s/%s): concurrent run diverged from solo: %s vs %s",
+						i, c.Scenario, c.Backend, sum, solo[i])
+				}
+			}(i, c)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -34,7 +34,6 @@ package backend
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"time"
 
@@ -42,6 +41,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/jet"
 	"repro/internal/par"
+	"repro/internal/registry"
 	"repro/internal/scenario"
 	"repro/internal/solver"
 	"repro/internal/trace"
@@ -286,7 +286,7 @@ func resolveVersion(name string, o Options, def, pinned par.Version, supported .
 		base := strings.SplitN(name, ":", 2)[0]
 		suggest := ""
 		for _, cand := range []string{fmt.Sprintf("%s:v%d", base, int(v)), base} {
-			if _, ok := registry[cand]; ok {
+			if _, ok := backends.Get(cand); ok {
 				suggest = fmt.Sprintf(" (select %s instead)", cand)
 				break
 			}
@@ -410,25 +410,25 @@ func Validate(b Backend, cfg jet.Config, g *grid.Grid, opts Options) error {
 	return nil
 }
 
-// registry maps backend names to implementations. Registration happens
-// in package init functions; the map is read-only afterwards, so
-// lookups need no locking.
-var registry = map[string]Backend{}
+// backends maps backend names to implementations. Registration happens
+// in package init functions, but a serving process resolves names from
+// concurrently executing runs, so the table is the mutex-guarded
+// registry type — bare map reads beside a late Register (tests, future
+// plug-in backends) would be a data race.
+var backends = registry.New[Backend]()
 
 // register adds b under its name; duplicate names are a programming
 // error.
 func register(b Backend) {
-	name := b.Name()
-	if _, dup := registry[name]; dup {
-		panic(fmt.Sprintf("backend: duplicate registration of %q", name))
+	if !backends.Add(b.Name(), b) {
+		panic(fmt.Sprintf("backend: duplicate registration of %q", b.Name()))
 	}
-	registry[name] = b
 }
 
 // Get resolves a backend by name. The error lists the registered names
 // so callers can surface it directly as CLI help text.
 func Get(name string) (Backend, error) {
-	b, ok := registry[name]
+	b, ok := backends.Get(name)
 	if !ok {
 		return nil, fmt.Errorf("backend: unknown backend %q (have %v)", name, Names())
 	}
@@ -437,12 +437,7 @@ func Get(name string) (Backend, error) {
 
 // Names returns the registered backend names, sorted.
 func Names() []string {
-	names := make([]string, 0, len(registry))
-	for n := range registry {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
+	return backends.Names()
 }
 
 // gatherSlab copies the interior of a full-domain slab's state.

@@ -1,0 +1,36 @@
+package backend
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentResolve hammers the global registry from many
+// goroutines (run with -race): the service resolves backends while
+// other packages' init-time registrations may still be publishing, so
+// the table must be lock-guarded, not a bare map. Registration races
+// themselves are exercised in internal/registry, on private instances —
+// registering here would pollute the global name set other tests pin.
+func TestConcurrentResolve(t *testing.T) {
+	const goroutines = 16
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				for _, name := range Names() {
+					if _, err := Get(name); err != nil {
+						t.Errorf("registered backend %q unresolvable: %v", name, err)
+						return
+					}
+				}
+				if _, err := Get("nonesuch"); err == nil {
+					t.Error("unknown backend resolved")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,24 @@
+// Package cliutil holds flag validation shared by the command-line
+// front ends, so jetsim and platforms reject contradictory halo
+// specifications identically — at parse time, before any solver state
+// is built.
+package cliutil
+
+import "fmt"
+
+// ValidateHaloFlags checks the -fresh / -halo-depth flag pair.
+// haloSet reports whether -halo-depth was given explicitly (flag.Visit
+// saw it): an explicit depth must be >= 1, since 0 only means "default
+// per-stage policy" when it is the untouched default. A depth k > 1
+// thins the exchange schedule to every k-th step, which contradicts
+// -fresh's per-stage exact exchange — the pair is rejected rather than
+// silently letting one flag win.
+func ValidateHaloFlags(fresh bool, haloDepth int, haloSet bool) error {
+	if haloSet && haloDepth < 1 {
+		return fmt.Errorf("-halo-depth must be >= 1 (1 = fresh per-stage exchange, k > 1 = exchange every k-th step), got %d", haloDepth)
+	}
+	if haloDepth > 1 && fresh {
+		return fmt.Errorf("-halo-depth %d (exchange every %d-th step) contradicts -fresh (per-stage exact exchange); set one of them", haloDepth, haloDepth)
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateHaloFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		fresh   bool
+		depth   int
+		set     bool
+		wantErr string
+	}{
+		{name: "defaults", fresh: false, depth: 0, set: false},
+		{name: "fresh only", fresh: true, depth: 0, set: false},
+		{name: "depth one is fresh", fresh: false, depth: 1, set: true},
+		{name: "fresh plus depth one agree", fresh: true, depth: 1, set: true},
+		{name: "wide depth", fresh: false, depth: 3, set: true},
+		{name: "explicit zero depth", depth: 0, set: true, wantErr: "must be >= 1"},
+		{name: "negative depth", depth: -2, set: true, wantErr: "must be >= 1"},
+		{name: "fresh contradicts wide depth", fresh: true, depth: 2, set: true, wantErr: "contradicts -fresh"},
+		{name: "contradiction without visit", fresh: true, depth: 4, set: false, wantErr: "contradicts -fresh"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateHaloFlags(tc.fresh, tc.depth, tc.set)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}

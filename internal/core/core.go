@@ -16,7 +16,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/backend"
@@ -108,9 +113,12 @@ type Config struct {
 	// Wide(HaloDepth) halo policy: ranks carry a redundant ghost shell
 	// and exchange every HaloDepth-th step instead of every stage,
 	// trading redundant compute for message startups while staying
-	// bitwise-identical to serial. It overrides FreshHalos (Wide(1) is
-	// exactly Fresh). Zero leaves the FreshHalos choice in force;
-	// negative values are an error. Distributed backends only.
+	// bitwise-identical to serial. HaloDepth 1 is exactly the Fresh
+	// policy, so it composes with FreshHalos; HaloDepth > 1 together
+	// with FreshHalos is a contradiction (the wide cadence is not the
+	// per-stage exact policy) and NewRun rejects it, mirroring the
+	// CLIs' parse-time check. Zero leaves the FreshHalos choice in
+	// force; negative values are an error. Distributed backends only.
 	HaloDepth int
 	// ReduceGroup, when > 1, makes the distributed backends' allreduce
 	// hierarchical (intra-node combine, leaders-only cross-node plan).
@@ -196,6 +204,104 @@ func (c Config) scenarioName() string {
 	return c.Scenario
 }
 
+// pinnedVersion parses the communication version a registry name
+// hard-wires ("mp:v5" → 5); ok is false for unsuffixed names.
+func pinnedVersion(name string) (int, bool) {
+	_, suffix, ok := strings.Cut(name, ":v")
+	if !ok {
+		return 0, false
+	}
+	v, err := strconv.Atoi(suffix)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Canonical returns the normalized form of c: every alias spelling of
+// the same run maps onto one configuration, which is what a config-hash
+// result cache (internal/serve) keys on. Normalized here:
+//
+//   - zero-value defaults (grid, steps, procs) are filled in;
+//   - Mode/Backend aliasing: the resolved registry name is canonical
+//     and Mode is re-derived from it ({Mode: MessagePassing, Version: 7}
+//     becomes {Backend: "mp:v7"});
+//   - version aliasing: a version-pinned name implies its Version, and
+//     an explicit Version with a pinned sibling name moves onto it
+//     ({Backend: "mp2d", Version: 6} becomes {Backend: "mp2d:v6"});
+//   - scenario expansion: the default scenario is named, and Jet is
+//     resolved to the physical configuration the scenario actually runs
+//     (the wall-bounded scenarios pin their own physics, so a cavity
+//     run spelled with -euler is the same cavity run);
+//   - policy aliasing: HaloDepth 1 is exactly FreshHalos, ReduceGroup 1
+//     is the flat plan, empty Balance is "uniform", and a tolerance
+//     with no cadence monitors every step;
+//   - serial runs one slab whatever width was requested.
+//
+// The normalization is deliberately syntactic: equivalences it cannot
+// see (an explicit Version equal to a backend's unstated default, a
+// zero Workers resolving to the host default) stay distinct keys, which
+// costs a cache hit but never aliases two different runs together.
+// Contradictory configurations (the same ones NewRun rejects at
+// construction) are errors.
+func (c Config) Canonical() (Config, error) {
+	if c.Procs == 0 && (c.Px > 0) != (c.Pr > 0) {
+		return Config{}, fmt.Errorf("core: half-specified rank grid (Px=%d, Pr=%d) with Procs unset; set both axes, or one axis plus Procs", c.Px, c.Pr)
+	}
+	c = c.withDefaults()
+	name, err := c.backendName()
+	if err != nil {
+		return Config{}, err
+	}
+	c.Backend = name
+	c.Mode = modeOf(name)
+	if v, ok := pinnedVersion(name); ok {
+		c.Version = v
+	} else if c.Version != 0 {
+		alias := fmt.Sprintf("%s:v%d", name, c.Version)
+		if _, ok := backendRegistered(alias); ok {
+			c.Backend = alias
+		}
+	}
+	c.Scenario = c.scenarioName()
+	sc, err := scenario.Get(c.Scenario)
+	if err != nil {
+		return Config{}, err
+	}
+	phys := sc.Config(c.jetConfig())
+	c.Jet = &phys
+	c.Euler = !phys.Viscous
+	if c.Backend == "serial" {
+		c.Procs, c.Workers = 1, 0
+	}
+	if c.HaloDepth < 0 {
+		return Config{}, fmt.Errorf("core: halo depth must be >= 1, got %d", c.HaloDepth)
+	}
+	if c.HaloDepth > 1 && c.FreshHalos {
+		return Config{}, fmt.Errorf("core: HaloDepth %d (exchange every %d-th step) contradicts FreshHalos (per-stage exact exchange); set one of them", c.HaloDepth, c.HaloDepth)
+	}
+	if c.HaloDepth == 1 {
+		c.HaloDepth, c.FreshHalos = 0, true
+	}
+	if c.ReduceGroup == 1 {
+		c.ReduceGroup = 0
+	}
+	if c.Balance == "" {
+		c.Balance = backend.BalanceUniform
+	}
+	if c.StopTol > 0 && c.ReduceEvery == 0 {
+		c.ReduceEvery = 1
+	}
+	return c, nil
+}
+
+// backendRegistered reports whether name resolves in the backend
+// registry (without surfacing the unknown-name error).
+func backendRegistered(name string) (backend.Backend, bool) {
+	b, err := backend.Get(name)
+	return b, err == nil
+}
+
 // Result reports a completed run.
 type Result struct {
 	Backend string
@@ -237,7 +343,28 @@ func modeOf(backendName string) Mode {
 	return MessagePassing
 }
 
-// Run is a configured solver run bound to a registry backend.
+// Run lifecycle states (Run.state).
+const (
+	runReady = iota
+	runExecuted
+	runClosed
+)
+
+// Lifecycle errors of Run.Execute. Both satisfy errors.Is.
+var (
+	// ErrRunConsumed reports a second Execute on the same Run: a Run is
+	// one-shot, build a fresh one with NewRun (construction is cheap —
+	// the heavy state lives inside Execute).
+	ErrRunConsumed = errors.New("core: run already executed; a Run is one-shot, build a new one with NewRun")
+	// ErrRunClosed reports Execute after Close.
+	ErrRunClosed = errors.New("core: run closed")
+)
+
+// Run is a configured solver run bound to a registry backend. A Run is
+// one-shot: the first Execute performs the run, any later (or
+// concurrently racing) Execute fails with ErrRunConsumed — re-running
+// silently on the same options was never defined behavior, and a
+// serving process must be able to treat a Run as a consumable job.
 type Run struct {
 	cfg Config
 	// phys is the scenario-resolved physical configuration the backend
@@ -246,6 +373,9 @@ type Run struct {
 	grid *grid.Grid
 	be   backend.Backend
 	opts backend.Options
+	// state is the lifecycle latch (runReady → runExecuted/runClosed);
+	// atomic so exactly one of concurrently racing Execute calls wins.
+	state atomic.Uint32
 }
 
 // NewRun validates the configuration, resolves the backend from the
@@ -265,7 +395,7 @@ func NewRun(c Config) (*Run, error) {
 		return nil, err
 	}
 	phys := sc.Config(c.jetConfig())
-	g, err := sc.Grid(c.Nx, c.Nr)
+	g, err := sharedGrid(sc, c.scenarioName(), c.Nx, c.Nr)
 	if err != nil {
 		return nil, err
 	}
@@ -283,6 +413,9 @@ func NewRun(c Config) (*Run, error) {
 	}
 	if c.HaloDepth < 0 {
 		return nil, fmt.Errorf("core: halo depth must be >= 1, got %d", c.HaloDepth)
+	}
+	if c.HaloDepth > 1 && c.FreshHalos {
+		return nil, fmt.Errorf("core: HaloDepth %d (exchange every %d-th step) contradicts FreshHalos (per-stage exact exchange); set one of them", c.HaloDepth, c.HaloDepth)
 	}
 	if c.HaloDepth >= 1 {
 		policy = solver.Wide(c.HaloDepth)
@@ -306,14 +439,69 @@ func NewRun(c Config) (*Run, error) {
 	return &Run{cfg: c, phys: phys, grid: g, be: be, opts: opts}, nil
 }
 
-// Grid returns the computational grid.
+// gridCache shares one immutable *grid.Grid per (scenario, nx, nr)
+// across all Runs: grid.Grid is read-only after construction (the
+// package documents it as "an immutable description"), so concurrent
+// runs of the same scenario and resolution can — and in a serving
+// process with thousands of queued sweep points, should — read the
+// same metric arrays instead of each holding a private copy.
+var gridCache = struct {
+	sync.RWMutex
+	m map[gridKey]*grid.Grid
+}{m: map[gridKey]*grid.Grid{}}
+
+type gridKey struct {
+	scenario string
+	nx, nr   int
+}
+
+// sharedGrid resolves the scenario's grid through the cache. Errors are
+// not cached: a resolution the scenario rejects is rejected again on
+// the next request (cheap, and keeps the cache all-valid).
+func sharedGrid(sc scenario.Scenario, name string, nx, nr int) (*grid.Grid, error) {
+	k := gridKey{scenario: name, nx: nx, nr: nr}
+	gridCache.RLock()
+	g, ok := gridCache.m[k]
+	gridCache.RUnlock()
+	if ok {
+		return g, nil
+	}
+	g, err := sc.Grid(nx, nr)
+	if err != nil {
+		return nil, err
+	}
+	gridCache.Lock()
+	defer gridCache.Unlock()
+	if cached, ok := gridCache.m[k]; ok {
+		// A racing builder won; every Run of this resolution must see
+		// the same pointer, so prefer the cached one.
+		return cached, nil
+	}
+	gridCache.m[k] = g
+	return g, nil
+}
+
+// Grid returns the computational grid. Grids are shared across Runs of
+// the same scenario and resolution — treat them as immutable.
 func (r *Run) Grid() *grid.Grid { return r.grid }
 
 // Backend returns the resolved execution backend.
 func (r *Run) Backend() backend.Backend { return r.be }
 
-// Execute advances the configured number of steps and reports.
+// Execute advances the configured number of steps and reports. It
+// consumes the Run: a second call — sequential or concurrently racing —
+// fails with ErrRunConsumed (ErrRunClosed after Close) instead of
+// silently re-running on the same options. Distinct Runs execute
+// concurrently and independently; their shared inputs (backend and
+// scenario registry entries, the grid cache) are immutable or
+// lock-guarded.
 func (r *Run) Execute() (*Result, error) {
+	if !r.state.CompareAndSwap(runReady, runExecuted) {
+		if r.state.Load() == runClosed {
+			return nil, ErrRunClosed
+		}
+		return nil, ErrRunConsumed
+	}
 	c := r.cfg
 	br, err := r.be.Run(r.phys, r.grid, r.opts, c.Steps)
 	if err != nil {
@@ -343,7 +531,9 @@ func (r *Run) Execute() (*Result, error) {
 	return res, nil
 }
 
-// Close releases run resources. Backends release their worker pools at
-// the end of Run, so this is a no-op kept for callers written against
-// the pre-registry API.
-func (r *Run) Close() {}
+// Close marks the run finished. Backends release their worker pools at
+// the end of Run, so there is nothing to free — but Close latches the
+// lifecycle: a later Execute fails with ErrRunClosed instead of
+// starting a solver on a run the caller already abandoned. Closing an
+// executed (or already closed) run is a harmless no-op.
+func (r *Run) Close() { r.state.Store(runClosed) }

@@ -1,0 +1,58 @@
+// Package registry is the mutex-guarded name→value table behind the
+// backend and scenario registries. Registration is init-time wiring in
+// a one-shot CLI, but a long-running serving process resolves names
+// from many goroutines at once (and tests register fixtures at
+// runtime), so every operation takes the lock: bare map reads beside a
+// concurrent Register are a data race even when the map "never changes
+// after init".
+package registry
+
+import (
+	"sort"
+	"sync"
+)
+
+// Registry is a concurrency-safe name→value table. The zero value is
+// not usable; construct with New.
+type Registry[T any] struct {
+	mu sync.RWMutex
+	m  map[string]T
+}
+
+// New returns an empty registry.
+func New[T any]() *Registry[T] {
+	return &Registry[T]{m: map[string]T{}}
+}
+
+// Add stores v under name and reports whether it was added; false
+// means the name was already taken (the caller decides whether a
+// duplicate is a panic, as in init-time wiring, or an error).
+func (r *Registry[T]) Add(name string, v T) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.m[name]; dup {
+		return false
+	}
+	r.m[name] = v
+	return true
+}
+
+// Get looks name up.
+func (r *Registry[T]) Get(name string) (T, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	v, ok := r.m[name]
+	return v, ok
+}
+
+// Names returns the registered names, sorted.
+func (r *Registry[T]) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.m))
+	for n := range r.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

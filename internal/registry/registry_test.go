@@ -1,0 +1,61 @@
+package registry
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestAddGetNames(t *testing.T) {
+	r := New[int]()
+	if !r.Add("b", 2) || !r.Add("a", 1) {
+		t.Fatal("fresh names refused")
+	}
+	if r.Add("a", 3) {
+		t.Fatal("duplicate accepted")
+	}
+	if v, ok := r.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	if _, ok := r.Get("nonesuch"); ok {
+		t.Fatal("unknown name resolved")
+	}
+	if got := r.Names(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("Names() = %v", got)
+	}
+}
+
+// TestConcurrentRegisterResolve is the -race test of the serving-process
+// access pattern: registrations and lookups from many goroutines at
+// once. Correctness beyond race-cleanliness: every Add of a unique name
+// succeeds and is resolvable afterwards.
+func TestConcurrentRegisterResolve(t *testing.T) {
+	r := New[int]()
+	const goroutines = 16
+	const perG = 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				name := fmt.Sprintf("g%d-%d", g, i)
+				if !r.Add(name, g*perG+i) {
+					t.Errorf("unique name %q refused", name)
+				}
+				if _, ok := r.Get(name); !ok {
+					t.Errorf("just-registered %q not resolvable", name)
+				}
+				r.Get("g0-0")
+				if len(r.Names()) == 0 {
+					t.Error("Names() empty during registration")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(r.Names()); got != goroutines*perG {
+		t.Fatalf("%d names registered, want %d", got, goroutines*perG)
+	}
+}

@@ -1,0 +1,35 @@
+package scenario
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentResolve hammers the global scenario registry from many
+// goroutines (run with -race) — the multi-tenant service resolves
+// scenarios concurrently, so the table must be lock-guarded. Write
+// races are exercised in internal/registry on private instances, to
+// keep the global name set other tests pin unpolluted.
+func TestConcurrentResolve(t *testing.T) {
+	const goroutines = 16
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				for _, name := range Names() {
+					if _, err := Get(name); err != nil {
+						t.Errorf("registered scenario %q unresolvable: %v", name, err)
+						return
+					}
+				}
+				if _, err := Get("nonesuch"); err == nil {
+					t.Error("unknown scenario resolved")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

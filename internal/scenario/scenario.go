@@ -11,11 +11,11 @@ package scenario
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"repro/internal/grid"
 	"repro/internal/jet"
+	"repro/internal/registry"
 	"repro/internal/solver"
 )
 
@@ -29,7 +29,9 @@ type Scenario interface {
 	// caller's parameters unchanged; the wall-bounded scenarios pin
 	// their own validated parameter sets and ignore base.
 	Config(base jet.Config) jet.Config
-	// Grid builds the domain for the requested resolution.
+	// Grid builds the domain for the requested resolution. The returned
+	// grid must be immutable after construction: core shares one grid
+	// across concurrent runs of the same scenario and resolution.
 	Grid(nx, nr int) (*grid.Grid, error)
 	// Problem binds the scenario's boundary conditions and initial
 	// state to the solver (see solver.Problem); the returned problem's
@@ -40,21 +42,22 @@ type Scenario interface {
 	Claims() []string
 }
 
-var registry = map[string]Scenario{}
+// scenarios is the registry table — the mutex-guarded registry type,
+// not a bare map, because a serving process resolves scenarios from
+// concurrently executing runs (see internal/registry).
+var scenarios = registry.New[Scenario]()
 
 // Register adds a scenario to the registry; a duplicate name panics
 // (registration is init-time wiring, exactly like the backends).
 func Register(s Scenario) {
-	name := s.Name()
-	if _, dup := registry[name]; dup {
-		panic(fmt.Sprintf("scenario: duplicate registration of %q", name))
+	if !scenarios.Add(s.Name(), s) {
+		panic(fmt.Sprintf("scenario: duplicate registration of %q", s.Name()))
 	}
-	registry[name] = s
 }
 
 // Get looks a scenario up by name; unknown names list the registry.
 func Get(name string) (Scenario, error) {
-	if s, ok := registry[name]; ok {
+	if s, ok := scenarios.Get(name); ok {
 		return s, nil
 	}
 	return nil, fmt.Errorf("scenario: unknown scenario %q (available: %s)", name, strings.Join(Names(), ", "))
@@ -62,10 +65,5 @@ func Get(name string) (Scenario, error) {
 
 // Names returns the sorted registered scenario names.
 func Names() []string {
-	names := make([]string, 0, len(registry))
-	for n := range registry {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
+	return scenarios.Names()
 }

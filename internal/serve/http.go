@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync"
+)
+
+// Handler returns the HTTP face of the scheduler — the jetsimd server:
+//
+//	POST /run     one Job body            → one JobResult
+//	POST /batch   a JSON array of Jobs    → an array of JobResults,
+//	              served concurrently, responded in submission order
+//	GET  /stats   scheduler counters as JSON
+//	GET  /healthz liveness probe
+//
+// Job-level failures (a config the registry rejects, a diverged run)
+// come back 200 with ok=false and the error in the body — the service
+// worked, the job didn't. Admission shedding (ErrBusy/ErrClosed) is 503
+// so load balancers and clients back off; malformed JSON is 400.
+func (s *Scheduler) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /run", func(w http.ResponseWriter, r *http.Request) {
+		var job Job
+		if err := json.NewDecoder(r.Body).Decode(&job); err != nil {
+			http.Error(w, "bad job: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		rep, err := s.Submit(job.Config())
+		status := http.StatusOK
+		if errors.Is(err, ErrBusy) || errors.Is(err, ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, ResultOf(job.ID, rep, err))
+	})
+	mux.HandleFunc("POST /batch", func(w http.ResponseWriter, r *http.Request) {
+		var jobs []Job
+		if err := json.NewDecoder(r.Body).Decode(&jobs); err != nil {
+			http.Error(w, "bad batch: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		results := make([]JobResult, len(jobs))
+		var wg sync.WaitGroup
+		for i, job := range jobs {
+			wg.Add(1)
+			go func(i int, job Job) {
+				defer wg.Done()
+				rep, err := s.Submit(job.Config())
+				results[i] = ResultOf(job.ID, rep, err)
+			}(i, job)
+		}
+		wg.Wait()
+		writeJSON(w, http.StatusOK, results)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

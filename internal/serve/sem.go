@@ -1,0 +1,51 @@
+package serve
+
+import "sync"
+
+// fifoSem is a weighted semaphore with strict FIFO grants: the head
+// waiter's width must fit before any later waiter is considered, so a
+// wide (many-rank) job is never starved by a stream of narrow ones.
+// The cost is head-of-line blocking — slots can idle while the head
+// waits — which is the deliberate admission-control trade: predictable
+// ordering over maximal packing.
+type fifoSem struct {
+	mu      sync.Mutex
+	free    int
+	waiters []*semWaiter
+}
+
+type semWaiter struct {
+	need  int
+	ready chan struct{}
+}
+
+func newFifoSem(slots int) *fifoSem { return &fifoSem{free: slots} }
+
+// acquire blocks until n slots are granted. n must not exceed the pool
+// size (the scheduler clamps admission widths).
+func (s *fifoSem) acquire(n int) {
+	s.mu.Lock()
+	if len(s.waiters) == 0 && s.free >= n {
+		s.free -= n
+		s.mu.Unlock()
+		return
+	}
+	w := &semWaiter{need: n, ready: make(chan struct{})}
+	s.waiters = append(s.waiters, w)
+	s.mu.Unlock()
+	<-w.ready
+}
+
+// release returns n slots and grants the longest-waiting jobs that now
+// fit, in order.
+func (s *fifoSem) release(n int) {
+	s.mu.Lock()
+	s.free += n
+	for len(s.waiters) > 0 && s.waiters[0].need <= s.free {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		s.free -= w.need
+		close(w.ready)
+	}
+	s.mu.Unlock()
+}

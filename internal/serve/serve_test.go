@@ -1,0 +1,377 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func smallJet() core.Config {
+	return core.Config{Nx: 64, Nr: 24, Steps: 5}
+}
+
+// soloRun executes cfg outside the service — the cold reference the
+// cache must reproduce bitwise.
+func soloRun(t *testing.T, cfg core.Config) *core.Result {
+	t.Helper()
+	run, err := core.NewRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := run.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func sameMomentum(a, b [][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestCachedResultBitwiseIdentical is the acceptance criterion: a
+// config-hash hit returns physics bitwise-identical to a cold run of
+// the same config — including a cold run outside the service, and a
+// hit reached through an alias spelling of the configuration.
+func TestCachedResultBitwiseIdentical(t *testing.T) {
+	s := New(Options{Slots: 2})
+	defer s.Close()
+
+	cfg := smallJet()
+	cold, err := s.Submit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cached {
+		t.Fatal("first submission reported cached")
+	}
+	hit, err := s.Submit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached {
+		t.Fatal("second submission missed the cache")
+	}
+	if hit.Key != cold.Key {
+		t.Fatalf("keys differ: %s vs %s", hit.Key, cold.Key)
+	}
+	if !sameMomentum(hit.Result.Momentum, cold.Result.Momentum) {
+		t.Fatal("cached momentum differs from the cold run")
+	}
+	if hit.Result.Dt != cold.Result.Dt || hit.Result.Steps != cold.Result.Steps || hit.Result.Diag != cold.Result.Diag {
+		t.Fatalf("cached scalars differ: %+v vs %+v", hit.Result, cold.Result)
+	}
+
+	solo := soloRun(t, cfg)
+	if !sameMomentum(hit.Result.Momentum, solo.Momentum) {
+		t.Fatal("cached momentum differs from a solo run outside the service")
+	}
+
+	// An alias spelling — explicit backend name and spelled-out
+	// defaults instead of the zero values — must land on the same line.
+	alias := core.Config{Backend: "serial", Scenario: "jet", Nx: 64, Nr: 24, Steps: 5, Procs: 3}
+	rep, err := s.Submit(alias)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Cached || rep.Key != cold.Key {
+		t.Fatalf("alias spelling missed the cache: cached=%v key=%s want %s", rep.Cached, rep.Key, cold.Key)
+	}
+}
+
+// TestReplyIsPrivateCopy: mutating a reply must not corrupt the cache.
+func TestReplyIsPrivateCopy(t *testing.T) {
+	s := New(Options{Slots: 1})
+	defer s.Close()
+	cfg := smallJet()
+	first, err := s.Submit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first.Result.Momentum[0][0] = 12345
+	second, err := s.Submit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Result.Momentum[0][0] == 12345 {
+		t.Fatal("reply mutation reached the cache")
+	}
+}
+
+// TestSingleFlight: concurrent duplicates of one config coalesce onto
+// one cold run.
+func TestSingleFlight(t *testing.T) {
+	s := New(Options{Slots: 2})
+	defer s.Close()
+	const dup = 8
+	var wg sync.WaitGroup
+	replies := make([]*Reply, dup)
+	for i := 0; i < dup; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rep, err := s.Submit(smallJet())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			replies[i] = rep
+		}(i)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Completed != 1 {
+		t.Fatalf("%d cold runs for %d duplicate submissions", st.Completed, dup)
+	}
+	if st.CacheHits != dup-1 {
+		t.Fatalf("%d hits, want %d", st.CacheHits, dup-1)
+	}
+	for i := 1; i < dup; i++ {
+		if !sameMomentum(replies[i].Result.Momentum, replies[0].Result.Momentum) {
+			t.Fatal("coalesced replies disagree")
+		}
+	}
+}
+
+// mixedJobs builds the smoke/bench workload: a parameter sweep over
+// scenarios, backends, Reynolds number, excitation, grid, and
+// tolerance, with deliberate duplicates.
+func mixedJobs(n int) []Job {
+	eps0 := 0.0
+	unique := []Job{
+		{Scenario: "jet", Backend: "serial", Nx: 64, Nr: 24, Steps: 4},
+		{Scenario: "jet", Backend: "shm", Procs: 2, Nx: 64, Nr: 24, Steps: 4, Fresh: true},
+		{Scenario: "jet", Backend: "mp:v5", Procs: 2, Nx: 64, Nr: 24, Steps: 4, Fresh: true},
+		{Scenario: "jet", Backend: "mp2d", Px: 2, Pr: 2, Procs: 4, Nx: 64, Nr: 24, Steps: 4, Fresh: true},
+		{Scenario: "jet", Backend: "hybrid", Procs: 2, Workers: 1, Nx: 64, Nr: 24, Steps: 4, Fresh: true},
+		{Scenario: "cavity", Backend: "serial", Nx: 33, Nr: 32, Steps: 4},
+		{Scenario: "cavity", Backend: "mp:v5", Procs: 2, Nx: 33, Nr: 32, Steps: 4, Fresh: true},
+		{Scenario: "channel", Backend: "serial", Nx: 64, Nr: 16, Steps: 4},
+		{Scenario: "channel", Backend: "shm", Procs: 2, Nx: 64, Nr: 16, Steps: 4, Fresh: true},
+		{Scenario: "jet", Backend: "serial", Nx: 64, Nr: 24, Steps: 4, Reynolds: 500},
+		{Scenario: "jet", Backend: "serial", Nx: 64, Nr: 24, Steps: 4, Reynolds: 2000},
+		{Scenario: "jet", Backend: "serial", Nx: 64, Nr: 24, Steps: 4, Eps: &eps0},
+		{Scenario: "jet", Backend: "serial", Nx: 96, Nr: 32, Steps: 3},
+		{Scenario: "jet", Backend: "serial", Nx: 64, Nr: 24, Steps: 200, Tol: 1e-1, ReduceEvery: 5},
+		{Scenario: "jet", Backend: "serial", Nx: 64, Nr: 24, Steps: 4, Euler: true},
+		{Scenario: "jet", Backend: "mp:v5", Procs: 2, Nx: 64, Nr: 24, Steps: 4, HaloDepth: 2},
+	}
+	jobs := make([]Job, 0, n)
+	for len(jobs) < n {
+		j := unique[len(jobs)%len(unique)]
+		j.ID = fmt.Sprintf("job-%d", len(jobs))
+		jobs = append(jobs, j)
+	}
+	return jobs
+}
+
+// TestServiceSmoke is the CI service smoke: ~50 mixed requests with
+// duplicates submitted concurrently must all complete, with a nonzero
+// cache hit-rate, consistent counters, and (under -race) a clean run.
+func TestServiceSmoke(t *testing.T) {
+	s := New(Options{Slots: 4})
+	defer s.Close()
+	jobs := mixedJobs(50)
+	results := make([]JobResult, len(jobs))
+	var wg sync.WaitGroup
+	for i, job := range jobs {
+		wg.Add(1)
+		go func(i int, job Job) {
+			defer wg.Done()
+			rep, err := s.Submit(job.Config())
+			results[i] = ResultOf(job.ID, rep, err)
+		}(i, job)
+	}
+	wg.Wait()
+
+	for i, res := range results {
+		if !res.OK {
+			t.Fatalf("job %d (%s) failed: %s", i, jobs[i].ID, res.Error)
+		}
+		if res.MomentumSHA256 == "" {
+			t.Fatalf("job %d: no momentum checksum", i)
+		}
+	}
+	st := s.Stats()
+	if got := st.Completed + st.CacheHits; got != uint64(len(jobs)) {
+		t.Fatalf("served %d jobs, want %d (stats: %v)", got, len(jobs), st)
+	}
+	if st.CacheHits == 0 {
+		t.Fatalf("duplicate-laden workload produced no cache hits: %v", st)
+	}
+	if st.Failures != 0 || st.Rejected != 0 {
+		t.Fatalf("smoke shed or failed jobs: %v", st)
+	}
+	if st.Queued != 0 || st.Running != 0 {
+		t.Fatalf("occupancy nonzero after drain: %v", st)
+	}
+	// Identical keys must carry identical physics fingerprints.
+	byKey := map[string]string{}
+	for _, res := range results {
+		if prev, ok := byKey[res.Key]; ok && prev != res.MomentumSHA256 {
+			t.Fatalf("key %s served two different fields", res.Key)
+		}
+		byKey[res.Key] = res.MomentumSHA256
+	}
+	if st.SharedProfiles == 0 || st.SharedProfiles >= len(jobs) {
+		t.Fatalf("shared profiles not shared: %d for %d jobs", st.SharedProfiles, len(jobs))
+	}
+}
+
+// TestAdmissionControl: with one slot and a one-deep queue, a third
+// concurrent cold job is shed with ErrBusy while the first two are
+// served.
+func TestAdmissionControl(t *testing.T) {
+	s := New(Options{Slots: 1, MaxQueue: 1})
+	defer s.Close()
+
+	long := core.Config{Nx: 96, Nr: 40, Steps: 60}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := s.Submit(long); err != nil {
+			t.Error(err)
+		}
+	}()
+	waitFor(t, func() bool { st := s.Stats(); return st.Running == 1 })
+
+	second := core.Config{Nx: 96, Nr: 40, Steps: 61}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := s.Submit(second); err != nil {
+			t.Error(err)
+		}
+	}()
+	waitFor(t, func() bool { st := s.Stats(); return st.Queued == 1 })
+
+	if _, err := s.Submit(core.Config{Nx: 96, Nr: 40, Steps: 62}); !errors.Is(err, ErrBusy) {
+		t.Fatalf("third job: err = %v, want ErrBusy", err)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Rejected != 1 || st.Completed != 2 {
+		t.Fatalf("stats after shed: %v", st)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSubmitAfterClose: the scheduler refuses new work once closed.
+func TestSubmitAfterClose(t *testing.T) {
+	s := New(Options{Slots: 1})
+	s.Close()
+	if _, err := s.Submit(smallJet()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+// TestBadConfigNotCached: a config the registry rejects fails every
+// time (no error caching) and a diverging config's error reaches every
+// coalesced waiter.
+func TestBadConfigFails(t *testing.T) {
+	s := New(Options{Slots: 1})
+	defer s.Close()
+	bad := core.Config{Nx: 64, Nr: 24, Steps: 2, Backend: "nonesuch"}
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit(bad); err == nil {
+			t.Fatal("unknown backend accepted")
+		}
+	}
+	if st := s.Stats(); st.Completed != 0 || st.CacheHits != 0 {
+		t.Fatalf("failed submissions counted as served: %v", st)
+	}
+}
+
+// TestKeyAliasing pins the canonicalization equivalences the cache
+// keys on — and a pair that must NOT alias.
+func TestKeyAliasing(t *testing.T) {
+	// Each pair must produce one key.
+	same := [][2]core.Config{
+		{{Mode: core.MessagePassing, Version: 7, Procs: 2, Nx: 64, Nr: 24, Steps: 5},
+			{Backend: "mp:v7", Procs: 2, Nx: 64, Nr: 24, Steps: 5}},
+		{{Backend: "mp2d", Version: 6, Procs: 4, Nx: 64, Nr: 24, Steps: 5},
+			{Backend: "mp2d:v6", Procs: 4, Nx: 64, Nr: 24, Steps: 5}},
+		{{Scenario: "cavity", Euler: true, Nx: 33, Nr: 32, Steps: 5},
+			{Scenario: "cavity", Nx: 33, Nr: 32, Steps: 5}},
+		{{Backend: "mp:v5", Procs: 2, HaloDepth: 1, Nx: 64, Nr: 24, Steps: 5},
+			{Backend: "mp:v5", Procs: 2, FreshHalos: true, Nx: 64, Nr: 24, Steps: 5}},
+		{{Nx: 64, Nr: 24, Steps: 5},
+			{Scenario: "jet", Backend: "serial", Nx: 64, Nr: 24, Steps: 5, Balance: "uniform"}},
+	}
+	for i, pair := range same {
+		a, err := Key(pair[0])
+		if err != nil {
+			t.Fatalf("pair %d: %v", i, err)
+		}
+		b, err := Key(pair[1])
+		if err != nil {
+			t.Fatalf("pair %d: %v", i, err)
+		}
+		if a != b {
+			t.Errorf("pair %d: keys differ\n  %+v\n  %+v", i, pair[0], pair[1])
+		}
+	}
+	differ := [][2]core.Config{
+		{{Nx: 64, Nr: 24, Steps: 5}, {Nx: 64, Nr: 24, Steps: 6}},
+		{{Nx: 64, Nr: 24, Steps: 5}, {Nx: 64, Nr: 24, Steps: 5, Euler: true}},
+		{{Nx: 64, Nr: 24, Steps: 5, StopTol: 1e-4}, {Nx: 64, Nr: 24, Steps: 5, StopTol: 2e-4}},
+		{{Nx: 64, Nr: 24, Steps: 5, Backend: "mp:v5", Procs: 2}, {Nx: 64, Nr: 24, Steps: 5, Backend: "mp:v5", Procs: 2, FreshHalos: true}},
+	}
+	for i, pair := range differ {
+		a, _ := Key(pair[0])
+		b, _ := Key(pair[1])
+		if a == b {
+			t.Errorf("distinct pair %d produced one key", i)
+		}
+	}
+	// Contradictions canonicalize to errors, not keys.
+	if _, err := Key(core.Config{Nx: 64, Nr: 24, FreshHalos: true, HaloDepth: 2}); err == nil {
+		t.Error("contradictory halo spec produced a key")
+	}
+}
+
+// TestJobConfig pins the wire → core.Config mapping, including the
+// sweep overrides.
+func TestJobConfig(t *testing.T) {
+	eps := 0.0
+	j := Job{Scenario: "jet", Backend: "mp:v5", Procs: 2, Nx: 64, Nr: 24, Steps: 5,
+		Reynolds: 500, Eps: &eps, Fresh: true, Tol: 1e-4, ReduceEvery: 5}
+	c := j.Config()
+	if c.Jet == nil || c.Jet.Reynolds != 500 || c.Jet.Eps != 0 {
+		t.Fatalf("sweep overrides lost: %+v", c.Jet)
+	}
+	if !c.FreshHalos || c.StopTol != 1e-4 || c.ReduceEvery != 5 {
+		t.Fatalf("flags lost: %+v", c)
+	}
+	plain := Job{Nx: 64, Nr: 24, Steps: 5}.Config()
+	if plain.Jet != nil {
+		t.Fatal("no overrides must leave Jet nil (scenario default physics)")
+	}
+}

@@ -21,7 +21,10 @@
 # saved-startups/step on the real backends, the simulated Ethernet
 # price of the depth-2 schedule at P=8, converged Wide(2) runs of
 # mp2d and hybrid, and the hierarchical-reduce startup count per node
-# size. Numbers are
+# size. BenchmarkServiceThroughput records the multi-tenant service's
+# runs/hour and cache hit-rate on a mixed duplicate-bearing workload
+# (Reynolds/excitation/grid/scenario sweep) through the jetsimd
+# scheduler. Numbers are
 # host-dependent: compare trends on the same machine, not absolute
 # values across machines.
 set -eu
