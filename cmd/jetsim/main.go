@@ -21,7 +21,12 @@
 //	jetsim -backend mp:v5 -procs 4 -halo-depth 2   # wide halos: exchange every 2nd step
 //	jetsim -backend mp:v5 -procs 8 -tol 1e-4 -reduce-group 4  # hierarchical allreduce
 //	jetsim -scenario cavity -nx 49 -nr 48 -steps 2000  # lid-driven cavity
+//	jetsim -scenario cavity -steady-tol 1e-6 -steps 5000  # stop on velocity steadiness
 //	jetsim -scenario channel -backend mp2d -procs 4    # wall-bounded pipe flow
+//	jetsim -time-slices 4 -steps 200                   # parareal over 4 time slices
+//	jetsim -backend mp:v5 -procs 2 -time-slices 4      # 4 slices x 2 ranks each
+//	jetsim -time-slices 4 -parareal-iters 4            # exact schedule (bitwise = fine run)
+//	jetsim -time-slices 4 -coarse-factor 1 -defect-tol 1e-8  # exact coarse sweep
 //	jetsim -contour -pgm out/jet.pgm
 package main
 
@@ -61,6 +66,12 @@ func main() {
 		fresh     = flag.Bool("fresh", false, "exact halo policy (bitwise serial equivalence)")
 		haloDepth = flag.Int("halo-depth", 0, "communication-avoiding halo depth k: exchange every k-th step over a redundant ghost shell, bitwise-identical to serial (distributed backends; 0 = per-stage policy, 1 = fresh)")
 		reduceGrp = flag.Int("reduce-group", 0, "hierarchical allreduce node size: intra-node combine, leaders-only cross-node plan (distributed backends; 0 or 1 = flat)")
+		steadyTol = flag.Float64("steady-tol", 0, "stop tolerance on velocity steadiness max(|du|,|dv|)/dt — the closed-flow criterion (e.g. cavity); mutually exclusive with -tol (0 = march -steps fixed)")
+		slices    = flag.Int("time-slices", 0, "parareal time slices K: [0,-steps] splits into K slices propagated in parallel over time, -backend becoming the fine propagator of each (0 or 1 = pure spatial run)")
+		pIters    = flag.Int("parareal-iters", 0, "parareal correction iterations: 0 = adaptive on -defect-tol capped at K, K = exact schedule, bitwise equal to the fine run end to end")
+		coarseF   = flag.Int("coarse-factor", 0, "parareal coarse-propagator grid/time-step coarsening (0 = default 2; 1 = the fine operator itself, every sweep exact)")
+		defectTol = flag.Float64("defect-tol", 0, "adaptive parareal stopping tolerance on the slice-boundary L2 defect between successive iterates (0 = default 1e-6)")
+		fine      = flag.String("fine", "", "parareal fine-propagator backend (empty = the spatial -backend, or serial)")
 		contour   = flag.Bool("contour", false, "print an ASCII contour of axial momentum")
 		pgm       = flag.String("pgm", "", "write axial momentum as a PGM image to this path")
 	)
@@ -108,6 +119,13 @@ func main() {
 		ReduceGroup: *reduceGrp,
 		StopTol:     *tol,
 		ReduceEvery: *reduce,
+		SteadyTol:   *steadyTol,
+
+		TimeSlices:    *slices,
+		PararealIters: *pIters,
+		CoarseFactor:  *coarseF,
+		DefectTol:     *defectTol,
+		FineBackend:   *fine,
 	}
 	// The deprecated -mode alias maps onto the legacy Mode selector,
 	// whose resolution (including "mp" + -version → mp:vN) lives in one
@@ -128,7 +146,9 @@ func main() {
 		// explicitly contradicting -procs should error downstream.
 		cfg.Procs = 0
 	}
-	if cfg.Backend == "serial" || (cfg.Backend == "" && cfg.Mode == core.Serial) {
+	if (cfg.Backend == "serial" || (cfg.Backend == "" && cfg.Mode == core.Serial)) && cfg.FineBackend == "" {
+		// With -fine set the default-serial spelling names only the
+		// coordinator; the fine propagator keeps its -procs width.
 		cfg.Procs = 1
 	}
 
@@ -151,16 +171,31 @@ func main() {
 	d := res.Diag
 	fmt.Printf("mass=%.6f energy=%.6f max|v|=%.4g minRho=%.4g minP=%.4g\n",
 		d.Mass, d.Energy, d.MaxV, d.MinRho, d.MinP)
-	if n := len(res.Residuals); n > 0 {
-		last := res.Residuals[n-1]
+	if res.TimeSlices > 0 {
+		// A parareal run: Residuals carry (iteration, defect) pairs and
+		// Converged reports an adaptive defect-tolerance stop.
+		state := "exact schedule"
 		if res.Converged {
-			fmt.Printf("converged at step %d: residual %.4g <= tol %.4g\n", res.Steps, last.Residual, *tol)
+			state = "converged on defect tolerance"
+		} else if res.Iterations < res.TimeSlices {
+			state = "iteration cap"
+		}
+		fmt.Printf("parareal: %d time slices, %d iterations, final defect %.4g (%s)\n",
+			res.TimeSlices, res.Iterations, res.Defect, state)
+	} else if n := len(res.Residuals); n > 0 {
+		last := res.Residuals[n-1]
+		crit, lim := "residual", *tol
+		if *steadyTol > 0 {
+			crit, lim = "steadiness", *steadyTol
+		}
+		if res.Converged {
+			fmt.Printf("converged at step %d: %s %.4g <= tol %.4g\n", res.Steps, crit, last.Residual, lim)
 		} else {
 			every := *reduce
 			if every == 0 {
-				every = 1 // the controller's default when only -tol is set
+				every = 1 // the controller's default when only a tolerance is set
 			}
-			fmt.Printf("residual %.4g after %d steps (monitored every %d)\n", last.Residual, res.Steps, every)
+			fmt.Printf("%s %.4g after %d steps (monitored every %d)\n", crit, last.Residual, res.Steps, every)
 		}
 	}
 	if res.Comm.Startups > 0 {

@@ -19,6 +19,8 @@
 //	platforms -backend mp2d -tol 1e-4 -reduce-every 10  # converged host run
 //	platforms -halo-depth 2                 # price the communication-avoiding cadence
 //	platforms -reduce-every 10 -reduce-group 4  # price the hierarchical collective
+//	platforms -time-slices 4                # price the parareal parallel-in-time schedule
+//	platforms -time-slices 4 -parareal-iters 2 -coarse-factor 4  # converged-early pricing
 package main
 
 import (
@@ -64,6 +66,9 @@ func main() {
 		fresh     = flag.Bool("fresh", false, "exact per-stage halo policy for the measured host run (bitwise serial equivalence); contradicts -halo-depth k > 1")
 		haloDepth = flag.Int("halo-depth", 0, "communication-avoiding halo depth k: the co-simulated ranks exchange every k-th step over a redundant shell, and the measured host run uses the Wide(k) policy (0 = per-stage exchange)")
 		reduceGrp = flag.Int("reduce-group", 0, "hierarchical allreduce node size: leaders-only cross-node plan on the co-simulated platforms and the measured host run (0 or 1 = flat)")
+		slices    = flag.Int("time-slices", 0, "parareal time slices K: price the parallel-in-time schedule on the co-simulated platforms (procs splitting into K slice groups) and run it on the measured host (0 or 1 = pure spatial)")
+		pIters    = flag.Int("parareal-iters", 0, "parareal correction iterations the schedule pays for (0 = the worst-case K)")
+		coarseF   = flag.Int("coarse-factor", 0, "parareal coarse-propagator coarsening (0 = default 2)")
 		nx        = flag.Int("nx", 125, "grid for the measured host run (with -backend)")
 		nr        = flag.Int("nr", 50, "grid for the measured host run (with -backend)")
 		steps     = flag.Int("steps", 100, "composite steps for the measured host run (with -backend)")
@@ -104,6 +109,13 @@ func main() {
 	// hierarchical reduce thins the collective to node leaders.
 	ch.HaloDepth = *haloDepth
 	ch.ReduceGroup = *reduceGrp
+	// The parareal knobs reroute the co-simulation to the
+	// parallel-in-time schedule (machine.SimulateParareal) and the
+	// measured host run to the parareal backend with -backend as the
+	// fine propagator.
+	ch.TimeSlices = *slices
+	ch.PararealIters = *pIters
+	ch.CoarseFactor = *coarseF
 	// The co-simulation needs a concrete strategy; the measured host run
 	// passes the raw flag through so 0 stays "backend default" (and a
 	// pinned backend name like mp:v6 is not contradicted).
@@ -135,6 +147,10 @@ func main() {
 			if np > p.MaxProcs {
 				continue
 			}
+			if ch.TimeSlices > 1 && (np < ch.TimeSlices || np%ch.TimeSlices != 0) {
+				// Parareal needs the pool to split evenly over the slices.
+				continue
+			}
 			o, err := p.Simulate(ch, np, simVersion)
 			if err != nil {
 				log.Fatal(err)
@@ -156,8 +172,13 @@ func main() {
 		switch {
 		case *real == "serial":
 			// A single-processor backend is always a P=1 data point,
-			// whatever -procs says about the simulated sweep.
+			// whatever -procs says about the simulated sweep — except
+			// under parareal, where the serial fine propagator still
+			// fans out into K one-rank slice groups.
 			counts = []int{1}
+			if *slices > 1 {
+				counts = []int{*slices}
+			}
 		case *procs > 0:
 			counts = []int{*procs}
 		}
@@ -175,12 +196,23 @@ func main() {
 			hostVersion = 0
 		}
 		for _, np := range counts {
+			hostProcs := np
+			if *slices > 1 {
+				// Match the co-simulation's accounting: np is the total
+				// pool, split evenly over the slices into fine-propagator
+				// groups of np/K ranks each.
+				if np < *slices || np%*slices != 0 {
+					continue
+				}
+				hostProcs = np / *slices
+			}
 			run, err := core.NewRun(core.Config{
 				Scenario: *scen,
 				Euler:    *euler, Nx: *nx, Nr: *nr, Steps: *steps,
-				Backend: *real, Procs: np, Version: hostVersion, Balance: *balance,
+				Backend: *real, Procs: hostProcs, Version: hostVersion, Balance: *balance,
 				StopTol: *tol, ReduceEvery: *reduce,
 				FreshHalos: *fresh, HaloDepth: *haloDepth, ReduceGroup: *reduceGrp,
+				TimeSlices: *slices, PararealIters: *pIters, CoarseFactor: *coarseF,
 			})
 			if err != nil {
 				log.Fatal(err)

@@ -126,6 +126,39 @@ type Options struct {
 	// every rank. 0 or 1 keeps the flat plan; serial and shm have no
 	// rank collectives and reject any hierarchical request.
 	ReduceGroup int
+	// SteadyTol, when positive, stops a monitored run on the velocity-
+	// steadiness rate (max pointwise |du|,|dv| per unit time) instead of
+	// the L2 residual — the criterion closed wall-driven scenarios need
+	// (scenario.ConvergeSteadiness). Mutually exclusive with StopTol.
+	SteadyTol float64
+	// TimeSlices, when > 1, is the parallel-in-time width K of the
+	// parareal backend: the step range is partitioned into K time
+	// slices advanced concurrently by fine propagators and stitched by
+	// Parareal corrections. Spatial backends reject values above 1
+	// (core.Config.Canonical routes such configs here).
+	TimeSlices int
+	// PararealIters, when > 0, fixes the Parareal correction iteration
+	// count (TimeSlices iterations reproduce the fine trajectory
+	// bitwise). Zero iterates adaptively until the defect reaches
+	// DefectTol, capped at TimeSlices.
+	PararealIters int
+	// CoarseFactor is the coarsening ratio of the parareal coarse
+	// propagator: the coarse sweep runs on an (Nx/c)×(Nr/c) companion
+	// grid with restriction/interpolation between grids, taking time
+	// steps up to c× longer. 0 resolves to 2; 1 keeps the fine grid
+	// (the coarse propagator then equals the fine one — useful for
+	// pinning the machinery, pointless for speed).
+	CoarseFactor int
+	// DefectTol is the adaptive-mode convergence tolerance on the
+	// Parareal defect: the maximum over time slices of the L2 delta
+	// between successive slice initial states (plus the terminal-state
+	// delta). 0 resolves to DefaultDefectTol; ignored when
+	// PararealIters fixes the count.
+	DefectTol float64
+	// Fine names the registered spatial backend the parareal backend
+	// runs inside each time slice ("" = serial). Procs/Workers/Px/Pr/
+	// Version/Policy/Balance configure each slice's fine propagator.
+	Fine string
 }
 
 // Balance modes of Options.Balance.
@@ -216,13 +249,22 @@ func rejectBalance(name string, o Options) error {
 // global), so unlike versions and balance modes there is nothing to
 // reject per backend — only to validate.
 func resolveControl(name string, o Options) (solver.Control, error) {
+	if o.TimeSlices > 1 || o.PararealIters != 0 || o.CoarseFactor > 1 || o.DefectTol != 0 || o.Fine != "" {
+		return solver.Control{}, fmt.Errorf("backend: %s is a spatial backend; the parallel-in-time options (TimeSlices/PararealIters/CoarseFactor/DefectTol/Fine) require the parareal backend", name)
+	}
 	if o.StopTol < 0 {
 		return solver.Control{}, fmt.Errorf("backend: %s: negative stop tolerance %g", name, o.StopTol)
+	}
+	if o.SteadyTol < 0 {
+		return solver.Control{}, fmt.Errorf("backend: %s: negative steadiness tolerance %g", name, o.SteadyTol)
+	}
+	if o.StopTol > 0 && o.SteadyTol > 0 {
+		return solver.Control{}, fmt.Errorf("backend: %s: StopTol and SteadyTol are exclusive convergence criteria; set one", name)
 	}
 	if o.ReduceEvery < 0 {
 		return solver.Control{}, fmt.Errorf("backend: %s: negative reduction cadence %d", name, o.ReduceEvery)
 	}
-	return solver.Control{StopTol: o.StopTol, ReduceEvery: o.ReduceEvery, CFL: o.cfl()}, nil
+	return solver.Control{StopTol: o.StopTol, SteadyTol: o.SteadyTol, ReduceEvery: o.ReduceEvery, CFL: o.cfl()}, nil
 }
 
 // scenario resolves the scenario tag ("" means the built-in jet).
@@ -358,6 +400,14 @@ type Result struct {
 	Diag      solver.Diagnostics
 	// Px, Pr is the rank-grid shape (mp2d), 0 otherwise.
 	Px, Pr int
+	// TimeSlices and Iterations report a parareal run's composition:
+	// the time-slice count K and the correction iterations actually
+	// run. Defect is the final global Parareal defect (max over slices
+	// of the L2 delta between successive iterates); all zero for
+	// spatial backends.
+	TimeSlices int
+	Iterations int
+	Defect     float64
 	// Comm aggregates the message-layer counters (mp, mp2d, hybrid).
 	Comm trace.Counters
 	// CommDir splits Comm by exchange direction; Radial is nonzero only

@@ -1,0 +1,468 @@
+package backend
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/decomp"
+	"repro/internal/flux"
+	"repro/internal/grid"
+	"repro/internal/jet"
+	"repro/internal/msg"
+	"repro/internal/par"
+	"repro/internal/solver"
+)
+
+func init() { register(pararealBackend{}) }
+
+// DefaultDefectTol is the adaptive-mode convergence tolerance on the
+// Parareal defect when Options.DefectTol is unset. The conserved state
+// is O(1) in the nondimensionalization, so 1e-6 is a ~six-digit match
+// between successive iterates.
+const DefaultDefectTol = 1e-6
+
+// pararealBackend composes ranks × threads × time-slices: the step
+// range [0, steps) is partitioned into K time slices, a cheap coarse
+// propagator (big-dt MacCormack on a coarsened companion grid, with
+// bilinear restriction/interpolation between grids) sweeps the slices
+// serially to seed initial states, and Parareal correction iterations
+//
+//	U_{k+1} <- G(U_k^new) + F(U_k^old) - G(U_k^old)
+//
+// stitch the slices together, where each slice's fine propagator F is
+// any registered spatial backend resolved through the registry
+// (Options.Fine). The slice ranks run as goroutines over the message
+// layer, handing whole states along SliceStateTag; convergence is the
+// defect — the max over slices of the L2 delta between successive
+// iterates — reduced on the handoff itself and broadcast back by the
+// terminal rank.
+//
+// Exactness rides the handoff as a flag: slice 0's initial state is the
+// true initial condition, and a slice whose F ran from an exact state
+// hands F's output onward exact, skipping the correction arithmetic
+// (in floating point G(u)+(F(u)-G(u)) != F(u), so the flag — not the
+// formula — is what makes the frontier bitwise). The frontier advances
+// one slice per iteration, so after K iterations the terminal state is
+// bitwise-identical to the fine backend run serially in time; adaptive
+// runs (PararealIters 0) therefore cap at K iterations.
+type pararealBackend struct{}
+
+func (pararealBackend) Name() string { return "parareal" }
+
+// pararealPlan is the resolved parareal configuration.
+type pararealPlan struct {
+	k        int     // time slices
+	iters    int     // fixed correction iterations; 0 = adaptive
+	tol      float64 // adaptive defect tolerance
+	c        int     // coarsening factor (1 = fine grid)
+	fineName string
+	fine     Backend
+	fineOpts Options
+	gc       *grid.Grid // coarse companion grid; nil when c == 1
+}
+
+// resolve validates the parallel-in-time options and the fine backend's
+// spatial options (steps-dependent checks live in Run: Validate has no
+// step count).
+func (b pararealBackend) resolve(cfg jet.Config, g *grid.Grid, opts Options) (pararealPlan, error) {
+	var p pararealPlan
+	p.k = opts.TimeSlices
+	if p.k < 2 {
+		return p, fmt.Errorf("backend: parareal needs TimeSlices >= 2, got %d (a single slice is the fine backend run directly)", opts.TimeSlices)
+	}
+	if opts.StopTol != 0 || opts.SteadyTol != 0 || opts.ReduceEvery != 0 {
+		return p, fmt.Errorf("backend: parareal: convergence control (StopTol/SteadyTol/ReduceEvery) does not compose with the fixed time-slice partitioning; run the fine backend directly for a controlled march")
+	}
+	p.iters = opts.PararealIters
+	if p.iters < 0 {
+		return p, fmt.Errorf("backend: parareal: negative iteration count %d", p.iters)
+	}
+	if p.iters > p.k {
+		return p, fmt.Errorf("backend: parareal: %d iterations exceed the %d time slices; the terminal state is exact after TimeSlices iterations, more are no-ops", p.iters, p.k)
+	}
+	p.tol = opts.DefectTol
+	if p.tol < 0 {
+		return p, fmt.Errorf("backend: parareal: negative defect tolerance %g", p.tol)
+	}
+	if p.tol == 0 {
+		p.tol = DefaultDefectTol
+	}
+	p.c = opts.CoarseFactor
+	if p.c < 0 {
+		return p, fmt.Errorf("backend: parareal: negative coarse factor %d", p.c)
+	}
+	if p.c == 0 {
+		p.c = 2
+	}
+	if p.c > 1 {
+		gc, err := grid.NewOffset(g.Nx/p.c, g.Nr/p.c, g.Lx, g.Lr, g.R0)
+		if err != nil {
+			return p, fmt.Errorf("backend: parareal: coarse factor %d leaves no valid %dx%d coarse grid (%v); use CoarseFactor 1 to keep the fine grid", p.c, g.Nx/p.c, g.Nr/p.c, err)
+		}
+		if _, err := resolveProblem(cfg, gc, opts); err != nil {
+			return p, fmt.Errorf("backend: parareal: coarse grid: %w", err)
+		}
+		p.gc = gc
+	}
+	p.fineName = opts.Fine
+	if p.fineName == "" {
+		p.fineName = "serial"
+	}
+	if p.fineName == b.Name() {
+		return p, fmt.Errorf("backend: parareal cannot nest itself as the fine propagator")
+	}
+	fine, err := Get(p.fineName)
+	if err != nil {
+		return p, err
+	}
+	if _, ok := fine.(propagatorProvider); !ok {
+		return p, fmt.Errorf("backend: %s cannot serve as a parareal fine propagator", p.fineName)
+	}
+	p.fine = fine
+	fo := opts
+	fo.TimeSlices, fo.PararealIters, fo.CoarseFactor, fo.DefectTol, fo.Fine = 0, 0, 0, 0, ""
+	fo.StopTol, fo.SteadyTol, fo.ReduceEvery = 0, 0, 0
+	// The Lagged policy reuses the previous composite step's ghost
+	// columns in the radial sweep, so it is not restart-transparent —
+	// a reseeded slice would diverge from the continuous trajectory.
+	// Promote the default to Fresh; Wide(k) shells reload exactly and
+	// pass through.
+	if fo.Policy == solver.Lagged {
+		fo.Policy = solver.Fresh
+	}
+	if err := Validate(fine, cfg, g, fo); err != nil {
+		return p, fmt.Errorf("backend: parareal fine propagator %s: %w", p.fineName, err)
+	}
+	p.fineOpts = fo
+	return p, nil
+}
+
+// Validate implements the optional validator extension.
+func (b pararealBackend) Validate(cfg jet.Config, g *grid.Grid, opts Options) error {
+	_, err := b.resolve(cfg, g, opts)
+	return err
+}
+
+// coarseProp is one slice's coarse propagator G: restrict the fine
+// state onto the companion grid, run m big-dt MacCormack steps on a
+// serial slab, and interpolate back. Reseeding the clock every
+// evaluation makes G a pure function of its input — the property the
+// correction formula needs (G(U_k^old) must mean the same thing in both
+// iterations it appears in).
+type coarseProp struct {
+	sl        *solver.Slab
+	gf, gc    *grid.Grid
+	qc        *flux.State // coarse-grid scratch; nil when gc == gf
+	m         int         // coarse steps per evaluation
+	dtc       float64
+	startStep int
+	t0        float64
+}
+
+// newCoarse builds the coarse propagator of the slice [s0, s0+n). With
+// a 1:1 factor the fine grid object itself is reused and the coarse
+// step equals dtF exactly, so G reproduces the serial fine propagator
+// bitwise (the machinery-pinning configuration). Otherwise the slice's
+// n fine steps become ceil(n/c) coarse steps, stretched back only if
+// the coarse grid's own t=0 stability limit demands more.
+func newCoarse(cfg jet.Config, g *grid.Grid, plan pararealPlan, opts Options, s0, n int, dtF float64) (*coarseProp, error) {
+	cp := &coarseProp{gf: g, gc: plan.gc, startStep: s0, t0: float64(s0) * dtF}
+	if cp.gc == nil {
+		cp.gc = g
+	} else {
+		cp.qc = flux.NewState(cp.gc.Nx, cp.gc.Nr)
+	}
+	prob, err := resolveProblem(cfg, cp.gc, opts)
+	if err != nil {
+		return nil, err
+	}
+	s, err := solver.NewSerialProblemCFL(cfg, prob, cp.gc, opts.cfl())
+	if err != nil {
+		return nil, err
+	}
+	cp.sl = s.Slab
+	if plan.c == 1 {
+		cp.m, cp.dtc = n, dtF
+		return cp, nil
+	}
+	m := (n + plan.c - 1) / plan.c
+	if stable := s.Dt; stable > 0 {
+		if need := int(math.Ceil(float64(n) * dtF / stable)); need > m {
+			m = need
+		}
+	}
+	cp.m = m
+	cp.dtc = float64(n) * dtF / float64(m)
+	return cp, nil
+}
+
+// eval computes out = G(in), both on the fine grid.
+func (cp *coarseProp) eval(in, out *flux.State) {
+	if cp.qc == nil {
+		cp.sl.LoadState(in)
+	} else {
+		solver.Resample(cp.qc, cp.gc, in, cp.gf)
+		cp.sl.LoadState(cp.qc)
+	}
+	cp.sl.SetClock(cp.startStep, cp.t0, cp.dtc)
+	for i := 0; i < cp.m; i++ {
+		cp.sl.Advance()
+	}
+	if cp.qc == nil {
+		cp.sl.StoreState(out)
+	} else {
+		cp.sl.StoreState(cp.qc)
+		solver.Resample(out, cp.gf, cp.qc, cp.gc)
+	}
+}
+
+// defectL2 is the L2 norm of the interior delta between two states
+// with a fixed summation order (column-major, components innermost), so
+// a given slice partition reproduces its defect bitwise on every run.
+func defectL2(a, b *flux.State, g *grid.Grid) float64 {
+	sum := 0.0
+	for c := 0; c < g.Nx; c++ {
+		var ca, cb [flux.NVar][]float64
+		for k := 0; k < flux.NVar; k++ {
+			ca[k], cb[k] = a[k].Col(c), b[k].Col(c)
+		}
+		for j := 0; j < g.Nr; j++ {
+			for k := 0; k < flux.NVar; k++ {
+				d := ca[k][j] - cb[k][j]
+				sum += d * d
+			}
+		}
+	}
+	return math.Sqrt(sum / float64(g.Nx*g.Nr*flux.NVar))
+}
+
+// correct applies the Parareal update out = gNew + f - gOld pointwise
+// over the interior.
+func correct(out, gNew, f, gOld *flux.State, g *grid.Grid) {
+	for c := 0; c < g.Nx; c++ {
+		for k := 0; k < flux.NVar; k++ {
+			o, gn, ff, og := out[k].Col(c), gNew[k].Col(c), f[k].Col(c), gOld[k].Col(c)
+			for j := range o {
+				o[j] = gn[j] + ff[j] - og[j]
+			}
+		}
+	}
+}
+
+// copyState deep-copies a conservative state.
+func copyState(dst, src *flux.State) {
+	for k := 0; k < flux.NVar; k++ {
+		dst[k].CopyFrom(src[k])
+	}
+}
+
+// pararealStop is the shared stop rule every slice rank evaluates on
+// the identical broadcast defect, so all ranks exit on the same
+// iteration.
+func pararealStop(defect float64, iter, maxIters int, adaptive bool, tol float64) bool {
+	if adaptive && defect <= tol {
+		return true
+	}
+	return iter >= maxIters
+}
+
+func (b pararealBackend) Run(cfg jet.Config, g *grid.Grid, opts Options, steps int) (Result, error) {
+	plan, err := b.resolve(cfg, g, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	dec, err := decomp.WeightedTimeSlices(steps, plan.k, nil)
+	if err != nil {
+		return Result{}, fmt.Errorf("backend: parareal: %w", err)
+	}
+	K := plan.k
+	props := make([]Propagator, K)
+	defer func() {
+		for _, p := range props {
+			if p != nil {
+				p.Close()
+			}
+		}
+	}()
+	for k := range props {
+		if props[k], err = NewPropagator(plan.fine, cfg, g, plan.fineOpts); err != nil {
+			return Result{}, err
+		}
+	}
+	dtF := props[0].Dt()
+	for k := 1; k < K; k++ {
+		if props[k].Dt() != dtF {
+			return Result{}, fmt.Errorf("backend: parareal: fine propagators disagree on dt (%g vs %g)", props[k].Dt(), dtF)
+		}
+	}
+	coarse := make([]*coarseProp, K)
+	for k := range coarse {
+		s0, n := dec.Range(k)
+		if coarse[k], err = newCoarse(cfg, g, plan, opts, s0, n, dtF); err != nil {
+			return Result{}, err
+		}
+	}
+	maxIters := plan.iters
+	adaptive := maxIters == 0
+	if adaptive {
+		maxIters = K
+	}
+	world := msg.NewWorld(K)
+	scs := make([]*par.SliceComm, K)
+	for k := range scs {
+		scs[k] = par.NewSliceComm(world.Comm(k), g.Nx, g.Nr)
+	}
+
+	// Written only by the terminal slice rank, read after the join.
+	terminal := flux.NewState(g.Nx, g.Nr)
+	var history []solver.ResidualPoint
+	var finalDefect float64
+	var itersRun int
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for k := 0; k < K; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			sc := scs[k]
+			s0, n := dec.Range(k)
+			u := flux.NewState(g.Nx, g.Nr)
+			f := flux.NewState(g.Nx, g.Nr)
+			gOld := flux.NewState(g.Nx, g.Nr)
+			gNew := flux.NewState(g.Nx, g.Nr)
+			out := flux.NewState(g.Nx, g.Nr)
+			var uNew, outPrev *flux.State
+			if k > 0 {
+				uNew = flux.NewState(g.Nx, g.Nr)
+			}
+			if k == K-1 {
+				outPrev = flux.NewState(g.Nx, g.Nr)
+			}
+
+			// Iteration 0: the pipelined coarse init sweep. Slice 0's
+			// initial state is the true t=0 condition (read from its
+			// freshly-built fine propagator); each later slice receives
+			// the coarse prediction and hands its own G onward. The G
+			// each rank computes here is exactly the G(U_k^old) the
+			// first correction needs — the gOld cache falls out of the
+			// sweep for free.
+			exact := k == 0
+			if k == 0 {
+				props[0].State(u)
+			} else {
+				exact, _ = sc.RecvState(k-1, u)
+			}
+			coarse[k].eval(u, gOld)
+			if k < K-1 {
+				sc.SendState(k+1, gOld, false, 0)
+			}
+
+			fExact, sentExact := false, false
+			for iter := 1; ; iter++ {
+				// Fine propagation of this slice from its current
+				// initial state — all slices in parallel. Once this
+				// rank has handed an exact state onward its output can
+				// never change again; skip the recompute and resend.
+				if !sentExact {
+					props[k].Seed(u, s0)
+					props[k].Advance(n)
+					props[k].State(f)
+					fExact = exact
+				}
+				// Sequential correction sweep, rank k-1 -> k, carrying
+				// the running defect maximum.
+				var defect float64
+				var send *flux.State
+				sendExact := false
+				if k == 0 {
+					// The first slice's initial state never changes, so
+					// F(U_0) is the true trajectory: hand it on exact.
+					send, sendExact = f, true
+				} else {
+					inExact, dIn := sc.RecvState(k-1, uNew)
+					defect = math.Max(dIn, defectL2(uNew, u, g))
+					if inExact && fExact {
+						// The state F ran from was already exact and the
+						// incoming exact state is bitwise the same one:
+						// F's output is the true trajectory.
+						send, sendExact = f, true
+					} else {
+						coarse[k].eval(uNew, gNew)
+						correct(out, gNew, f, gOld, g)
+						gOld, gNew = gNew, gOld
+						copyState(u, uNew)
+						exact = inExact
+						send = out
+					}
+				}
+				sentExact = sentExact || sendExact
+				if k < K-1 {
+					sc.SendState(k+1, send, sendExact, defect)
+					gd := sc.RecvVerdict(K - 1)
+					if pararealStop(gd, iter, maxIters, adaptive, plan.tol) {
+						return
+					}
+				} else {
+					// Terminal slice: `send` is the run's result. Fold
+					// in the terminal-state delta (undefined on the
+					// first iteration — no previous iterate), broadcast
+					// the verdict, and stop in lockstep with the rest.
+					dTerm := math.Inf(1)
+					if iter > 1 {
+						dTerm = defectL2(send, outPrev, g)
+					}
+					defect = math.Max(defect, dTerm)
+					copyState(outPrev, send)
+					history = append(history, solver.ResidualPoint{Step: iter, Residual: defect})
+					for r := 0; r < K-1; r++ {
+						sc.SendVerdict(r, defect)
+					}
+					if pararealStop(defect, iter, maxIters, adaptive, plan.tol) {
+						copyState(terminal, send)
+						finalDefect, itersRun = defect, iter
+						return
+					}
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Diagnostics of the terminal state, through a plain serial slab on
+	// the fine grid.
+	prob, err := resolveProblem(cfg, g, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	ds, err := solver.NewSerialProblemCFL(cfg, prob, g, opts.cfl())
+	if err != nil {
+		return Result{}, err
+	}
+	ds.LoadState(terminal)
+
+	res := Result{
+		Backend:    b.Name(),
+		Scenario:   opts.scenario(),
+		Procs:      opts.procs(),
+		Steps:      steps,
+		Dt:         dtF,
+		Converged:  adaptive && finalDefect <= plan.tol,
+		Residuals:  history,
+		Elapsed:    elapsed,
+		Diag:       ds.Diagnose(),
+		TimeSlices: K,
+		Iterations: itersRun,
+		Defect:     finalDefect,
+		Fields:     terminal,
+	}
+	for k := 0; k < K; k++ {
+		c := world.Comm(k)
+		res.Comm.Merge(c.Counters)
+		res.PerRank = append(res.PerRank, par.RankStats{Rank: k, Comm: c.Counters, Wait: c.WaitTime})
+	}
+	return res, nil
+}

@@ -1,0 +1,136 @@
+package backend
+
+import (
+	"testing"
+
+	"repro/internal/solver"
+)
+
+// TestGoldenPararealVariants extends the checksum net to the parallel-
+// in-time axis. At PararealIters = TimeSlices the corrected trajectory
+// is the fine trajectory bitwise — the exactness frontier has crossed
+// every slice — whatever the coarse propagator's quality, and with
+// CoarseFactor 1 the coarse sweep is the fine operator itself, so the
+// adaptive run converges with defect exactly zero and the same bitwise
+// result. The fine propagator composes with the spatial backends
+// through the registry, so the axial and 2-D rank runners are pinned
+// here too.
+func TestGoldenPararealVariants(t *testing.T) {
+	assertGoldenVariants(t, func(goldenCase) []goldenVariant {
+		return []goldenVariant{
+			{"parareal", Options{TimeSlices: 2, PararealIters: 2, CoarseFactor: 2}},
+			{"parareal", Options{TimeSlices: 4, PararealIters: 4, CoarseFactor: 2}},
+			{"parareal", Options{TimeSlices: 2, CoarseFactor: 1}},
+			{"parareal", Options{TimeSlices: 2, PararealIters: 2, CoarseFactor: 2, Fine: "mp:v5", Procs: 2, Policy: solver.Fresh}},
+			{"parareal", Options{TimeSlices: 2, PararealIters: 2, CoarseFactor: 2, Fine: "mp2d", Procs: 2, Policy: solver.Fresh}},
+			// The default Lagged policy is promoted to Fresh for the fine
+			// propagators (restart transparency), so the zero policy is
+			// bitwise too.
+			{"parareal", Options{TimeSlices: 2, PararealIters: 2, CoarseFactor: 2, Fine: "mp:v5", Procs: 2}},
+		}
+	})
+}
+
+// TestPararealParity pins the defect-tolerance parity contract on every
+// registered scenario: an adaptive run either converges — and then its
+// terminal state matches the fine-propagator (serial) trajectory to the
+// scale of the final defect — or caps at TimeSlices iterations, where
+// the result is the fine trajectory bitwise.
+func TestPararealParity(t *testing.T) {
+	ser, err := Get("serial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Get("parareal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 4
+	for name, c := range goldenCases() {
+		cfg, g, baseOpts := goldenSetup(t, c)
+		ref, err := ser.Run(cfg, g, baseOpts, c.Steps)
+		if err != nil {
+			t.Fatalf("%s: serial: %v", name, err)
+		}
+		opts := Options{Scenario: c.Scenario, TimeSlices: k, CoarseFactor: 2, DefectTol: 1e-2}
+		res, err := par.Run(cfg, g, opts, c.Steps)
+		if err != nil {
+			t.Fatalf("%s: parareal: %v", name, err)
+		}
+		if res.TimeSlices != k || res.Iterations < 1 || res.Iterations > k {
+			t.Fatalf("%s: result shape: slices=%d iters=%d", name, res.TimeSlices, res.Iterations)
+		}
+		if len(res.Residuals) != res.Iterations {
+			t.Errorf("%s: %d defect-history points for %d iterations", name, len(res.Residuals), res.Iterations)
+		}
+		dist := defectL2(res.Fields, ref.Fields, g)
+		switch {
+		case res.Converged:
+			if res.Defect > opts.DefectTol {
+				t.Errorf("%s: converged with defect %g > tol %g", name, res.Defect, opts.DefectTol)
+			}
+			// The parity contract: the converged iterate tracks the fine
+			// trajectory at the defect's own scale (2x covers the defect
+			// measuring successive iterates, not the fine solution).
+			if limit := 2 * res.Defect; dist > limit {
+				t.Errorf("%s: converged at iter %d but L2 distance to serial %g > %g (defect %g)",
+					name, res.Iterations, dist, limit, res.Defect)
+			}
+		default:
+			if res.Iterations != k {
+				t.Fatalf("%s: unconverged after %d < %d iterations", name, res.Iterations, k)
+			}
+			// Capped at K: every slice has absorbed an exact handoff, so
+			// the trajectory is the fine run bitwise.
+			if dist != 0 {
+				t.Errorf("%s: iters=K result differs from serial: L2 %g", name, dist)
+			}
+		}
+	}
+}
+
+// TestPararealRejections walks the validation surface: the
+// parallel-in-time options are rejected on spatial backends (one
+// shared gate in resolveControl), and the coordinator rejects
+// convergence control, self-nesting, and slice counts the step budget
+// cannot fill.
+func TestPararealRejections(t *testing.T) {
+	c := goldenCases()["ns-64x24"]
+	cfg, g, _ := goldenSetup(t, c)
+	cases := []struct {
+		name    string
+		backend string
+		opts    Options
+	}{
+		{"spatial-time-slices", "serial", Options{TimeSlices: 4}},
+		{"spatial-iters", "mp:v5", Options{Procs: 2, PararealIters: 2}},
+		{"spatial-coarse", "shm", Options{Procs: 2, CoarseFactor: 2}},
+		{"spatial-fine", "mp2d", Options{Procs: 2, Fine: "serial"}},
+		{"spatial-defect-tol", "serial", Options{DefectTol: 1e-6}},
+		{"one-slice", "parareal", Options{TimeSlices: 1}},
+		{"self-nesting", "parareal", Options{TimeSlices: 2, Fine: "parareal"}},
+		{"stop-tol", "parareal", Options{TimeSlices: 2, StopTol: 1e-4}},
+		{"steady-tol", "parareal", Options{TimeSlices: 2, SteadyTol: 1e-4}},
+		{"bad-iters", "parareal", Options{TimeSlices: 2, PararealIters: 3}},
+		{"both-tols", "serial", Options{StopTol: 1e-4, SteadyTol: 1e-4}},
+	}
+	for _, tc := range cases {
+		b, err := Get(tc.backend)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(b, cfg, g, tc.opts); err == nil {
+			t.Errorf("%s: %s accepted %+v", tc.name, tc.backend, tc.opts)
+		}
+	}
+
+	// More slices than steps only surfaces at Run time — the step budget
+	// is a Run argument, not an option.
+	par, err := Get("parareal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := par.Run(cfg, g, Options{TimeSlices: c.Steps + 1}, c.Steps); err == nil {
+		t.Errorf("parareal accepted %d slices over %d steps", c.Steps+1, c.Steps)
+	}
+}

@@ -136,6 +136,38 @@ type Config struct {
 	// runs every ReduceEvery-th step, amortizing the collective. Zero
 	// means every step when StopTol is set, no monitoring otherwise.
 	ReduceEvery int
+	// SteadyTol, when positive, makes the run convergence-controlled on
+	// velocity steadiness instead of the L2 residual: it stops at the
+	// first monitored step where the global max of |Δu|/dt, |Δv|/dt
+	// over core points falls to the tolerance — the closed-flow
+	// criterion of the cavity scenario, where the residual never
+	// vanishes. Mutually exclusive with StopTol.
+	SteadyTol float64
+	// TimeSlices, when > 1, selects the Parareal parallel-in-time run:
+	// [0, Steps] splits into TimeSlices slices, each propagated by the
+	// spatial backend named in Backend (which moves to FineBackend) or
+	// FineBackend, stitched by a serial coarse sweep and corrected
+	// iteratively. 0 or 1 means the pure spatial run, and the other
+	// parallel-in-time fields are inert.
+	TimeSlices int
+	// PararealIters fixes the Parareal correction-iteration count:
+	// 0 means adaptive (stop when the defect falls to DefectTol, capped
+	// at TimeSlices); TimeSlices is the exact schedule, bitwise equal
+	// to the fine propagator run end to end.
+	PararealIters int
+	// CoarseFactor coarsens the Parareal coarse propagator's grid and
+	// time step in both directions (0 means the backend default of 2;
+	// 1 reuses the fine operator itself, making every sweep exact).
+	CoarseFactor int
+	// DefectTol is the adaptive Parareal stopping tolerance on the
+	// slice-boundary L2 defect between successive iterates (0 means the
+	// backend default).
+	DefectTol float64
+	// FineBackend names the spatial backend Parareal runs as the fine
+	// propagator of each slice ("" means "serial"; any registry name
+	// except "parareal" itself). Spelling a spatial Backend together
+	// with TimeSlices > 1 is the same run: the name moves here.
+	FineBackend string
 	// Jet overrides the physical configuration (default jet.Paper()).
 	Jet *jet.Config
 }
@@ -235,7 +267,14 @@ func pinnedVersion(name string) (int, bool) {
 //     run spelled with -euler is the same cavity run);
 //   - policy aliasing: HaloDepth 1 is exactly FreshHalos, ReduceGroup 1
 //     is the flat plan, empty Balance is "uniform", and a tolerance
-//     with no cadence monitors every step;
+//     (StopTol or SteadyTol) with no cadence monitors every step;
+//   - parareal aliasing: a spatial Backend with TimeSlices > 1 is the
+//     "parareal" backend with that name as FineBackend (empty fine is
+//     "serial"); TimeSlices <= 1 clears the inert parallel-in-time
+//     fields, so a spatial run spelled with them hashes identically to
+//     the plain spelling; the default Lagged policy folds to Fresh
+//     under parareal (the coordinator promotes it for restart
+//     transparency);
 //   - serial runs one slab whatever width was requested.
 //
 // The normalization is deliberately syntactic: equivalences it cannot
@@ -271,8 +310,61 @@ func (c Config) Canonical() (Config, error) {
 	phys := sc.Config(c.jetConfig())
 	c.Jet = &phys
 	c.Euler = !phys.Viscous
-	if c.Backend == "serial" {
+	if c.Backend == "serial" && c.TimeSlices <= 1 {
+		// Under TimeSlices the serial name may only be the default
+		// resolution of an empty spelling; the fold below decides
+		// whether the fine propagator is really serial before any
+		// width clamp applies.
 		c.Procs, c.Workers = 1, 0
+	}
+	if c.TimeSlices < 0 {
+		return Config{}, fmt.Errorf("core: time slices must be >= 2 for a parareal run, got %d", c.TimeSlices)
+	}
+	if c.Backend == "parareal" && c.TimeSlices <= 1 {
+		return Config{}, fmt.Errorf("core: the parareal backend needs TimeSlices >= 2, got %d", c.TimeSlices)
+	}
+	if c.TimeSlices > 1 {
+		if c.Backend != "parareal" {
+			// A spatial spelling with time slices is the parareal run
+			// using that backend as the fine propagator. An explicit
+			// FineBackend wins over the default serial resolution of an
+			// empty spelling, but contradicting a non-serial spatial
+			// name is an error, not a silent pick.
+			if c.FineBackend != "" && c.Backend != "serial" && c.FineBackend != c.Backend {
+				return Config{}, fmt.Errorf("core: FineBackend %q contradicts spatial backend %q under TimeSlices; name one of them (or Backend \"parareal\")", c.FineBackend, c.Backend)
+			}
+			if c.FineBackend == "" {
+				c.FineBackend = c.Backend
+			}
+			c.Backend = "parareal"
+			c.Mode = modeOf(c.Backend)
+		}
+		if c.FineBackend == "" {
+			c.FineBackend = "serial"
+		}
+		if v, ok := pinnedVersion(c.FineBackend); ok {
+			c.Version = v
+		} else if c.Version != 0 {
+			alias := fmt.Sprintf("%s:v%d", c.FineBackend, c.Version)
+			if _, ok := backendRegistered(alias); ok {
+				c.FineBackend = alias
+			}
+		}
+		if c.FineBackend == "serial" {
+			c.Procs, c.Workers = 1, 0
+		}
+		if c.StopTol > 0 || c.SteadyTol > 0 || c.ReduceEvery > 0 {
+			return Config{}, fmt.Errorf("core: parareal runs fixed time slices; convergence control (StopTol/SteadyTol/ReduceEvery) does not compose with TimeSlices")
+		}
+		if !c.FreshHalos && c.HaloDepth <= 1 {
+			// The coordinator promotes the default Lagged policy to
+			// Fresh (restart transparency); name the canonical policy.
+			c.FreshHalos = true
+		}
+	} else {
+		// A spatial run: the parallel-in-time fields are inert, so a
+		// run spelled with them is the same run without them.
+		c.TimeSlices, c.PararealIters, c.CoarseFactor, c.DefectTol, c.FineBackend = 0, 0, 0, 0, ""
 	}
 	if c.HaloDepth < 0 {
 		return Config{}, fmt.Errorf("core: halo depth must be >= 1, got %d", c.HaloDepth)
@@ -289,7 +381,10 @@ func (c Config) Canonical() (Config, error) {
 	if c.Balance == "" {
 		c.Balance = backend.BalanceUniform
 	}
-	if c.StopTol > 0 && c.ReduceEvery == 0 {
+	if c.StopTol > 0 && c.SteadyTol > 0 {
+		return Config{}, fmt.Errorf("core: StopTol and SteadyTol are mutually exclusive convergence criteria; set one")
+	}
+	if (c.StopTol > 0 || c.SteadyTol > 0) && c.ReduceEvery == 0 {
 		c.ReduceEvery = 1
 	}
 	return c, nil
@@ -318,16 +413,24 @@ type Result struct {
 	// than Config.Steps when StopTol stopped the run early.
 	Steps int
 	Dt    float64
-	// Converged reports an early stop on StopTol; Residuals is the
-	// monitored convergence history (step, L2 residual).
+	// Converged reports an early stop on StopTol/SteadyTol (or, for a
+	// parareal run, an adaptive defect-tolerance stop); Residuals is
+	// the monitored convergence history (step, L2 residual — or
+	// iteration, L2 defect for parareal).
 	Converged bool
 	Residuals []solver.ResidualPoint
-	Elapsed   time.Duration
-	Diag      solver.Diagnostics
-	Comm      trace.Counters    // aggregate communication (mp, mp2d, hybrid)
-	CommDir   trace.DirCounters // Comm split by exchange class (mp2d, reductions)
-	PerRank   []par.RankStats   // per-rank profile (mp, mp2d, hybrid)
-	Momentum  [][]float64       // axial momentum field rho*u
+	// TimeSlices, Iterations, and Defect report a parareal run: the
+	// slice count, the correction iterations actually run, and the
+	// final slice-boundary L2 defect. Zero for spatial runs.
+	TimeSlices int
+	Iterations int
+	Defect     float64
+	Elapsed    time.Duration
+	Diag       solver.Diagnostics
+	Comm       trace.Counters    // aggregate communication (mp, mp2d, hybrid)
+	CommDir    trace.DirCounters // Comm split by exchange class (mp2d, reductions)
+	PerRank    []par.RankStats   // per-rank profile (mp, mp2d, hybrid)
+	Momentum   [][]float64       // axial momentum field rho*u
 }
 
 // modeOf derives the reported execution mode from a resolved registry
@@ -403,6 +506,21 @@ func NewRun(c Config) (*Run, error) {
 	if err != nil {
 		return nil, err
 	}
+	fine := c.FineBackend
+	if c.TimeSlices > 1 && name != "parareal" {
+		// A spatial backend name with time slices means: run the
+		// parareal coordinator with that backend as the fine propagator.
+		// An explicit FineBackend wins over the default serial
+		// resolution of an empty spelling, but contradicting a
+		// non-serial spatial name is an error, not a silent pick.
+		if fine != "" && name != "serial" && fine != name {
+			return nil, fmt.Errorf("core: FineBackend %q contradicts spatial backend %q under TimeSlices; name one of them (or Backend \"parareal\")", fine, name)
+		}
+		if fine == "" {
+			fine = name
+		}
+		name = "parareal"
+	}
 	be, err := backend.Get(name)
 	if err != nil {
 		return nil, err
@@ -430,8 +548,15 @@ func NewRun(c Config) (*Run, error) {
 		Policy:      policy,
 		Balance:     c.Balance,
 		StopTol:     c.StopTol,
+		SteadyTol:   c.SteadyTol,
 		ReduceEvery: c.ReduceEvery,
 		ReduceGroup: c.ReduceGroup,
+
+		TimeSlices:    c.TimeSlices,
+		PararealIters: c.PararealIters,
+		CoarseFactor:  c.CoarseFactor,
+		DefectTol:     c.DefectTol,
+		Fine:          fine,
 	}
 	if err := backend.Validate(be, phys, g, opts); err != nil {
 		return nil, err
@@ -508,22 +633,25 @@ func (r *Run) Execute() (*Result, error) {
 		return nil, err
 	}
 	res := &Result{
-		Backend:   br.Backend,
-		Scenario:  br.Scenario,
-		Mode:      modeOf(br.Backend),
-		Procs:     br.Procs,
-		Px:        br.Px,
-		Pr:        br.Pr,
-		Steps:     br.Steps,
-		Dt:        br.Dt,
-		Converged: br.Converged,
-		Residuals: br.Residuals,
-		Elapsed:   br.Elapsed,
-		Diag:      br.Diag,
-		Comm:      br.Comm,
-		CommDir:   br.CommDir,
-		PerRank:   br.PerRank,
-		Momentum:  br.Momentum(),
+		Backend:    br.Backend,
+		Scenario:   br.Scenario,
+		Mode:       modeOf(br.Backend),
+		Procs:      br.Procs,
+		Px:         br.Px,
+		Pr:         br.Pr,
+		Steps:      br.Steps,
+		Dt:         br.Dt,
+		Converged:  br.Converged,
+		Residuals:  br.Residuals,
+		TimeSlices: br.TimeSlices,
+		Iterations: br.Iterations,
+		Defect:     br.Defect,
+		Elapsed:    br.Elapsed,
+		Diag:       br.Diag,
+		Comm:       br.Comm,
+		CommDir:    br.CommDir,
+		PerRank:    br.PerRank,
+		Momentum:   br.Momentum(),
 	}
 	if res.Diag.HasNaN {
 		return res, fmt.Errorf("core: run diverged (NaN after %d steps)", br.Steps)

@@ -228,3 +228,102 @@ func TestCanonical(t *testing.T) {
 		t.Fatalf("not idempotent: %+v vs %+v", again, ch)
 	}
 }
+
+// TestCanonicalParareal pins the parallel-in-time normalizations the
+// service cache keys on: a spatial config spelled with TimeSlices 1 and
+// stray parareal knobs canonicalizes — and therefore config-hashes —
+// identically to the plain spatial spelling, a spatial backend name
+// with TimeSlices > 1 moves onto the parareal backend as its fine
+// propagator, and the contradictions NewRun rejects are errors here
+// too.
+func TestCanonicalParareal(t *testing.T) {
+	plain, err := small().Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spelled := small()
+	spelled.TimeSlices = 1
+	spelled.PararealIters = 3
+	spelled.CoarseFactor = 4
+	spelled.DefectTol = 1e-3
+	spelled.FineBackend = "mp:v5"
+	cs, err := spelled.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *cs.Jet != *plain.Jet {
+		t.Fatalf("physics diverged: %+v vs %+v", cs.Jet, plain.Jet)
+	}
+	cs.Jet, plain.Jet = nil, nil
+	if cs != plain {
+		t.Fatalf("TimeSlices 1 spelling not cleared to the spatial config:\n  %+v\nvs\n  %+v", cs, plain)
+	}
+
+	// A spatial name with slices becomes the parareal backend, the name
+	// moving onto the fine propagator (version folding included), and
+	// the default Lagged policy folds to Fresh — the coordinator's
+	// restart-transparency promotion.
+	p := small()
+	p.Backend = "mp"
+	p.Version = 5
+	p.Procs = 2
+	p.TimeSlices = 4
+	cp, err := p.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Backend != "parareal" || cp.FineBackend != "mp:v5" || cp.TimeSlices != 4 {
+		t.Fatalf("parareal rewrite: %+v", cp)
+	}
+	if !cp.FreshHalos {
+		t.Fatalf("Lagged not folded to Fresh under parareal: %+v", cp)
+	}
+	cp2, err := cp.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp2.Backend != cp.Backend || cp2.FineBackend != cp.FineBackend {
+		t.Fatalf("parareal canonicalization not idempotent: %+v vs %+v", cp2, cp)
+	}
+
+	// An explicit FineBackend wins over the default serial resolution
+	// of an empty Backend — the fine propagator and its width survive —
+	// while contradicting a non-serial spatial name is an error.
+	f := small()
+	f.TimeSlices = 2
+	f.FineBackend = "mp2d"
+	f.Procs = 2
+	cf, err := f.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf.Backend != "parareal" || cf.FineBackend != "mp2d" || cf.Procs != 2 {
+		t.Fatalf("explicit fine propagator clobbered by the serial default: %+v", cf)
+	}
+	bad := small()
+	bad.Backend = "mp2d"
+	bad.TimeSlices = 2
+	bad.FineBackend = "hybrid"
+	if _, err := bad.Canonical(); err == nil {
+		t.Fatal("contradictory spatial/fine backend pair accepted")
+	}
+
+	// The contradictions NewRun rejects are Canonical errors too.
+	bad = small()
+	bad.Backend = "parareal"
+	if _, err := bad.Canonical(); err == nil {
+		t.Fatal("parareal backend without TimeSlices accepted")
+	}
+	bad = small()
+	bad.TimeSlices = 4
+	bad.StopTol = 1e-4
+	if _, err := bad.Canonical(); err == nil {
+		t.Fatal("parareal with convergence control accepted")
+	}
+	bad = small()
+	bad.StopTol = 1e-4
+	bad.SteadyTol = 1e-4
+	if _, err := bad.Canonical(); err == nil {
+		t.Fatal("StopTol with SteadyTol accepted")
+	}
+}

@@ -71,6 +71,59 @@ func FuzzAxial(f *testing.F) {
 	})
 }
 
+// FuzzTimeSlices fuzzes the parallel-in-time step partitioning: any
+// accepted (steps, k) must satisfy the 1-D invariants with the time
+// axis's minimum of one step per slice, and the weighted variant under
+// a ramp profile must cover the same range with the same slice count.
+func FuzzTimeSlices(f *testing.F) {
+	f.Add(5000, 4)
+	f.Add(8, 2) // the golden-case shape
+	f.Add(7, 3) // remainder k-1
+	f.Add(4, 4) // one step per slice
+	f.Add(3, 4) // more slices than steps: rejected
+	f.Add(1, 1)
+	f.Add(0, 0)  // both invalid
+	f.Add(-5, 2) // negative extent
+	f.Add(100, -1)
+	f.Fuzz(func(t *testing.T, steps, k int) {
+		if steps > 1<<20 || k > 1<<20 {
+			t.Skip("bounded: runs never see million-step schedules")
+		}
+		d, err := TimeSlices(steps, k)
+		if err == nil {
+			if k < 1 || steps/k < 1 {
+				t.Fatalf("(%d,%d) accepted but violates validation", steps, k)
+			}
+			checkDecomposition(t, d, steps, k, 1)
+		}
+		if steps < 1 || steps > 1<<12 {
+			return
+		}
+		ramp := make([]float64, steps)
+		for i := range ramp {
+			ramp[i] = 1 + float64(i)/float64(steps)
+		}
+		w, werr := WeightedTimeSlices(steps, k, ramp)
+		if (err == nil) != (werr == nil) {
+			t.Fatalf("(%d,%d): uniform err=%v but weighted err=%v", steps, k, err, werr)
+		}
+		if werr != nil {
+			return
+		}
+		pos := 0
+		for r := 0; r < k; r++ {
+			s0, n := w.Range(r)
+			if s0 != pos || n < 1 {
+				t.Fatalf("weighted slice %d: range [%d,+%d) breaks coverage at %d", r, s0, n, pos)
+			}
+			pos += n
+		}
+		if pos != steps {
+			t.Fatalf("weighted slices cover %d steps, want %d", pos, steps)
+		}
+	})
+}
+
 // FuzzGrid2D fuzzes the rank grid: any accepted (nx, nr, px, pr) must
 // tile the domain exactly, respect both block minima, and have
 // symmetric neighbour relations.

@@ -91,8 +91,12 @@ func (p Platform) EffMFLOPS(ch trace.Characterization) float64 {
 }
 
 // Simulate runs the application characterization on procs processors
-// with the given communication version (5, 6, or 7).
+// with the given communication version (5, 6, or 7). A TimeSlices > 1
+// characterization routes to the Parareal schedule.
 func (p Platform) Simulate(ch trace.Characterization, procs, commVersion int) (Outcome, error) {
+	if ch.TimeSlices > 1 {
+		return p.SimulateParareal(ch, procs, commVersion)
+	}
 	return p.SimulateSteps(ch, procs, commVersion, DefaultSimSteps)
 }
 

@@ -308,6 +308,45 @@ func (r *Runner) RunControlled(n int, ctl solver.Control) *Result {
 	return res
 }
 
+// SeedState loads a full-grid conservative state into every slab —
+// whole rectangle, redundant Wide shell included — and positions every
+// clock at composite step `step` (time = step*dt), so the next advance
+// behaves exactly as it would mid-way through a continuous run. The
+// Parareal coordinator uses this to make the runner a restartable fine
+// propagator.
+func (r *Runner) SeedState(full *flux.State, step int) {
+	for _, sl := range r.Slabs {
+		sl.LoadState(full)
+		sl.SetClock(step, float64(step)*sl.Dt, sl.Dt)
+	}
+}
+
+// AdvanceSteps runs n composite steps concurrently at the fixed dt with
+// no monitoring — the light-weight step loop of a Parareal fine
+// propagation, callable repeatedly between SeedState/StoreState.
+func (r *Runner) AdvanceSteps(n int) {
+	var wg sync.WaitGroup
+	for _, sl := range r.Slabs {
+		wg.Add(1)
+		go func(sl *solver.Slab) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				sl.Advance()
+			}
+		}(sl)
+	}
+	wg.Wait()
+}
+
+// StoreState gathers every slab's owned core into a full-grid
+// conservative state, tiling the domain exactly (the in-place
+// counterpart of GatherState).
+func (r *Runner) StoreState(full *flux.State) {
+	for _, sl := range r.Slabs {
+		sl.StoreState(full)
+	}
+}
+
 // Diagnose aggregates the per-slab diagnostics.
 func (r *Runner) Diagnose() solver.Diagnostics {
 	var d solver.Diagnostics

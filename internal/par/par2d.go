@@ -233,6 +233,41 @@ func (r *Runner2D) RunControlled(n int, ctl solver.Control) *Result {
 	return res
 }
 
+// SeedState loads a full-grid conservative state into every block and
+// positions every clock at composite step `step` — the 2-D counterpart
+// of Runner.SeedState, making the rank grid a restartable Parareal fine
+// propagator.
+func (r *Runner2D) SeedState(full *flux.State, step int) {
+	for _, sl := range r.Slabs {
+		sl.LoadState(full)
+		sl.SetClock(step, float64(step)*sl.Dt, sl.Dt)
+	}
+}
+
+// AdvanceSteps runs n composite steps concurrently at the fixed dt with
+// no monitoring.
+func (r *Runner2D) AdvanceSteps(n int) {
+	var wg sync.WaitGroup
+	for _, sl := range r.Slabs {
+		wg.Add(1)
+		go func(sl *solver.Slab) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				sl.Advance()
+			}
+		}(sl)
+	}
+	wg.Wait()
+}
+
+// StoreState gathers every block's owned core into a full-grid
+// conservative state, tiling the domain exactly.
+func (r *Runner2D) StoreState(full *flux.State) {
+	for _, sl := range r.Slabs {
+		sl.StoreState(full)
+	}
+}
+
 // Diagnose aggregates the per-block diagnostics.
 func (r *Runner2D) Diagnose() solver.Diagnostics {
 	var d solver.Diagnostics

@@ -1,0 +1,83 @@
+// Slice-boundary state handoff for the parallel-in-time (Parareal)
+// coordinator: time-slice ranks pass whole conservative states — plus an
+// exactness flag and a running defect maximum — through the message
+// layer on their own tags, and the terminal rank broadcasts the global
+// convergence verdict back. Like the halo exchange, the steady-state
+// path allocates nothing: the payload is staged in one preallocated
+// buffer per endpoint and the message layer recycles its copies.
+package par
+
+import (
+	"repro/internal/flux"
+	"repro/internal/msg"
+)
+
+// Slice handoff tags. The free region between the halo machinery
+// (kind-indexed exchange tags < 24, shell refresh at 40/44) and the
+// allreduce plans (base 64).
+const (
+	// SliceStateTag carries a packed conservative state from time-slice
+	// rank k to k+1 (the Parareal initial-condition handoff).
+	SliceStateTag msg.Tag = 56
+	// sliceVerdictTag carries the global defect maximum from the
+	// terminal slice rank back to every earlier one, so all ranks take
+	// the identical stop decision.
+	sliceVerdictTag msg.Tag = 57
+)
+
+// SliceComm is one time-slice rank's handoff endpoint. Not safe for
+// concurrent use, like the msg.Comm it wraps.
+type SliceComm struct {
+	comm   *msg.Comm
+	nx, nr int
+	// buf stages one packed state plus the exactness flag and the
+	// running defect maximum (the two trailing floats).
+	buf  []float64
+	vbuf [1]float64
+}
+
+// NewSliceComm builds the endpoint for states of the given grid size.
+func NewSliceComm(comm *msg.Comm, nx, nr int) *SliceComm {
+	return &SliceComm{comm: comm, nx: nx, nr: nr, buf: make([]float64, flux.NVar*nx*nr+2)}
+}
+
+// SendState hands a conservative state to time-slice rank `to`, tagged
+// with whether the state is exact (already the fine propagator's true
+// trajectory, bitwise) and the defect maximum accumulated over slices
+// 0..sender.
+func (s *SliceComm) SendState(to int, st *flux.State, exact bool, defect float64) {
+	k := 0
+	for m := 0; m < flux.NVar; m++ {
+		k += st[m].PackCols(0, s.nx, s.buf[k:])
+	}
+	flag := 0.0
+	if exact {
+		flag = 1
+	}
+	s.buf[k] = flag
+	s.buf[k+1] = defect
+	s.comm.Send(to, SliceStateTag, s.buf)
+}
+
+// RecvState receives the handoff from time-slice rank `from` into st,
+// returning the exactness flag and the running defect maximum.
+func (s *SliceComm) RecvState(from int, st *flux.State) (exact bool, defect float64) {
+	s.comm.Recv(from, SliceStateTag, s.buf)
+	k := 0
+	for m := 0; m < flux.NVar; m++ {
+		k += st[m].UnpackCols(0, s.nx, s.buf[k:k+s.nx*s.nr])
+	}
+	return s.buf[k] != 0, s.buf[k+1]
+}
+
+// SendVerdict broadcasts the global defect maximum to rank `to`.
+func (s *SliceComm) SendVerdict(to int, defect float64) {
+	s.vbuf[0] = defect
+	s.comm.Send(to, sliceVerdictTag, s.vbuf[:])
+}
+
+// RecvVerdict receives the global defect maximum from rank `from`.
+func (s *SliceComm) RecvVerdict(from int) float64 {
+	s.comm.Recv(from, sliceVerdictTag, s.vbuf[:])
+	return s.vbuf[0]
+}

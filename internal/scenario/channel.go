@@ -85,6 +85,9 @@ func (channelScenario) Problem(cfg jet.Config, g *grid.Grid) (*solver.Problem, e
 	}, nil
 }
 
+// Convergence: open inflow-outflow flow — the residual controller works.
+func (channelScenario) Convergence() Criterion { return ConvergeResidual }
+
 func (channelScenario) Claims() []string {
 	return []string{"CHAN-parity", "CHAN-mass-flux"}
 }

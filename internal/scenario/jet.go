@@ -35,6 +35,9 @@ func (jetScenario) Problem(cfg jet.Config, g *grid.Grid) (*solver.Problem, error
 	return &solver.Problem{Name: "jet"}, nil
 }
 
+// Convergence: the jet is an open flow — the residual controller works.
+func (jetScenario) Convergence() Criterion { return ConvergeResidual }
+
 func (jetScenario) Claims() []string {
 	return []string{
 		"T1-compute-ratio", "F2-mflops", "F13-weighted-balance", "CONV-early-stop",

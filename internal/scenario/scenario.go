@@ -19,6 +19,31 @@ import (
 	"repro/internal/solver"
 )
 
+// Criterion selects the monitored quantity a convergence-controlled run
+// of a scenario stops on. Open flows drive the conserved-state residual
+// to zero; closed wall-driven flows never do (the energy keeps absorbing
+// wall work at the dissipation rate) and must watch the velocity field
+// instead — the distinction PR 7 documented in DESIGN §4a and this
+// registry now owns per scenario.
+type Criterion int
+
+const (
+	// ConvergeResidual stops on the L2 RMS rate of change of the
+	// conserved state (solver.Control.StopTol).
+	ConvergeResidual Criterion = iota
+	// ConvergeSteadiness stops on the maximum pointwise velocity change
+	// rate (solver.Control.SteadyTol).
+	ConvergeSteadiness
+)
+
+// String names the criterion's flag: -tol or -steady-tol.
+func (c Criterion) String() string {
+	if c == ConvergeSteadiness {
+		return "steadiness (-steady-tol)"
+	}
+	return "residual (-tol)"
+}
+
 // Scenario describes one registered flow problem end to end.
 type Scenario interface {
 	// Name is the registry key (the -scenario flag value).
@@ -37,6 +62,9 @@ type Scenario interface {
 	// state to the solver (see solver.Problem); the returned problem's
 	// zero fields select the built-in jet treatments.
 	Problem(cfg jet.Config, g *grid.Grid) (*solver.Problem, error)
+	// Convergence names the stop criterion a convergence-controlled
+	// run of this scenario should monitor.
+	Convergence() Criterion
 	// Claims lists the study-claim or validation identifiers this
 	// scenario grounds.
 	Claims() []string

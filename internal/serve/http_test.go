@@ -83,6 +83,15 @@ func TestHTTPRunAndStats(t *testing.T) {
 	if st.Completed != 2 || st.CacheHits != 2 {
 		t.Fatalf("stats: %+v", st)
 	}
+	// Queue depth, shed count, and the per-scenario traffic mix: three
+	// jet jobs served (one cold, two cached), one channel job, nothing
+	// queued or shed.
+	if st.Queued != 0 || st.Running != 0 || st.Rejected != 0 {
+		t.Fatalf("occupancy stats: %+v", st)
+	}
+	if st.PerScenario["jet"] != 3 || st.PerScenario["channel"] != 1 {
+		t.Fatalf("per-scenario stats: %+v", st.PerScenario)
+	}
 
 	// Malformed JSON is a client error.
 	resp, _ = postJSON(t, srv, "/run", `{"nx":`)

@@ -88,6 +88,9 @@ type Stats struct {
 	CacheHits    uint64 `json:"cache_hits"`
 	CacheMisses  uint64 `json:"cache_misses"`
 	CacheEntries int    `json:"cache_entries"`
+	// PerScenario counts served jobs (cold completions and cache hits)
+	// by scenario name — the traffic mix of the service.
+	PerScenario map[string]uint64 `json:"per_scenario,omitempty"`
 	// SharedProfiles counts the immutable per-(scenario, resolution)
 	// data sets (grid reference, physical configuration, cost profile)
 	// shared across all jobs touching them.
@@ -112,12 +115,13 @@ type Scheduler struct {
 	start    time.Time
 	closed   atomic.Bool
 
-	mu      sync.Mutex
-	results map[string]*entry
-	shared  map[sharedKey]*sharedData
-	queued  int
-	running int
-	flops   float64
+	mu          sync.Mutex
+	results     map[string]*entry
+	shared      map[sharedKey]*sharedData
+	queued      int
+	running     int
+	flops       float64
+	perScenario map[string]uint64
 
 	hits, misses, completed, failures, rejected atomic.Uint64
 }
@@ -158,12 +162,13 @@ func New(o Options) *Scheduler {
 		o.MaxQueue = 256
 	}
 	return &Scheduler{
-		slots:    o.Slots,
-		maxQueue: o.MaxQueue,
-		sem:      newFifoSem(o.Slots),
-		start:    time.Now(),
-		results:  map[string]*entry{},
-		shared:   map[sharedKey]*sharedData{},
+		slots:       o.Slots,
+		maxQueue:    o.MaxQueue,
+		sem:         newFifoSem(o.Slots),
+		start:       time.Now(),
+		results:     map[string]*entry{},
+		shared:      map[sharedKey]*sharedData{},
+		perScenario: map[string]uint64{},
 	}
 }
 
@@ -209,6 +214,9 @@ func (s *Scheduler) Submit(cfg core.Config) (*Reply, error) {
 			return nil, e.err
 		}
 		s.hits.Add(1)
+		s.mu.Lock()
+		s.perScenario[cc.Scenario]++
+		s.mu.Unlock()
 		return &Reply{Result: copyResult(e.res), Cached: true, Key: key}, nil
 	}
 	if s.queued >= s.maxQueue {
@@ -237,6 +245,7 @@ func (s *Scheduler) Submit(cfg core.Config) (*Reply, error) {
 		delete(s.results, key)
 	} else {
 		s.flops += sd.flopsPerStep * float64(res.Steps)
+		s.perScenario[cc.Scenario]++
 	}
 	s.mu.Unlock()
 	e.res, e.err = res, err
@@ -328,6 +337,13 @@ func (s *Scheduler) Stats() Stats {
 	entries := len(s.results)
 	profiles := len(s.shared)
 	flops := s.flops
+	var perScenario map[string]uint64
+	if len(s.perScenario) > 0 {
+		perScenario = make(map[string]uint64, len(s.perScenario))
+		for k, v := range s.perScenario {
+			perScenario[k] = v
+		}
+	}
 	s.mu.Unlock()
 	st := Stats{
 		Slots:          s.slots,
@@ -340,6 +356,7 @@ func (s *Scheduler) Stats() Stats {
 		CacheHits:      s.hits.Load(),
 		CacheMisses:    s.misses.Load(),
 		CacheEntries:   entries,
+		PerScenario:    perScenario,
 		SharedProfiles: profiles,
 		FlopsServed:    flops,
 		Uptime:         time.Since(s.start),

@@ -17,9 +17,20 @@ type Control struct {
 	// stopping (when ReduceEvery is set) or disables monitoring
 	// entirely (when it is not).
 	StopTol float64
+	// SteadyTol, when positive, switches the monitored quantity from
+	// the L2 residual to the velocity-steadiness rate — the maximum
+	// over core points of |du| and |dv| across the monitored step,
+	// divided by dt — and stops once that rate is at or below it.
+	// Closed wall-driven flows (the lid-driven cavity) need this:
+	// their energy never stops absorbing lid work, so the conserved-
+	// state residual stays on a floor set by dissipation while the
+	// velocity field has long since frozen. Mutually exclusive with
+	// StopTol; max-reduced across slabs, so the stop step is bitwise-
+	// identical however the domain is decomposed.
+	SteadyTol float64
 	// ReduceEvery is the monitoring cadence in composite steps. Zero
-	// with a positive StopTol means every step; zero without a StopTol
-	// disables monitoring.
+	// with a positive StopTol or SteadyTol means every step; zero
+	// without either disables monitoring.
 	ReduceEvery int
 	// CFL is the Courant number of the time-step refresh (0 =
 	// DefaultCFL). It should match the number the run was built with.
@@ -28,7 +39,7 @@ type Control struct {
 
 // withDefaults resolves the zero values.
 func (c Control) withDefaults() Control {
-	if c.StopTol > 0 && c.ReduceEvery == 0 {
+	if (c.StopTol > 0 || c.SteadyTol > 0) && c.ReduceEvery == 0 {
 		c.ReduceEvery = 1
 	}
 	if c.CFL == 0 {
@@ -46,7 +57,9 @@ type ResidualPoint struct {
 	Step int
 	// Residual is sqrt(sum (dq)^2 / (points*NVar)) / dt over that
 	// step: the RMS rate of change of the conserved state, the L2
-	// norm a steady state drives to zero.
+	// norm a steady state drives to zero. Under a steadiness control
+	// (Control.SteadyTol) it instead holds max(|du|,|dv|)/dt, the
+	// velocity-steadiness rate.
 	Residual float64
 }
 
@@ -109,6 +122,34 @@ func (s *Slab) residualPartial() float64 {
 	return sum
 }
 
+// steadyPartial returns the slab-local maximum over core points of the
+// absolute velocity change since the last snapshot, both components.
+// Max is order-independent in floating point, so the reduced global
+// value — and the stop decision built on it — is bitwise-identical
+// however the domain is decomposed.
+func (s *Slab) steadyPartial() float64 {
+	m := 0.0
+	for c := s.ExtL; c < s.NxLoc-s.ExtR; c++ {
+		rho := s.Q[flux.IRho].Col(c)
+		mx := s.Q[flux.IMx].Col(c)
+		mr := s.Q[flux.IMr].Col(c)
+		rho0 := s.q0[flux.IRho].Col(c)
+		mx0 := s.q0[flux.IMx].Col(c)
+		mr0 := s.q0[flux.IMr].Col(c)
+		for j := s.ExtB; j < s.NrLoc-s.ExtT; j++ {
+			du := math.Abs(mx[j]/rho[j] - mx0[j]/rho0[j])
+			if du > m {
+				m = du
+			}
+			dv := math.Abs(mr[j]/rho[j] - mr0[j]/rho0[j])
+			if dv > m {
+				m = dv
+			}
+		}
+	}
+	return m
+}
+
 // MaxRate returns the slab-local maximum stability rate (advective
 // plus viscous), the quantity the CFL-stable time step divides:
 // StableDt(cfl) == cfl / MaxRate(). Max-reducing it across slabs gives
@@ -168,13 +209,22 @@ func (s *Slab) RunControlled(n int, ctl Control, red Reduction) ConvergedRun {
 		if !monitor {
 			continue
 		}
-		sum := s.residualPartial()
-		if red != nil {
-			sum = red.Sum(sum)
+		var res float64
+		if ctl.SteadyTol > 0 {
+			m := s.steadyPartial()
+			if red != nil {
+				m = red.Max(m)
+			}
+			res = m / dt
+		} else {
+			sum := s.residualPartial()
+			if red != nil {
+				sum = red.Sum(sum)
+			}
+			res = math.Sqrt(sum/float64(points*flux.NVar)) / dt
 		}
-		res := math.Sqrt(sum/float64(points*flux.NVar)) / dt
 		out.Residuals = append(out.Residuals, ResidualPoint{Step: out.Steps, Residual: res})
-		if ctl.StopTol > 0 && res <= ctl.StopTol {
+		if (ctl.StopTol > 0 && res <= ctl.StopTol) || (ctl.SteadyTol > 0 && res <= ctl.SteadyTol) {
 			out.Converged = true
 			break
 		}

@@ -472,6 +472,61 @@ func Claims() []Claim {
 			},
 		},
 		{
+			ID:        "PARAREAL-re-sweep",
+			Statement: "parareal time-slicing beats pure spatial scaling only where the network has stopped scaling — winning on Ethernet at a 16-processor budget, losing below the knee and on the scalable switch — and its convergence degrades with Reynolds number (Steiner et al. shape) (parallel-in-time extension)",
+			Check: func() (string, bool, error) {
+				// The cosimulated crossover at a fixed processor budget:
+				// K=4 slices, 2 correction iterations (the iteration count
+				// the adaptive coordinator measures at the benchmark
+				// tolerance — see BenchmarkAblationParareal), default
+				// coarsening. Past the Ethernet knee the fine propagators
+				// run at P/K ranks each, below the contention collapse;
+				// on the SP's scalable switch the redundant corrections
+				// only add cost.
+				ch := trace.PaperNS()
+				eth := machine.LACE560Ethernet
+				sp16, err := eth.Simulate(ch, 16, 5)
+				if err != nil {
+					return "", false, err
+				}
+				pp16, err := PararealSeconds(eth, ch, 4, 2, 16)
+				if err != nil {
+					return "", false, err
+				}
+				sp8, err := eth.Simulate(ch, 8, 5)
+				if err != nil {
+					return "", false, err
+				}
+				pp8, err := PararealSeconds(eth, ch, 4, 2, 8)
+				if err != nil {
+					return "", false, err
+				}
+				ibm16, err := machine.SPMPL.Simulate(ch, 16, 5)
+				if err != nil {
+					return "", false, err
+				}
+				ibmPP16, err := PararealSeconds(machine.SPMPL, ch, 4, 2, 16)
+				if err != nil {
+					return "", false, err
+				}
+				// The measured sweep: iterations to the defect tolerance
+				// grow from the diffusive to the paper's Reynolds number,
+				// and the second-iteration defect grows monotonically.
+				pts, err := PararealReSweep([]float64{100, 500, 1.2e6})
+				if err != nil {
+					return "", false, err
+				}
+				got := fmt.Sprintf("Ethernet P=16 spatial %.0fs vs parareal K=4 %.0fs (x%.2f), P=8 x%.2f, SP P=16 x%.2f; iters/defect(2): Re=100 %d/%.2g, Re=500 %d/%.2g, Re=1.2e6 %d/%.2g",
+					sp16.Seconds, pp16, pp16/sp16.Seconds, pp8/sp8.Seconds, ibmPP16/ibm16.Seconds,
+					pts[0].Iterations, pts[0].EarlyDefect, pts[1].Iterations, pts[1].EarlyDefect, pts[2].Iterations, pts[2].EarlyDefect)
+				crossover := pp16 < sp16.Seconds && pp8 > sp8.Seconds && ibmPP16 > ibm16.Seconds
+				steiner := pts[0].Iterations <= pts[1].Iterations && pts[1].Iterations <= pts[2].Iterations &&
+					pts[0].Iterations < pts[2].Iterations &&
+					pts[0].EarlyDefect < pts[1].EarlyDefect && pts[1].EarlyDefect < pts[2].EarlyDefect
+				return got, crossover && steiner, nil
+			},
+		},
+		{
 			ID:        "F3-atm-fddi",
 			Statement: "ATM performs almost identically to ALLNODE-F, and FDDI to ALLNODE-S (Section 7.1)",
 			Check: func() (string, bool, error) {

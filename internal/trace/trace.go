@@ -157,6 +157,20 @@ type Characterization struct {
 	// plan, and the intra-node combine is memory-speed (free at this
 	// model's resolution). 0 or 1 means the flat plan.
 	ReduceGroup int
+	// TimeSlices, when > 1, prices a Parareal parallel-in-time run: the
+	// processor pool splits into TimeSlices groups, each propagating one
+	// slice of [0, Steps] with the fine (spatial) solver, stitched by a
+	// serial coarse sweep and slice-boundary state handoffs per
+	// correction iteration. 0 or 1 means the pure spatial run.
+	TimeSlices int
+	// PararealIters is the correction-iteration count a TimeSlices > 1
+	// run pays for; 0 means TimeSlices iterations (the exact, worst-case
+	// schedule).
+	PararealIters int
+	// CoarseFactor is the space-and-time coarsening of the Parareal
+	// coarse propagator (0 means the backend default of 2; 1 means the
+	// coarse sweep runs the fine operator itself).
+	CoarseFactor int
 }
 
 // ReducesPerMonitor is the number of allreduce collectives one
@@ -243,6 +257,13 @@ func (ch Characterization) RankStartups() int64 {
 // for an internal rank (send direction only, as Table 1 volume).
 func (ch Characterization) RankBytes() int64 {
 	return int64(ch.ColVarsPerStep) * 2 * int64(ch.Nr) * 8 * int64(ch.Steps)
+}
+
+// PararealHandoffBytes returns the payload of one Parareal
+// slice-boundary state handoff: the full-grid conservative state, 4
+// variables x Nx x Nr points x 8 bytes.
+func (ch Characterization) PararealHandoffBytes() int {
+	return 4 * ch.Nx * ch.Nr * 8
 }
 
 // RefreshBytes returns the payload of one redundant-shell refresh to

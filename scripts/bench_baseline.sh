@@ -21,7 +21,11 @@
 # saved-startups/step on the real backends, the simulated Ethernet
 # price of the depth-2 schedule at P=8, converged Wide(2) runs of
 # mp2d and hybrid, and the hierarchical-reduce startup count per node
-# size. BenchmarkServiceThroughput records the multi-tenant service's
+# size. BenchmarkAblationParareal records the parallel-in-time
+# trajectory: correction iterations and throughput of the parareal
+# coordinator over serial and mp2d fine propagators, plus the simulated
+# Ethernet price of the K=4 schedule against the pure-spatial run of
+# the same pool. BenchmarkServiceThroughput records the multi-tenant service's
 # runs/hour and cache hit-rate on a mixed duplicate-bearing workload
 # (Reynolds/excitation/grid/scenario sweep) through the jetsimd
 # scheduler. Numbers are

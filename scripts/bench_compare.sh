@@ -23,7 +23,9 @@
 # baseline entry the fresh run did not produce (renamed/removed, or a
 # BENCH subset) are each reported as a warning and skipped, so adding
 # or renaming benchmarks cannot fail the gate until the baseline is
-# regenerated with scripts/bench_baseline.sh.
+# regenerated with scripts/bench_baseline.sh. The summary table lists
+# every compared benchmark (baseline -> fresh Mpoints/s and the ratio),
+# and the final line counts compared, skipped, and regressed rows.
 #
 # Absolute numbers are host-dependent: comparisons are only
 # meaningful against a baseline recorded on the same machine, and
@@ -67,8 +69,11 @@ NR == FNR {
     if (mp == "") next
     if (!(name in base)) {
         printf "warning: %s has no baseline entry, skipped (regenerate with scripts/bench_baseline.sh)\n", name
+        skipped++
         next
     }
+    if (n == 0)
+        printf "%-55s %10s    %10s  %s\n", "benchmark", "baseline", "fresh", "ratio"
     seen[name] = 1
     n++
     ratio = mp / base[name]
@@ -78,9 +83,11 @@ NR == FNR {
 }
 END {
     for (name in base)
-        if (!(name in seen))
+        if (!(name in seen)) {
             printf "warning: baseline entry %s not in this run, skipped\n", name
+            skipped++
+        }
     if (n == 0) { print "no comparable Mpoints/s benchmarks found"; exit 2 }
-    printf "%d compared, %d regressed (threshold %.2fx)\n", n, bad, threshold
+    printf "%d compared, %d skipped, %d regressed (threshold %.2fx)\n", n, skipped, bad, threshold
     if (bad > 0) exit 1
 }' "$baseline" "$tmp"
